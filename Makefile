@@ -1,0 +1,47 @@
+# GROPHECY++ reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build test vet bench paper csv examples fuzz fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per table/figure, plus library micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (plus extensions).
+paper:
+	$(GO) run ./cmd/paper -all -charts
+
+# Export every experiment series as CSV for plotting.
+csv:
+	$(GO) run ./cmd/paper -csv out/csv
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/vectoradd
+	$(GO) run ./examples/portadvisor
+	$(GO) run ./examples/itersweep
+	$(GO) run ./examples/tuningstudy
+	$(GO) run ./examples/pipeline
+
+# 30 seconds of parser fuzzing (seed corpus always runs under `test`).
+fuzz:
+	$(GO) test -run=xxx -fuzz=FuzzParse -fuzztime=30s ./internal/sklang/
+
+fmt:
+	gofmt -w .
+	$(GO) run ./cmd/skfmt -w skeletons/*.sk
+
+clean:
+	rm -rf out

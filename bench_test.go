@@ -1,0 +1,278 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (DESIGN.md §4 maps each to its experiment).
+//
+// Each benchmark regenerates its table/figure from the shared
+// simulated machine and reports domain-specific metrics (error
+// percentages, speedups) via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// both exercises the full pipeline and prints the headline numbers.
+package grophecy_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"grophecy/internal/bench"
+	"grophecy/internal/core"
+	"grophecy/internal/experiments"
+	"grophecy/internal/stats"
+)
+
+func findHotSpot() (core.Workload, error) {
+	for _, w := range bench.MustAll() {
+		if w.Name == "HotSpot" && w.DataSize == "1024 x 1024" {
+			return w, nil
+		}
+	}
+	return core.Workload{}, fmt.Errorf("HotSpot workload missing")
+}
+
+var (
+	ctxOnce sync.Once
+	ctx     *experiments.Context
+	ctxErr  error
+)
+
+// sharedCtx builds the simulated machine and calibrated projector
+// once; the per-benchmark work is the experiment itself.
+func sharedCtx(b *testing.B) *experiments.Context {
+	b.Helper()
+	ctxOnce.Do(func() {
+		ctx, ctxErr = experiments.NewContext(experiments.DefaultSeed)
+		if ctxErr == nil {
+			// Pre-evaluate the ten workloads so report-based
+			// experiments measure extraction, not first-call
+			// evaluation.
+			_, ctxErr = ctx.Reports()
+		}
+	})
+	if ctxErr != nil {
+		b.Fatal(ctxErr)
+	}
+	return ctx
+}
+
+func BenchmarkFig2TransferSweep(b *testing.B) {
+	c := sharedCtx(b)
+	for i := 0; i < b.N; i++ {
+		rows := c.Fig2()
+		if len(rows) != 30 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFig3PinnedSpeedup(b *testing.B) {
+	c := sharedCtx(b)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows := c.Fig3()
+		last = rows[len(rows)-1].SpeedupH2D
+	}
+	b.ReportMetric(last, "pinned-speedup-512MB")
+}
+
+func BenchmarkFig4ModelError(b *testing.B) {
+	c := sharedCtx(b)
+	var meanH2D, meanD2H float64
+	for i := 0; i < b.N; i++ {
+		_, sums := c.Fig4()
+		meanH2D, meanD2H = sums[0].MeanErr, sums[1].MeanErr
+	}
+	b.ReportMetric(100*meanH2D, "mean-err-C2G-%")
+	b.ReportMetric(100*meanD2H, "mean-err-G2C-%")
+}
+
+func BenchmarkTable1Measured(b *testing.B) {
+	c := sharedCtx(b)
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		rows, err := c.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var xs []float64
+		for _, r := range rows {
+			xs = append(xs, r.PercentTransfer)
+		}
+		pct = stats.Mean(xs)
+	}
+	b.ReportMetric(100*pct, "mean-transfer-share-%")
+}
+
+func BenchmarkFig5AppTransfers(b *testing.B) {
+	c := sharedCtx(b)
+	var meanErr float64
+	for i := 0; i < b.N; i++ {
+		_, e, err := c.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		meanErr = e
+	}
+	b.ReportMetric(100*meanErr, "mean-transfer-err-%")
+}
+
+func BenchmarkFig6ErrorScatter(b *testing.B) {
+	c := sharedCtx(b)
+	for i := 0; i < b.N; i++ {
+		points, err := c.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 10 {
+			b.Fatalf("points = %d", len(points))
+		}
+	}
+}
+
+func benchSpeedupBySize(b *testing.B, app string) {
+	c := sharedCtx(b)
+	var worstKernelOnly float64
+	for i := 0; i < b.N; i++ {
+		rows, err := c.SpeedupBySize(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstKernelOnly = 0
+		for _, r := range rows {
+			if r.ErrKernel > worstKernelOnly {
+				worstKernelOnly = r.ErrKernel
+			}
+		}
+	}
+	b.ReportMetric(100*worstKernelOnly, "worst-kernel-only-err-%")
+}
+
+func BenchmarkFig7CFD(b *testing.B)     { benchSpeedupBySize(b, "CFD") }
+func BenchmarkFig9HotSpot(b *testing.B) { benchSpeedupBySize(b, "HotSpot") }
+func BenchmarkFig11SRAD(b *testing.B)   { benchSpeedupBySize(b, "SRAD") }
+
+func benchIterSweep(b *testing.B, app, size string, iters []int) {
+	c := sharedCtx(b)
+	var limitErr float64
+	for i := 0; i < b.N; i++ {
+		sweep, err := c.IterationSweep(app, size, iters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		limitErr = stats.ErrorMagnitude(sweep.LimitPred, sweep.LimitMeasured)
+	}
+	b.ReportMetric(100*limitErr, "limit-err-%")
+}
+
+func BenchmarkFig8CFDIters(b *testing.B) {
+	benchIterSweep(b, "CFD", "233K", []int{1, 2, 4, 8, 16, 32, 64})
+}
+
+func BenchmarkFig10HotSpotIters(b *testing.B) {
+	benchIterSweep(b, "HotSpot", "1024 x 1024", []int{1, 4, 16, 64, 256})
+}
+
+func BenchmarkFig12SRADIters(b *testing.B) {
+	benchIterSweep(b, "SRAD", "4096 x 4096", []int{1, 4, 16, 64, 256, 512})
+}
+
+func BenchmarkStassuij(b *testing.B) {
+	c := sharedCtx(b)
+	var res experiments.StassuijResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = c.Stassuij()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.PredKernelOnly, "kernel-only-speedup")
+	b.ReportMetric(res.Measured, "measured-speedup")
+	b.ReportMetric(res.PredFull, "grophecypp-speedup")
+}
+
+func BenchmarkTable2SpeedupError(b *testing.B) {
+	c := sharedCtx(b)
+	var res experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = c.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.AvgApps.KernelOnly, "kernel-only-err-%")
+	b.ReportMetric(100*res.AvgApps.TransferOnly, "transfer-only-err-%")
+	b.ReportMetric(100*res.AvgApps.Both, "combined-err-%")
+}
+
+// BenchmarkFutureWorkPlanning runs the §VII future-work analyses:
+// per-array memory-kind planning with allocation overhead, plus the
+// §III-B batching tradeoff, over all ten workloads.
+func BenchmarkFutureWorkPlanning(b *testing.B) {
+	c := sharedCtx(b)
+	var rows []experiments.FutureWorkRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = c.FutureWork()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var best float64
+	for _, r := range rows {
+		if s := r.PlanSavings(); s > best {
+			best = s
+		}
+	}
+	b.ReportMetric(100*best, "best-plan-saving-%")
+}
+
+// BenchmarkDecisionMap sweeps the port-verdict map over workload
+// space (the decision-support extension of the paper's conclusion).
+func BenchmarkDecisionMap(b *testing.B) {
+	c := sharedCtx(b)
+	flops, iters := experiments.DefaultDecisionAxes()
+	var res experiments.DecisionMapResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = c.DecisionMap(1024, flops, iters)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.FlipCount()), "kernel-only-flips")
+	b.ReportMetric(float64(res.FullModelErrors()), "full-model-misses")
+}
+
+// BenchmarkRobustness re-evaluates Table II on independent machine
+// instances in parallel.
+func BenchmarkRobustness(b *testing.B) {
+	var res experiments.RobustnessResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Robustness(experiments.DefaultSeed, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Flips), "ordering-violations")
+}
+
+// BenchmarkEndToEndProjection measures the full pipeline cost for one
+// workload — calibration excluded, exploration + analysis + model +
+// measurement included. This is the "how long does a projection take"
+// number a GROPHECY++ user cares about.
+func BenchmarkEndToEndProjection(b *testing.B) {
+	c := sharedCtx(b)
+	w, err := findHotSpot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.P.Evaluate(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

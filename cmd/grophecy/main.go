@@ -1,0 +1,355 @@
+// Command grophecy runs the GROPHECY++ projection pipeline on one of
+// the built-in benchmark workloads and prints the full report: the
+// data transfer plan, the transformation chosen for each kernel,
+// predicted vs measured kernel and transfer times, and the projected
+// GPU speedups with and without data transfer modeling.
+//
+// Usage:
+//
+//	grophecy -list
+//	grophecy -app HotSpot -size "1024 x 1024"
+//	grophecy -app CFD -size 233K -iters 8
+//	grophecy -app SRAD -size "2048 x 2048" -gpu "NVIDIA Tesla C2050"
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"grophecy/internal/bench"
+	"grophecy/internal/core"
+	"grophecy/internal/cpumodel"
+	"grophecy/internal/experiments"
+	"grophecy/internal/gpu"
+	"grophecy/internal/pcie"
+	"grophecy/internal/perfmodel"
+	"grophecy/internal/sklang"
+	"grophecy/internal/timeline"
+	"grophecy/internal/units"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "", "application: CFD, HotSpot, SRAD, Stassuij")
+		skeleton = flag.String("skeleton", "", "path to a .sk skeleton file to project instead of a built-in workload")
+		size     = flag.String("size", "", "data size label (see -list)")
+		iters    = flag.Int("iters", 1, "iteration count")
+		seed     = flag.Uint64("seed", experiments.DefaultSeed, "simulated machine seed")
+		gpuName  = flag.String("gpu", "", "GPU preset name (default: the paper's Quadro FX 5600)")
+		list     = flag.Bool("list", false, "list available workloads and GPU presets")
+		export   = flag.String("export", "", "write the selected workload as a skeleton file to this path and exit")
+		showTime = flag.Bool("timeline", false, "render the measured execution timeline as a Gantt chart")
+		asJSON   = flag.Bool("json", false, "emit the report as JSON instead of text")
+		verbose  = flag.Bool("v", false, "print per-kernel model and simulator diagnostics")
+	)
+	flag.Parse()
+
+	if *list {
+		printList()
+		return
+	}
+	if *app == "" && *skeleton == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *app != "" && *skeleton != "" {
+		fatal(fmt.Errorf("-app and -skeleton are mutually exclusive"))
+	}
+
+	var w core.Workload
+	var err error
+	if *skeleton != "" {
+		w, err = sklang.ParseFile(*skeleton)
+		if err != nil && errors.Is(err, sklang.ErrNotWorkload) {
+			// A multi-phase program file: evaluate it with
+			// residency-aware planning and exit.
+			runProgramFile(*skeleton, *seed)
+			return
+		}
+	} else {
+		w, err = findWorkload(*app, *size)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *iters < 1 {
+		fatal(fmt.Errorf("iteration count %d below 1", *iters))
+	}
+	w = w.WithIterations(*iters)
+
+	if *export != "" {
+		src, err := sklang.Format(w)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*export, []byte(src), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s %s to %s\n", w.Name, w.DataSize, *export)
+		return
+	}
+
+	machine, err := buildMachine(*gpuName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	projector, err := core.NewProjector(machine)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*asJSON {
+		fmt.Printf("GROPHECY++ projection on %s + %s\n\n", machine.CPUArch.Name, machine.GPUArch.Name)
+		model := projector.BusModel()
+		fmt.Printf("PCIe model (calibrated from %d transfers, %.1fs of bus time):\n",
+			model.CalibrationTransfers, model.CalibrationCost)
+		fmt.Printf("  CPU-to-GPU: %s\n", model.Dir[pcie.HostToDevice])
+		fmt.Printf("  GPU-to-CPU: %s\n\n", model.Dir[pcie.DeviceToHost])
+	}
+
+	rep, err := projector.Evaluate(w)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		printJSON(rep)
+		return
+	}
+	printReport(rep)
+	if *verbose {
+		printDiagnostics(machine, rep)
+	}
+
+	if *showTime {
+		chart, err := timeline.Render(timeline.FromReport(rep), 64)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(chart)
+	}
+}
+
+// printDiagnostics shows, per kernel, what the analytical model and
+// the simulator each saw: occupancy, the limiting resource, warp
+// parallelism, waves, and effective transactions.
+func printDiagnostics(machine *core.Machine, r core.Report) {
+	fmt.Println("\nper-kernel diagnostics (model vs simulator):")
+	for _, k := range r.Kernels {
+		proj, err := perfmodel.Project(machine.GPUArch, k.Variant.Ch)
+		if err != nil {
+			fatal(err)
+		}
+		sim, err := machine.GPU.Simulate(k.Variant.Ch)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %s (%s):\n", k.Kernel, k.Variant.Name)
+		fmt.Printf("    model: %d blocks/SM (%s-limited), %d warps, MWP %.1f, CWP %.1f, %s-bound\n",
+			proj.Occ.BlocksPerSM, proj.Occ.Limiter, proj.Occ.WarpsPerSM,
+			proj.MWP, proj.CWP, proj.Bound)
+		bw := ""
+		if sim.BandwidthLimited {
+			bw = ", DRAM-bandwidth-limited"
+		}
+		fmt.Printf("    sim:   %d full waves + %d tail blocks, %.1f txns/request%s\n",
+			sim.FullWaves, sim.TailBlocks, sim.EffectiveTransactions, bw)
+		fmt.Printf("    times: model %s, sim %s (gap %.1f%%)\n",
+			units.FormatSeconds(k.Predicted), units.FormatSeconds(k.Measured),
+			100*(k.Measured-k.Predicted)/k.Predicted)
+	}
+}
+
+// runProgramFile evaluates a multi-phase skeleton file.
+func runProgramFile(path string, seed uint64) {
+	pw, err := sklang.ParseProgramFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	machine := core.NewMachine(seed)
+	projector, err := core.NewProjector(machine)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := projector.EvaluateProgram(pw.Prog, pw.CPU)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("GROPHECY++ program projection: %s %s (%d phases)\n\n",
+		pw.Name, pw.DataSize, len(rep.Phases))
+	fmt.Printf("%-8s %12s %12s %10s\n", "phase", "kernels", "transfers", "moved")
+	for i, ph := range rep.Phases {
+		var bytes int64
+		for _, tr := range ph.Transfers {
+			bytes += tr.Transfer.Bytes()
+		}
+		fmt.Printf("%-8d %12s %12s %10s\n", i+1,
+			units.FormatSeconds(ph.MeasKernelTime),
+			units.FormatSeconds(ph.MeasTransferTime),
+			units.FormatBytes(bytes))
+	}
+	pk, mk, px, mx := rep.Totals()
+	fmt.Printf("\ntotals: kernels %s (pred %s), transfers %s (pred %s)\n",
+		units.FormatSeconds(mk), units.FormatSeconds(pk),
+		units.FormatSeconds(mx), units.FormatSeconds(px))
+	fmt.Printf("residency planning saves %.0f%% of naive per-phase transfer time\n",
+		100*rep.ResidencySavings())
+	fmt.Printf("projected speedup %.2fx, measured %.2fx\n",
+		rep.SpeedupFull(), rep.MeasuredSpeedup())
+}
+
+func printList() {
+	fmt.Println("workloads:")
+	for _, w := range bench.MustAll() {
+		fmt.Printf("  -app %-9s -size %q\n", w.Name, w.DataSize)
+	}
+	fmt.Println("\ngpu presets:")
+	for _, a := range gpu.Presets() {
+		fmt.Printf("  %q\n", a.Name)
+	}
+}
+
+func findWorkload(app, size string) (core.Workload, error) {
+	var match *core.Workload
+	for _, w := range bench.MustAll() {
+		if w.Name != app {
+			continue
+		}
+		if size == "" || w.DataSize == size {
+			if match != nil {
+				return core.Workload{}, fmt.Errorf(
+					"application %q has several data sizes; pick one with -size (see -list)", app)
+			}
+			cp := w
+			match = &cp
+		}
+	}
+	if match == nil {
+		return core.Workload{}, fmt.Errorf("no workload %q %q (see -list)", app, size)
+	}
+	return *match, nil
+}
+
+func buildMachine(gpuName string, seed uint64) (*core.Machine, error) {
+	if gpuName == "" {
+		return core.NewMachine(seed), nil
+	}
+	arch, ok := gpu.PresetByName(gpuName)
+	if !ok {
+		return nil, fmt.Errorf("unknown GPU preset %q (see -list)", gpuName)
+	}
+	return core.NewMachineWith(arch, cpumodel.XeonE5405(), pcie.DefaultConfig(), seed), nil
+}
+
+// jsonReport is the machine-readable projection: the report's raw
+// numbers plus the derived quantities a consumer would otherwise have
+// to recompute.
+type jsonReport struct {
+	core.Report
+	Derived struct {
+		MeasuredSpeedup     float64 `json:"measuredSpeedup"`
+		SpeedupFull         float64 `json:"speedupFull"`
+		SpeedupKernelOnly   float64 `json:"speedupKernelOnly"`
+		SpeedupTransferOnly float64 `json:"speedupTransferOnly"`
+		ErrFull             float64 `json:"errFull"`
+		ErrKernelOnly       float64 `json:"errKernelOnly"`
+		PercentTransfer     float64 `json:"percentTransfer"`
+	} `json:"derived"`
+}
+
+func printJSON(r core.Report) {
+	out := jsonReport{Report: r}
+	out.Derived.MeasuredSpeedup = r.MeasuredSpeedup()
+	out.Derived.SpeedupFull = r.SpeedupFull()
+	out.Derived.SpeedupKernelOnly = r.SpeedupKernelOnly()
+	out.Derived.SpeedupTransferOnly = r.SpeedupTransferOnly()
+	out.Derived.ErrFull = r.ErrFull()
+	out.Derived.ErrKernelOnly = r.ErrKernelOnly()
+	out.Derived.PercentTransfer = r.PercentTransfer()
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func printReport(r core.Report) {
+	fmt.Printf("workload %s %s, %d iteration(s)\n\n", r.Name, r.DataSize, r.Iterations)
+
+	fmt.Println("transfer plan (data usage analysis):")
+	fmt.Print(indent(r.Plan.String()))
+	fmt.Println()
+
+	fmt.Println("kernels (best transformation per GROPHECY exploration):")
+	for _, k := range r.Kernels {
+		fmt.Printf("  %-22s %-22s predicted %10s  measured %10s\n",
+			k.Kernel, k.Variant.Name,
+			units.FormatSeconds(k.Predicted), units.FormatSeconds(k.Measured))
+	}
+	fmt.Println()
+
+	fmt.Println("transfers (pinned memory, linear PCIe model):")
+	for _, tr := range r.Transfers {
+		fmt.Printf("  %-46s predicted %10s  measured %10s\n",
+			tr.Transfer, units.FormatSeconds(tr.Predicted), units.FormatSeconds(tr.Measured))
+	}
+	fmt.Println()
+
+	fmt.Printf("totals over %d iteration(s):\n", r.Iterations)
+	fmt.Printf("  kernel time:    predicted %10s  measured %10s (err %4.1f%%)\n",
+		units.FormatSeconds(r.PredKernelTime), units.FormatSeconds(r.MeasKernelTime),
+		100*r.KernelErr())
+	fmt.Printf("  transfer time:  predicted %10s  measured %10s (err %4.1f%%)\n",
+		units.FormatSeconds(r.PredTransferTime), units.FormatSeconds(r.MeasTransferTime),
+		100*r.TransferErr())
+	fmt.Printf("  total GPU time: predicted %10s  measured %10s\n",
+		units.FormatSeconds(r.PredTotalGPU()), units.FormatSeconds(r.MeasTotalGPU()))
+	fmt.Printf("  CPU time (8-thread OpenMP baseline): %s\n", units.FormatSeconds(r.CPUTime))
+	fmt.Printf("  transfer share of GPU time: %.0f%%\n\n", 100*r.PercentTransfer())
+
+	fmt.Println("projected GPU speedup:")
+	fmt.Printf("  measured:                 %6.2fx\n", r.MeasuredSpeedup())
+	fmt.Printf("  GROPHECY++ (kernel+xfer): %6.2fx  (error %.1f%%)\n",
+		r.SpeedupFull(), 100*r.ErrFull())
+	fmt.Printf("  kernel only (GROPHECY):   %6.2fx  (error %.1f%%)\n",
+		r.SpeedupKernelOnly(), 100*r.ErrKernelOnly())
+	fmt.Printf("  transfer only:            %6.2fx  (error %.1f%%)\n",
+		r.SpeedupTransferOnly(), 100*r.ErrTransferOnly())
+
+	if r.SpeedupKernelOnly() > 1 && r.MeasuredSpeedup() < 1 {
+		fmt.Println("\nNOTE: ignoring data transfer predicts a GPU win, but the port")
+		fmt.Println("would actually be a slowdown — transfer modeling flips the verdict.")
+	}
+}
+
+func indent(s string) string {
+	var out string
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "grophecy:", err)
+	os.Exit(1)
+}

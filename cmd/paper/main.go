@@ -1,0 +1,212 @@
+// Command paper regenerates every table and figure of the paper's
+// evaluation from the simulated Argonne machine.
+//
+// Usage:
+//
+//	paper -all              # everything, in paper order
+//	paper -table 1          # Table I or II
+//	paper -fig 7            # Figures 2-12
+//	paper -stassuij         # the §V-B4 flip experiment
+//	paper -seed 123 -all    # a different simulated machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grophecy/internal/experiments"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "render Table N (1 or 2)")
+		fig      = flag.Int("fig", 0, "render Figure N (2-12)")
+		stassuij = flag.Bool("stassuij", false, "render the Stassuij flip experiment (§V-B4)")
+		future   = flag.Bool("future", false, "render the future-work analyses (§VII: memory planning, batching)")
+		robust   = flag.Int("robustness", 0, "re-run Table II on N independent machine instances")
+		decision = flag.Bool("decisionmap", false, "render the port-verdict decision map over workload space")
+		busgen   = flag.Bool("busgen", false, "render the PCIe-generation study (same node, faster bus)")
+		pinned   = flag.Bool("pinned", false, "render the pinned-vs-pageable assumption study (§III-C)")
+		charts   = flag.Bool("charts", false, "also draw ASCII charts for the figure-shaped experiments")
+		csvDir   = flag.String("csv", "", "also write every table/figure as CSV into this directory")
+		all      = flag.Bool("all", false, "render every table and figure")
+		seed     = flag.Uint64("seed", experiments.DefaultSeed, "simulated machine seed")
+	)
+	flag.Parse()
+
+	if !*all && *table == 0 && *fig == 0 && !*stassuij && !*future &&
+		*robust == 0 && !*decision && !*busgen && !*pinned && *csvDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, err := experiments.NewContext(*seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *csvDir != "" {
+		files, err := ctx.WriteCSV(*csvDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d CSV files to %s\n\n", len(files), *csvDir)
+	}
+
+	if *all || *fig == 2 {
+		rows := ctx.Fig2()
+		fmt.Println(experiments.RenderFig2(rows))
+		if *charts {
+			chart, err := experiments.ChartFig2(rows)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(chart)
+		}
+	}
+	if *all || *fig == 3 {
+		fmt.Println(experiments.RenderFig3(ctx.Fig3()))
+	}
+	if *all || *fig == 4 {
+		rows, sums := ctx.Fig4()
+		fmt.Println(experiments.RenderFig4(rows, sums))
+		if *charts {
+			chart, err := experiments.ChartFig4(rows)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(chart)
+		}
+	}
+	if *all || *table == 1 {
+		rows, err := ctx.Table1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderTable1(rows))
+	}
+	if *all || *fig == 5 {
+		points, meanErr, err := ctx.Fig5()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFig5(points, meanErr))
+		if *charts {
+			chart, err := experiments.ChartFig5(points)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(chart)
+		}
+	}
+	if *all || *fig == 6 {
+		points, err := ctx.Fig6()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFig6(points))
+	}
+	if *all || *fig == 7 {
+		renderBySize(ctx, "Figure 7", "CFD")
+	}
+	if *all || *fig == 8 {
+		renderIters(ctx, "Figure 8", "CFD", "233K",
+			[]int{1, 2, 4, 8, 16, 32, 64}, *charts)
+	}
+	if *all || *fig == 9 {
+		renderBySize(ctx, "Figure 9", "HotSpot")
+	}
+	if *all || *fig == 10 {
+		renderIters(ctx, "Figure 10", "HotSpot", "1024 x 1024",
+			[]int{1, 2, 4, 8, 16, 32, 64, 128, 256}, *charts)
+	}
+	if *all || *fig == 11 {
+		renderBySize(ctx, "Figure 11", "SRAD")
+	}
+	if *all || *fig == 12 {
+		renderIters(ctx, "Figure 12", "SRAD", "4096 x 4096",
+			[]int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}, *charts)
+	}
+	if *all || *stassuij {
+		res, err := ctx.Stassuij()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderStassuij(res))
+	}
+	if *all || *table == 2 {
+		res, err := ctx.Table2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderTable2(res))
+	}
+	if *all || *future {
+		rows, err := ctx.FutureWork()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFutureWork(rows))
+	}
+	if n := *robust; n > 0 || *all {
+		if n == 0 {
+			n = 8
+		}
+		res, err := experiments.Robustness(*seed, n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderRobustness(res))
+	}
+	if *all || *decision {
+		flops, iters := experiments.DefaultDecisionAxes()
+		res, err := ctx.DecisionMap(1024, flops, iters)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderDecisionMap(res))
+	}
+	if *all || *busgen {
+		rows, err := experiments.BusGenerations(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderBusGenerations(rows))
+	}
+	if *all || *pinned {
+		rows, err := experiments.PinnedAssumption(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderPinnedAssumption(rows))
+	}
+}
+
+func renderBySize(ctx *experiments.Context, title, app string) {
+	rows, err := ctx.SpeedupBySize(app)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.RenderSpeedupBySize(title+" ("+app+")", rows))
+}
+
+func renderIters(ctx *experiments.Context, title, app, size string, iters []int, charts bool) {
+	sweep, err := ctx.IterationSweep(app, size, iters)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(experiments.RenderIterSweep(title, sweep))
+	if charts {
+		chart, err := experiments.ChartIterSweep(title, sweep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(chart)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paper:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command skfmt formats skeleton-language files (parse, then emit
+// canonical form), in the spirit of gofmt:
+//
+//	skfmt file.sk            # print the formatted file to stdout
+//	skfmt -w file.sk ...     # rewrite files in place
+//	skfmt -d file.sk         # report whether the file is unformatted
+//
+// Because formatting goes through the full parser, skfmt also acts as
+// a syntax and semantic checker: unknown arrays, wrong arities, and
+// malformed loops are reported with line:column positions.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"grophecy/internal/sklang"
+)
+
+func main() {
+	var (
+		write = flag.Bool("w", false, "write result back to the source file")
+		diff  = flag.Bool("d", false, "exit non-zero if any file is not in canonical form")
+		lint  = flag.Bool("l", false, "report lint warnings instead of formatting")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: skfmt [-w] [-d] file.sk ...")
+		os.Exit(2)
+	}
+
+	unformatted := 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		if *lint {
+			warns, err := sklang.Lint(string(src))
+			if errors.Is(err, sklang.ErrNotWorkload) {
+				// Lint checks apply to single-sequence files; phase
+				// files are validated structurally by the parser.
+				continue
+			}
+			if err != nil {
+				fail(fmt.Errorf("%s:%w", path, err))
+			}
+			for _, warn := range warns {
+				fmt.Printf("%s: %s\n", path, warn)
+				unformatted++
+			}
+			continue
+		}
+		formatted, err := formatAny(string(src))
+		if err != nil {
+			fail(fmt.Errorf("%s:%w", path, err))
+		}
+		switch {
+		case *write:
+			if string(src) != formatted {
+				if err := os.WriteFile(path, []byte(formatted), 0o644); err != nil {
+					fail(err)
+				}
+				fmt.Println(path)
+			}
+		case *diff:
+			if string(src) != formatted {
+				fmt.Println(path)
+				unformatted++
+			}
+		default:
+			fmt.Print(formatted)
+		}
+	}
+	if unformatted > 0 {
+		os.Exit(1)
+	}
+}
+
+// formatAny formats either a single-sequence workload or a
+// multi-phase program file.
+func formatAny(src string) (string, error) {
+	w, err := sklang.Parse(src)
+	if err == nil {
+		return sklang.Format(w)
+	}
+	if !errors.Is(err, sklang.ErrNotWorkload) {
+		return "", err
+	}
+	pw, err := sklang.ParseProgram(src)
+	if err != nil {
+		return "", err
+	}
+	return sklang.FormatProgram(pw)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "skfmt:", err)
+	os.Exit(1)
+}

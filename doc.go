@@ -1,0 +1,16 @@
+// Package grophecy is a Go reproduction of GROPHECY++ — "Improving
+// GPU Performance Prediction with Data Transfer Modeling" (Boyer,
+// Meng, Kumaran; IPDPS 2013).
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// full system inventory); the executables under cmd/ and the runnable
+// examples under examples/ are the supported entry points:
+//
+//	cmd/grophecy  - project a workload's GPU speedup end to end
+//	cmd/pciecal   - calibrate and validate the PCIe transfer model
+//	cmd/paper     - regenerate every table and figure of the paper
+//
+// The benchmark harness in bench_test.go regenerates each table and
+// figure under `go test -bench`; EXPERIMENTS.md records the
+// paper-vs-measured comparison for all of them.
+package grophecy

@@ -1,0 +1,3 @@
+module grophecy
+
+go 1.22

@@ -1,0 +1,126 @@
+// Package batch quantifies the transfer-batching tradeoff the paper
+// notes in §III-B: "Each individual array is assumed to be
+// transferred separately, although in practice transferring multiple
+// small arrays together as one may provide a minor performance
+// benefit at the cost of more substantial program modifications."
+//
+// Batching packs several arrays into one staging buffer and issues a
+// single cudaMemcpy: it saves (n-1) per-transfer latencies alpha but
+// pays a host-side marshalling memcpy on the packed bytes (and the
+// program-structure cost the paper alludes to, which no model can
+// price). With alpha ~ 10 us and MB-scale arrays, the saving is
+// indeed minor — this package makes that quantitative, per workload.
+package batch
+
+import (
+	"errors"
+	"fmt"
+
+	"grophecy/internal/datausage"
+	"grophecy/internal/pcie"
+	"grophecy/internal/units"
+	"grophecy/internal/xfermodel"
+)
+
+// Config parameterizes the batching cost model.
+type Config struct {
+	// PackBandwidth is the host memcpy bandwidth used to marshal
+	// arrays into (and out of) the staging buffer, bytes/second.
+	PackBandwidth float64
+}
+
+// DefaultConfig uses the host's streaming memcpy bandwidth (same
+// vintage as the rest of the simulated node).
+func DefaultConfig() Config {
+	return Config{PackBandwidth: units.GBps(4.4)}
+}
+
+// Validate reports whether the configuration is sensible.
+func (c Config) Validate() error {
+	if c.PackBandwidth <= 0 {
+		return errors.New("batch: non-positive pack bandwidth")
+	}
+	return nil
+}
+
+// Estimate compares per-array and batched transfer strategies for one
+// direction of one workload.
+type Estimate struct {
+	Dir       pcie.Direction
+	Transfers int
+	Bytes     int64
+	// PerArray is the predicted time of n separate transfers (the
+	// paper's assumption).
+	PerArray float64
+	// Batched is the predicted time of one packed transfer plus the
+	// marshalling memcpy.
+	Batched float64
+}
+
+// Benefit returns the absolute predicted saving of batching (negative
+// when batching loses).
+func (e Estimate) Benefit() float64 { return e.PerArray - e.Batched }
+
+// RelativeBenefit returns the saving as a fraction of the per-array
+// time.
+func (e Estimate) RelativeBenefit() float64 {
+	if e.PerArray == 0 {
+		return 0
+	}
+	return e.Benefit() / e.PerArray
+}
+
+// String renders the estimate.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%v: %d transfers, %s: separate %s vs batched %s (%.1f%% saving)",
+		e.Dir, e.Transfers, units.FormatBytes(e.Bytes),
+		units.FormatSeconds(e.PerArray), units.FormatSeconds(e.Batched),
+		100*e.RelativeBenefit())
+}
+
+// Analyze prices both strategies for each direction of a transfer
+// plan under the calibrated transfer model.
+func Analyze(plan datausage.Plan, bm xfermodel.BusModel, cfg Config) ([]Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !bm.Valid() {
+		return nil, errors.New("batch: invalid transfer model")
+	}
+	var out []Estimate
+	for _, group := range []struct {
+		dir pcie.Direction
+		trs []datausage.Transfer
+	}{
+		{pcie.HostToDevice, plan.Uploads},
+		{pcie.DeviceToHost, plan.Downloads},
+	} {
+		if len(group.trs) == 0 {
+			continue
+		}
+		est := Estimate{Dir: group.dir, Transfers: len(group.trs)}
+		for _, tr := range group.trs {
+			est.Bytes += tr.Bytes()
+			est.PerArray += bm.Predict(group.dir, tr.Bytes())
+		}
+		// One packed transfer plus marshalling on the host side (the
+		// GPU-side unpack rides the kernel's first touch for free).
+		est.Batched = bm.Predict(group.dir, est.Bytes) +
+			float64(est.Bytes)/cfg.PackBandwidth
+		out = append(out, est)
+	}
+	return out, nil
+}
+
+// TotalBenefit sums the benefit of batching both directions,
+// counting only directions where batching actually wins (a sane
+// implementation batches selectively).
+func TotalBenefit(ests []Estimate) float64 {
+	var total float64
+	for _, e := range ests {
+		if b := e.Benefit(); b > 0 {
+			total += b
+		}
+	}
+	return total
+}

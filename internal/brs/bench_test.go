@@ -1,0 +1,50 @@
+package brs
+
+import (
+	"testing"
+
+	"grophecy/internal/skeleton"
+)
+
+func benchAccess() (skeleton.Access, []skeleton.Loop) {
+	a := skeleton.NewArray("a", skeleton.Float32, 4096, 4096)
+	loops := []skeleton.Loop{skeleton.ParLoop("i", 4096), skeleton.ParLoop("j", 4096)}
+	return skeleton.LoadOf(a, skeleton.IdxPlus("i", -1), skeleton.IdxPlus("j", 1)), loops
+}
+
+func BenchmarkFromAccess(b *testing.B) {
+	ac, loops := benchAccess()
+	for i := 0; i < b.N; i++ {
+		_ = FromAccess(ac, loops)
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	ac, loops := benchAccess()
+	s1 := FromAccess(ac, loops)
+	s2 := s1
+	s2.Bounds = append([]Bound(nil), s1.Bounds...)
+	s2.Bounds[0].Lo += 7
+	for i := 0; i < b.N; i++ {
+		_ = Union(s1, s2)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	ac, loops := benchAccess()
+	s1 := FromAccess(ac, loops)
+	s2 := s1
+	for i := 0; i < b.N; i++ {
+		_, _ = Intersect(s1, s2)
+	}
+}
+
+func BenchmarkSetAddCovers(b *testing.B) {
+	ac, loops := benchAccess()
+	s := FromAccess(ac, loops)
+	for i := 0; i < b.N; i++ {
+		set := NewSet()
+		set.Add(s)
+		_ = set.Covers(s)
+	}
+}

@@ -1,0 +1,124 @@
+package brs
+
+// Section subtraction — the refinement the paper's conservative rule
+// leaves on the table. §III-B uploads the full read section whenever
+// it is not entirely covered by prior writes; SubtractSection computes
+// the exact remainder (as a list of disjoint box sections), enabling
+// partial uploads. datausage exposes it behind an option so the
+// paper-faithful behaviour stays the default and the refinement is a
+// measurable ablation.
+
+// boxSubtract removes box b from box a (per-dimension bounds,
+// stride-1 semantics), returning disjoint remainder boxes. Standard
+// axis sweep: for each dimension, split off the parts of a outside
+// b's range, then narrow a to the overlap and continue.
+func boxSubtract(a, b []Bound) [][]Bound {
+	var out [][]Bound
+	cur := append([]Bound(nil), a...)
+	for d := range cur {
+		if b[d].Hi < cur[d].Lo || b[d].Lo > cur[d].Hi {
+			// No overlap in this dimension: nothing of a is covered.
+			out = append(out, append([]Bound(nil), cur...))
+			return out
+		}
+		if b[d].Lo > cur[d].Lo {
+			below := append([]Bound(nil), cur...)
+			below[d] = Bound{Lo: cur[d].Lo, Hi: b[d].Lo - 1, Stride: 1}
+			out = append(out, below)
+		}
+		if b[d].Hi < cur[d].Hi {
+			above := append([]Bound(nil), cur...)
+			above[d] = Bound{Lo: b[d].Hi + 1, Hi: cur[d].Hi, Stride: 1}
+			out = append(out, above)
+		}
+		// Narrow to the overlap and handle remaining dimensions.
+		lo, hi := cur[d].Lo, cur[d].Hi
+		if b[d].Lo > lo {
+			lo = b[d].Lo
+		}
+		if b[d].Hi < hi {
+			hi = b[d].Hi
+		}
+		cur[d] = Bound{Lo: lo, Hi: hi, Stride: 1}
+	}
+	// cur is now entirely inside b: covered, drop it.
+	return out
+}
+
+// unitStride reports whether every dimension has stride 1 (the exact
+// regime for subtraction).
+func unitStride(bounds []Bound) bool {
+	for _, b := range bounds {
+		if b.Stride != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// fullBounds returns the whole-array box.
+func fullBounds(s Section) []Bound {
+	bounds := make([]Bound, len(s.Array.Dims))
+	for i, d := range s.Array.Dims {
+		bounds[i] = Bound{Lo: 0, Hi: d - 1, Stride: 1}
+	}
+	return bounds
+}
+
+// SubtractSection returns the parts of a not covered by b, as
+// disjoint sections of the same array. The result is exact when both
+// sections are unit-stride (or whole-array); for strided sections the
+// conservative answer — a unchanged — is returned, which is always
+// safe for transfer planning (it can only over-transfer). Subtracting
+// across different arrays panics.
+func SubtractSection(a, b Section) []Section {
+	if a.Array != b.Array {
+		panic("brs: subtraction of sections of different arrays")
+	}
+	if a.Empty() {
+		return nil
+	}
+	if b.Empty() {
+		return []Section{a}
+	}
+	if b.Whole || b.IsWholeArray() {
+		return nil
+	}
+
+	aBounds := a.Bounds
+	if a.Whole {
+		aBounds = fullBounds(a)
+	}
+	if !unitStride(aBounds) || !unitStride(b.Bounds) {
+		if b.Contains(a) {
+			return nil
+		}
+		return []Section{a}
+	}
+
+	boxes := boxSubtract(aBounds, b.Bounds)
+	out := make([]Section, 0, len(boxes))
+	for _, bounds := range boxes {
+		sec := Section{Array: a.Array, Bounds: bounds}
+		if !sec.Empty() {
+			out = append(out, sec)
+		}
+	}
+	return out
+}
+
+// SubtractAll removes every section in bs from a.
+func SubtractAll(a Section, bs []Section) []Section {
+	remainder := []Section{a}
+	for _, b := range bs {
+		var next []Section
+		for _, r := range remainder {
+			next = append(next, SubtractSection(r, b)...)
+		}
+		remainder = next
+		if len(remainder) == 0 {
+			return nil
+		}
+	}
+	return remainder
+}

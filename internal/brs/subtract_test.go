@@ -1,0 +1,189 @@
+package brs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"grophecy/internal/skeleton"
+)
+
+func sec1D(a *skeleton.Array, lo, hi int64) Section {
+	return Section{Array: a, Bounds: []Bound{{Lo: lo, Hi: hi, Stride: 1}}}
+}
+
+func TestSubtract1D(t *testing.T) {
+	a := skeleton.NewArray("v", skeleton.Float32, 100)
+	cases := []struct {
+		x, y  [2]int64
+		want  [][2]int64
+		label string
+	}{
+		{[2]int64{0, 99}, [2]int64{40, 59}, [][2]int64{{0, 39}, {60, 99}}, "middle hole"},
+		{[2]int64{0, 99}, [2]int64{0, 49}, [][2]int64{{50, 99}}, "prefix"},
+		{[2]int64{0, 99}, [2]int64{50, 99}, [][2]int64{{0, 49}}, "suffix"},
+		{[2]int64{0, 99}, [2]int64{0, 99}, nil, "exact cover"},
+		{[2]int64{10, 20}, [2]int64{0, 99}, nil, "superset cover"},
+		{[2]int64{0, 49}, [2]int64{50, 99}, [][2]int64{{0, 49}}, "disjoint"},
+	}
+	for _, c := range cases {
+		got := SubtractSection(sec1D(a, c.x[0], c.x[1]), sec1D(a, c.y[0], c.y[1]))
+		if len(got) != len(c.want) {
+			t.Errorf("%s: %d remainders, want %d", c.label, len(got), len(c.want))
+			continue
+		}
+		for i, w := range c.want {
+			if got[i].Bounds[0].Lo != w[0] || got[i].Bounds[0].Hi != w[1] {
+				t.Errorf("%s: remainder %d = %v, want [%d,%d]", c.label, i, got[i].Bounds[0], w[0], w[1])
+			}
+		}
+	}
+}
+
+func TestSubtract2DCorner(t *testing.T) {
+	// A 10x10 box minus its 4x4 corner: an L-shape of two boxes
+	// covering 100-16=84 elements.
+	a := skeleton.NewArray("m", skeleton.Float32, 10, 10)
+	full := Section{Array: a, Bounds: []Bound{{0, 9, 1}, {0, 9, 1}}}
+	corner := Section{Array: a, Bounds: []Bound{{0, 3, 1}, {0, 3, 1}}}
+	rem := SubtractSection(full, corner)
+	var count int64
+	for _, r := range rem {
+		count += r.Count()
+		// Each remainder must be disjoint from the subtracted box.
+		if r.Overlaps(corner) {
+			t.Errorf("remainder %v overlaps subtracted corner", r)
+		}
+	}
+	if count != 84 {
+		t.Errorf("remainder covers %d elements, want 84", count)
+	}
+	// Remainders are mutually disjoint.
+	for i := range rem {
+		for j := i + 1; j < len(rem); j++ {
+			if rem[i].Overlaps(rem[j]) {
+				t.Errorf("remainders %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestSubtractWholeHandling(t *testing.T) {
+	a := skeleton.NewArray("v", skeleton.Float32, 100)
+	// whole minus half = other half.
+	rem := SubtractSection(WholeArray(a), sec1D(a, 0, 49))
+	if len(rem) != 1 || rem[0].Bounds[0] != (Bound{50, 99, 1}) {
+		t.Errorf("whole minus half = %v", rem)
+	}
+	// anything minus whole = nothing.
+	if rem := SubtractSection(sec1D(a, 10, 20), WholeArray(a)); rem != nil {
+		t.Errorf("minus whole = %v", rem)
+	}
+	// empty minus anything = nothing.
+	empty := Section{Array: a, Bounds: []Bound{{5, 4, 1}}}
+	if rem := SubtractSection(empty, sec1D(a, 0, 9)); rem != nil {
+		t.Errorf("empty minus = %v", rem)
+	}
+	// anything minus empty = itself.
+	if rem := SubtractSection(sec1D(a, 0, 9), empty); len(rem) != 1 || rem[0].Count() != 10 {
+		t.Errorf("minus empty = %v", rem)
+	}
+}
+
+func TestSubtractStridedConservative(t *testing.T) {
+	a := skeleton.NewArray("v", skeleton.Float32, 100)
+	strided := Section{Array: a, Bounds: []Bound{{0, 98, 2}}}
+	// Strided minuend: no refinement, return unchanged (safe).
+	rem := SubtractSection(strided, sec1D(a, 0, 49))
+	if len(rem) != 1 || rem[0].Count() != strided.Count() {
+		t.Errorf("strided subtraction = %v", rem)
+	}
+	// But full coverage is still detected.
+	if rem := SubtractSection(strided, sec1D(a, 0, 99)); rem != nil {
+		t.Errorf("covered strided = %v", rem)
+	}
+}
+
+func TestSubtractPanicsOnDifferentArrays(t *testing.T) {
+	a := skeleton.NewArray("a", skeleton.Float32, 4)
+	b := skeleton.NewArray("b", skeleton.Float32, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SubtractSection(WholeArray(a), WholeArray(b))
+}
+
+func TestSubtractAll(t *testing.T) {
+	a := skeleton.NewArray("v", skeleton.Float32, 100)
+	rem := SubtractAll(sec1D(a, 0, 99), []Section{
+		sec1D(a, 0, 29), sec1D(a, 70, 99),
+	})
+	if len(rem) != 1 || rem[0].Bounds[0] != (Bound{30, 69, 1}) {
+		t.Errorf("SubtractAll = %v", rem)
+	}
+	if rem := SubtractAll(sec1D(a, 0, 99), []Section{sec1D(a, 0, 99)}); rem != nil {
+		t.Errorf("full coverage = %v", rem)
+	}
+}
+
+func TestQuickSubtractConservation(t *testing.T) {
+	// |A| = |A minus B| + |A intersect B| for unit-stride 1D sections.
+	a := skeleton.NewArray("v", skeleton.Float32, 1<<20)
+	prop := func(lo1, n1, lo2, n2 uint16) bool {
+		s1 := sec1D(a, int64(lo1), int64(lo1)+int64(n1))
+		s2 := sec1D(a, int64(lo2), int64(lo2)+int64(n2))
+		var remCount int64
+		for _, r := range SubtractSection(s1, s2) {
+			remCount += r.Count()
+		}
+		var interCount int64
+		if in, ok := Intersect(s1, s2); ok {
+			interCount = in.Count()
+		}
+		return s1.Count() == remCount+interCount
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubtract2DDisjointAndComplete(t *testing.T) {
+	a := skeleton.NewArray("m", skeleton.Float32, 64, 64)
+	prop := func(l1, h1, l2, h2, l3, h3, l4, h4 uint8) bool {
+		mk := func(lo1, hi1, lo2, hi2 uint8) Section {
+			b1 := Bound{int64(lo1 % 64), int64(lo1%64) + int64(hi1%16), 1}
+			b2 := Bound{int64(lo2 % 64), int64(lo2%64) + int64(hi2%16), 1}
+			if b1.Hi > 63 {
+				b1.Hi = 63
+			}
+			if b2.Hi > 63 {
+				b2.Hi = 63
+			}
+			return Section{Array: a, Bounds: []Bound{b1, b2}}
+		}
+		s1 := mk(l1, h1, l2, h2)
+		s2 := mk(l3, h3, l4, h4)
+		rem := SubtractSection(s1, s2)
+		var remCount int64
+		for i, r := range rem {
+			if r.Overlaps(s2) {
+				return false // must be disjoint from the subtrahend
+			}
+			for j := i + 1; j < len(rem); j++ {
+				if r.Overlaps(rem[j]) {
+					return false // mutually disjoint
+				}
+			}
+			remCount += r.Count()
+		}
+		var interCount int64
+		if in, ok := Intersect(s1, s2); ok {
+			interCount = in.Count()
+		}
+		return s1.Count() == remCount+interCount
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,334 @@
+// Package core is GROPHECY++ itself: the integration of kernel
+// performance projection (GROPHECY), data usage analysis, and the
+// empirical PCIe transfer model into one framework that projects the
+// overall GPU speedup of a CPU code skeleton (paper §III, Figure 1).
+//
+// The package also implements the paper's measurement methodology
+// (§IV-A) against the simulated hardware:
+//
+//   - the predicted kernel execution time is the analytical projection
+//     of the best-performing transformation variant;
+//   - the real kernel execution time is "measured" by running a
+//     hand-coded version with the same optimization strategies — here,
+//     the timing simulator executing the winning variant;
+//   - the predicted data transfer time comes from the calibrated
+//     linear model; the real one is measured on the (simulated) bus
+//     using pinned memory;
+//   - every measured time is the arithmetic mean of ten runs;
+//   - total GPU time = sum of kernel times (one launch per kernel per
+//     iteration) + collective transfer time (once, independent of the
+//     iteration count);
+//   - GPU speedup = measured CPU time / total GPU time.
+package core
+
+import (
+	"fmt"
+
+	"grophecy/internal/cpumodel"
+	"grophecy/internal/datausage"
+	"grophecy/internal/gpu"
+	"grophecy/internal/gpusim"
+	"grophecy/internal/pcie"
+	"grophecy/internal/skeleton"
+	"grophecy/internal/stats"
+	"grophecy/internal/transform"
+	"grophecy/internal/xfermodel"
+)
+
+// MeasureRuns is how many runs each measurement averages (§IV-A).
+const MeasureRuns = 10
+
+// Machine bundles the simulated hardware of one evaluation node.
+type Machine struct {
+	GPUArch gpu.Arch
+	CPUArch cpumodel.Arch
+	GPU     *gpusim.Sim
+	CPU     *cpumodel.Sim
+	Bus     *pcie.Bus
+}
+
+// NewMachine builds the paper's evaluation node: a Xeon E5405 CPU, a
+// Quadro FX 5600 GPU, and a PCIe v1 x16 bus, with all noise streams
+// derived from the given seed.
+func NewMachine(seed uint64) *Machine {
+	return NewMachineWith(gpu.QuadroFX5600(), cpumodel.XeonE5405(), pcie.DefaultConfig(), seed)
+}
+
+// NewMachineWith builds a machine from explicit components. The bus
+// config's own seed is replaced by one derived from seed.
+func NewMachineWith(g gpu.Arch, c cpumodel.Arch, bus pcie.Config, seed uint64) *Machine {
+	bus.Seed = seed ^ 0xb05
+	gpuCfg := gpusim.DefaultConfig()
+	gpuCfg.Seed = seed ^ 0x69b5
+	cpuCfg := cpumodel.DefaultConfig()
+	cpuCfg.Seed = seed ^ 0xc6b5
+	return &Machine{
+		GPUArch: g,
+		CPUArch: c,
+		GPU:     gpusim.New(g, gpuCfg),
+		CPU:     cpumodel.New(c, cpuCfg),
+		Bus:     pcie.NewBus(bus),
+	}
+}
+
+// Workload is one benchmark instance: the offloaded kernel sequence
+// plus the CPU-side baseline description.
+type Workload struct {
+	// Name is the application name ("HotSpot"); DataSize labels the
+	// input ("1024 x 1024").
+	Name     string
+	DataSize string
+	// Seq is the offloaded kernel sequence, including its iteration
+	// count.
+	Seq *skeleton.Sequence
+	// Hints are the optional user annotations for data usage analysis.
+	Hints datausage.Hints
+	// CPU describes one iteration of the OpenMP baseline.
+	CPU cpumodel.Workload
+}
+
+// Validate checks the workload.
+func (w Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("core: workload with empty name")
+	}
+	if w.Seq == nil {
+		return fmt.Errorf("core: workload %q has no kernel sequence", w.Name)
+	}
+	if err := w.Seq.Validate(); err != nil {
+		return err
+	}
+	return w.CPU.Validate()
+}
+
+// WithIterations returns a copy of the workload with a different
+// iteration count (Figs 8, 10, 12).
+func (w Workload) WithIterations(n int) Workload {
+	w.Seq = w.Seq.WithIterations(n)
+	return w
+}
+
+// KernelResult is the per-kernel outcome: the chosen transformation,
+// and predicted vs measured per-invocation time.
+type KernelResult struct {
+	Kernel    string
+	Variant   transform.Variant
+	Predicted float64 // seconds per invocation (analytical)
+	Measured  float64 // seconds per invocation (simulated, 10-run mean)
+}
+
+// TransferResult is the per-transfer outcome.
+type TransferResult struct {
+	Transfer  datausage.Transfer
+	Predicted float64 // seconds (linear model)
+	Measured  float64 // seconds (bus, 10-run mean)
+}
+
+// Report is the full evaluation of one workload: everything needed to
+// reproduce the paper's tables and figures for that workload.
+type Report struct {
+	Name       string
+	DataSize   string
+	Iterations int
+
+	Kernels   []KernelResult
+	Transfers []TransferResult
+	Plan      datausage.Plan
+
+	// CPUTime is the measured CPU baseline for all iterations.
+	CPUTime float64
+	// Totals over all iterations (kernels relaunch each iteration;
+	// transfers happen once).
+	PredKernelTime   float64
+	MeasKernelTime   float64
+	PredTransferTime float64
+	MeasTransferTime float64
+}
+
+// MeasTotalGPU returns the measured total GPU time.
+func (r Report) MeasTotalGPU() float64 { return r.MeasKernelTime + r.MeasTransferTime }
+
+// PredTotalGPU returns the predicted total GPU time.
+func (r Report) PredTotalGPU() float64 { return r.PredKernelTime + r.PredTransferTime }
+
+// MeasuredSpeedup is the paper's ground truth: measured CPU time over
+// measured total GPU time.
+func (r Report) MeasuredSpeedup() float64 { return r.CPUTime / r.MeasTotalGPU() }
+
+// SpeedupKernelOnly is the prediction that ignores data transfer —
+// plain GROPHECY.
+func (r Report) SpeedupKernelOnly() float64 { return r.CPUTime / r.PredKernelTime }
+
+// SpeedupTransferOnly is the prediction using only the transfer time
+// (Table II's middle column).
+func (r Report) SpeedupTransferOnly() float64 { return r.CPUTime / r.PredTransferTime }
+
+// SpeedupFull is GROPHECY++'s prediction: kernel plus transfer.
+func (r Report) SpeedupFull() float64 { return r.CPUTime / r.PredTotalGPU() }
+
+// ErrKernelOnly, ErrTransferOnly, and ErrFull are the error magnitudes
+// of the three speedup predictions against the measured speedup
+// (Table II).
+func (r Report) ErrKernelOnly() float64 {
+	return stats.ErrorMagnitude(r.SpeedupKernelOnly(), r.MeasuredSpeedup())
+}
+
+// ErrTransferOnly is the transfer-only speedup error magnitude.
+func (r Report) ErrTransferOnly() float64 {
+	return stats.ErrorMagnitude(r.SpeedupTransferOnly(), r.MeasuredSpeedup())
+}
+
+// ErrFull is GROPHECY++'s speedup error magnitude.
+func (r Report) ErrFull() float64 {
+	return stats.ErrorMagnitude(r.SpeedupFull(), r.MeasuredSpeedup())
+}
+
+// KernelErr is the overall kernel-time prediction error (Fig 6's x/y
+// inputs aggregate across the kernels of one workload).
+func (r Report) KernelErr() float64 {
+	return stats.ErrorMagnitude(r.PredKernelTime, r.MeasKernelTime)
+}
+
+// TransferErr is the overall transfer-time prediction error.
+func (r Report) TransferErr() float64 {
+	return stats.ErrorMagnitude(r.PredTransferTime, r.MeasTransferTime)
+}
+
+// PercentTransfer is the fraction of measured total GPU time spent in
+// transfers (Table I's "Percent Transfer").
+func (r Report) PercentTransfer() float64 {
+	return r.MeasTransferTime / r.MeasTotalGPU()
+}
+
+// LimitSpeedups returns the measured and predicted speedups in the
+// limit of infinitely many iterations, where transfer overhead
+// vanishes and both prediction styles converge (Figs 8, 10, 12).
+func (r Report) LimitSpeedups() (measured, predicted float64) {
+	cpuPerIter := r.CPUTime / float64(r.Iterations)
+	measKPerIter := r.MeasKernelTime / float64(r.Iterations)
+	predKPerIter := r.PredKernelTime / float64(r.Iterations)
+	return cpuPerIter / measKPerIter, cpuPerIter / predKPerIter
+}
+
+// Projector is the configured GROPHECY++ pipeline for one machine.
+// Create it with NewProjector, which runs the automatic PCIe
+// calibration the paper describes ("automatically invoked by
+// GROPHECY++ when run on a new system", §III-C).
+type Projector struct {
+	m     *Machine
+	model xfermodel.BusModel
+	kind  pcie.MemoryKind
+	runs  int
+}
+
+// NewProjector calibrates the transfer model on the machine's bus and
+// returns a ready projector. GROPHECY++ assumes pinned host memory
+// (§III-C); use NewProjectorWith for the pageable ablation.
+func NewProjector(m *Machine) (*Projector, error) {
+	return NewProjectorWith(m, pcie.Pinned)
+}
+
+// NewProjectorWith calibrates for, and measures with, the given host
+// memory kind.
+func NewProjectorWith(m *Machine, kind pcie.MemoryKind) (*Projector, error) {
+	cfg := xfermodel.DefaultCalibration()
+	cfg.Kind = kind
+	model, err := xfermodel.CalibrateTwoPoint(m.Bus, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: PCIe calibration failed: %w", err)
+	}
+	return &Projector{m: m, model: model, kind: kind, runs: MeasureRuns}, nil
+}
+
+// BusModel returns the calibrated transfer model.
+func (p *Projector) BusModel() xfermodel.BusModel { return p.model }
+
+// Machine returns the underlying machine.
+func (p *Projector) Machine() *Machine { return p.m }
+
+// Evaluate runs the full GROPHECY++ pipeline on one workload:
+// transformation exploration and kernel projection, data usage
+// analysis, transfer projection — and the corresponding measurements
+// on the simulated hardware.
+func (p *Projector) Evaluate(w Workload) (Report, error) {
+	if err := w.Validate(); err != nil {
+		return Report{}, err
+	}
+
+	plan, err := datausage.Analyze(w.Seq, w.Hints)
+	if err != nil {
+		return Report{}, err
+	}
+
+	r := Report{
+		Name:       w.Name,
+		DataSize:   w.DataSize,
+		Iterations: w.Seq.Iterations,
+		Plan:       plan,
+	}
+
+	// Kernels: project best variant, then "measure" the hand-coded
+	// equivalent.
+	for _, k := range w.Seq.Kernels {
+		variant, proj, err := transform.Best(k, p.m.GPUArch)
+		if err != nil {
+			return Report{}, err
+		}
+		measured, err := p.m.GPU.MeasureMean(variant.Ch, p.runs)
+		if err != nil {
+			return Report{}, fmt.Errorf("core: measuring kernel %q: %w", k.Name, err)
+		}
+		r.Kernels = append(r.Kernels, KernelResult{
+			Kernel:    k.Name,
+			Variant:   variant,
+			Predicted: proj.Time,
+			Measured:  measured,
+		})
+		iters := float64(w.Seq.Iterations)
+		r.PredKernelTime += proj.Time * iters
+		r.MeasKernelTime += measured * iters
+	}
+
+	// Transfers: pinned memory, one transfer per array per direction.
+	for _, tr := range append(append([]datausage.Transfer(nil), plan.Uploads...), plan.Downloads...) {
+		dir := pcie.HostToDevice
+		if tr.Dir == datausage.Download {
+			dir = pcie.DeviceToHost
+		}
+		pred := p.model.Predict(dir, tr.Bytes())
+		meas := p.m.Bus.MeasureMean(dir, p.kind, tr.Bytes(), p.runs)
+		r.Transfers = append(r.Transfers, TransferResult{
+			Transfer:  tr,
+			Predicted: pred,
+			Measured:  meas,
+		})
+		r.PredTransferTime += pred
+		r.MeasTransferTime += meas
+	}
+
+	// CPU baseline: the same offloaded portion, all iterations.
+	cpuPerIter, err := p.m.CPU.MeasureMean(w.CPU, p.runs)
+	if err != nil {
+		return Report{}, err
+	}
+	r.CPUTime = cpuPerIter * float64(w.Seq.Iterations)
+
+	return r, nil
+}
+
+// EvaluateIterations evaluates the workload at several iteration
+// counts, reusing one projector (for the iteration-sweep figures).
+func (p *Projector) EvaluateIterations(w Workload, iterations []int) ([]Report, error) {
+	reports := make([]Report, 0, len(iterations))
+	for _, n := range iterations {
+		if n < 1 {
+			return nil, fmt.Errorf("core: iteration count %d below 1", n)
+		}
+		rep, err := p.Evaluate(w.WithIterations(n))
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"grophecy/internal/cpumodel"
+	"grophecy/internal/datausage"
+	"grophecy/internal/pcie"
+	"grophecy/internal/program"
+	"grophecy/internal/transform"
+)
+
+// Program-level evaluation: the single-region pipeline of Evaluate,
+// generalized over a multi-phase program with GPU-residency-aware
+// transfer planning (internal/program). The extra output is the
+// comparison against naive per-phase planning, which quantifies how
+// much the residency analysis saves.
+
+// PhaseReport is one phase's outcome.
+type PhaseReport struct {
+	Kernels   []KernelResult
+	Transfers []TransferResult
+	// PredKernelTime/MeasKernelTime cover the phase's iterations.
+	PredKernelTime   float64
+	MeasKernelTime   float64
+	PredTransferTime float64
+	MeasTransferTime float64
+}
+
+// ProgramReport aggregates a whole program.
+type ProgramReport struct {
+	Name   string
+	Phases []PhaseReport
+
+	// CPUTime is the measured CPU baseline for the whole program.
+	CPUTime float64
+
+	// NaiveTransferPred is what per-phase (residency-blind) planning
+	// would have predicted for transfers, for the savings comparison.
+	NaiveTransferPred float64
+}
+
+// Totals sums across phases.
+func (r ProgramReport) Totals() (predKernel, measKernel, predXfer, measXfer float64) {
+	for _, ph := range r.Phases {
+		predKernel += ph.PredKernelTime
+		measKernel += ph.MeasKernelTime
+		predXfer += ph.PredTransferTime
+		measXfer += ph.MeasTransferTime
+	}
+	return
+}
+
+// MeasuredSpeedup is CPU time over measured total GPU time.
+func (r ProgramReport) MeasuredSpeedup() float64 {
+	_, mk, _, mx := r.Totals()
+	return r.CPUTime / (mk + mx)
+}
+
+// SpeedupFull is the residency-aware GROPHECY++ prediction.
+func (r ProgramReport) SpeedupFull() float64 {
+	pk, _, px, _ := r.Totals()
+	return r.CPUTime / (pk + px)
+}
+
+// ResidencySavings is the fraction of predicted transfer time the
+// residency analysis eliminated versus naive per-phase planning.
+func (r ProgramReport) ResidencySavings() float64 {
+	if r.NaiveTransferPred == 0 {
+		return 0
+	}
+	pk := 0.0
+	for _, ph := range r.Phases {
+		pk += ph.PredTransferTime
+	}
+	return 1 - pk/r.NaiveTransferPred
+}
+
+// EvaluateProgram runs the full pipeline over a multi-phase program.
+// baseline describes one run of the whole program on the CPU.
+func (p *Projector) EvaluateProgram(prog *program.Program, baseline cpumodel.Workload) (ProgramReport, error) {
+	if err := prog.Validate(); err != nil {
+		return ProgramReport{}, err
+	}
+	if err := baseline.Validate(); err != nil {
+		return ProgramReport{}, err
+	}
+	plan, err := program.Analyze(prog)
+	if err != nil {
+		return ProgramReport{}, err
+	}
+
+	rep := ProgramReport{Name: prog.Name}
+	for i, ph := range prog.Phases {
+		var pr PhaseReport
+		for _, k := range ph.Seq.Kernels {
+			variant, proj, err := transform.Best(k, p.m.GPUArch)
+			if err != nil {
+				return ProgramReport{}, fmt.Errorf("core: phase %d: %w", i, err)
+			}
+			measured, err := p.m.GPU.MeasureMean(variant.Ch, p.runs)
+			if err != nil {
+				return ProgramReport{}, fmt.Errorf("core: phase %d kernel %q: %w", i, k.Name, err)
+			}
+			pr.Kernels = append(pr.Kernels, KernelResult{
+				Kernel: k.Name, Variant: variant,
+				Predicted: proj.Time, Measured: measured,
+			})
+			iters := float64(ph.Seq.Iterations)
+			pr.PredKernelTime += proj.Time * iters
+			pr.MeasKernelTime += measured * iters
+		}
+		phasePlan := plan.Phases[i]
+		for _, tr := range append(append([]datausage.Transfer(nil),
+			phasePlan.Uploads...), phasePlan.Downloads...) {
+			dir := pcie.HostToDevice
+			if tr.Dir == datausage.Download {
+				dir = pcie.DeviceToHost
+			}
+			pred := p.model.Predict(dir, tr.Bytes())
+			meas := p.m.Bus.MeasureMean(dir, p.kind, tr.Bytes(), p.runs)
+			pr.Transfers = append(pr.Transfers, TransferResult{
+				Transfer: tr, Predicted: pred, Measured: meas,
+			})
+			pr.PredTransferTime += pred
+			pr.MeasTransferTime += meas
+		}
+		rep.Phases = append(rep.Phases, pr)
+
+		// Naive comparison: what this phase would transfer without
+		// residency tracking.
+		naive, err := datausage.Analyze(ph.Seq, ph.Hints)
+		if err != nil {
+			return ProgramReport{}, err
+		}
+		for _, tr := range naive.Uploads {
+			rep.NaiveTransferPred += p.model.Predict(pcie.HostToDevice, tr.Bytes())
+		}
+		for _, tr := range naive.Downloads {
+			rep.NaiveTransferPred += p.model.Predict(pcie.DeviceToHost, tr.Bytes())
+		}
+	}
+
+	cpu, err := p.m.CPU.MeasureMean(baseline, p.runs)
+	if err != nil {
+		return ProgramReport{}, err
+	}
+	rep.CPUTime = cpu
+	return rep, nil
+}

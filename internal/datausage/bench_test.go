@@ -1,0 +1,13 @@
+package datausage
+
+import "testing"
+
+func BenchmarkAnalyzeVectorAdd(b *testing.B) {
+	seq, _, _, _ := vecAddSeq(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(seq, Hints{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

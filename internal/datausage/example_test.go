@@ -1,0 +1,53 @@
+package datausage_test
+
+import (
+	"fmt"
+
+	"grophecy/internal/datausage"
+	"grophecy/internal/skeleton"
+)
+
+// Example reproduces the paper's §III-B analysis on a two-kernel
+// pipeline: the intermediate array is produced on the GPU (no
+// upload) and marked temporary (no download).
+func Example() {
+	n := int64(1024)
+	img := skeleton.NewArray("img", skeleton.Float32, n, n)
+	coeff := skeleton.NewArray("coeff", skeleton.Float32, n, n)
+	coeff.Temporary = true
+
+	prep := &skeleton.Kernel{
+		Name:  "prep",
+		Loops: []skeleton.Loop{skeleton.ParLoop("i", n), skeleton.ParLoop("j", n)},
+		Stmts: []skeleton.Statement{{
+			Accesses: []skeleton.Access{
+				skeleton.LoadOf(img, skeleton.Idx("i"), skeleton.Idx("j")),
+				skeleton.StoreOf(coeff, skeleton.Idx("i"), skeleton.Idx("j")),
+			},
+			Flops: 8,
+		}},
+	}
+	update := &skeleton.Kernel{
+		Name:  "update",
+		Loops: []skeleton.Loop{skeleton.ParLoop("i", n), skeleton.ParLoop("j", n)},
+		Stmts: []skeleton.Statement{{
+			Accesses: []skeleton.Access{
+				skeleton.LoadOf(coeff, skeleton.Idx("i"), skeleton.Idx("j")),
+				skeleton.LoadOf(img, skeleton.Idx("i"), skeleton.Idx("j")),
+				skeleton.StoreOf(img, skeleton.Idx("i"), skeleton.Idx("j")),
+			},
+			Flops: 6,
+		}},
+	}
+	seq := &skeleton.Sequence{Name: "srad-like", Kernels: []*skeleton.Kernel{prep, update}, Iterations: 1}
+
+	plan, err := datausage.Analyze(seq, datausage.Hints{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(plan)
+	// Output:
+	// plan: 1 uploads (4194304 bytes), 1 downloads (4194304 bytes)
+	//   upload img[0:1023][0:1023] (4194304 bytes)
+	//   download img[0:1023][0:1023] (4194304 bytes)
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"grophecy/internal/plot"
+)
+
+// ASCII-chart renderings of the figure-shaped experiments, drawn with
+// internal/plot. The tables remain the precise record; these charts
+// show the curves the paper's figures show.
+
+// ChartFig2 draws the transfer sweep as the paper's Figure 2: log-log
+// axes, pinned and pageable measurements with the model overlaid
+// (CPU-to-GPU direction; the other direction is nearly identical).
+func ChartFig2(rows []Fig2Row) (string, error) {
+	var sizes, pinned, pageable, pred []float64
+	for _, r := range rows {
+		sizes = append(sizes, float64(r.Size))
+		pinned = append(pinned, r.PinnedH2D)
+		pageable = append(pageable, r.PageableH2D)
+		pred = append(pred, r.PredH2D)
+	}
+	cfg := plot.DefaultConfig("Figure 2 (chart): CPU-to-GPU transfer time vs size (log-log)")
+	cfg.LogX, cfg.LogY = true, true
+	cfg.XLabel, cfg.YLabel = "transfer size (bytes)", "time (seconds)"
+	return plot.Render(cfg,
+		plot.Series{Name: "pinned", Marker: 'o', X: sizes, Y: pinned},
+		plot.Series{Name: "pageable", Marker: 'x', X: sizes, Y: pageable},
+		plot.Series{Name: "model", Marker: '.', X: sizes, Y: pred},
+	)
+}
+
+// ChartFig4 draws the model error magnitude against transfer size
+// (semilog-x), the paper's Figure 4 shape: large at small sizes,
+// near zero above 1MB.
+func ChartFig4(rows []Fig4Row) (string, error) {
+	var sizes, h2d, d2h []float64
+	for _, r := range rows {
+		sizes = append(sizes, float64(r.Size))
+		h2d = append(h2d, 100*r.ErrH2D)
+		d2h = append(d2h, 100*r.ErrD2H)
+	}
+	cfg := plot.DefaultConfig("Figure 4 (chart): transfer model error vs size")
+	cfg.LogX = true
+	cfg.XLabel, cfg.YLabel = "transfer size (bytes)", "error magnitude (%)"
+	return plot.Render(cfg,
+		plot.Series{Name: "CPU-to-GPU", Marker: 'o', X: sizes, Y: h2d},
+		plot.Series{Name: "GPU-to-CPU", Marker: 'x', X: sizes, Y: d2h},
+	)
+}
+
+// ChartIterSweep draws a Figure 8/10/12-style chart: measured speedup
+// and both predictions against the iteration count (log-x).
+func ChartIterSweep(title string, s IterSweep) (string, error) {
+	var iters, meas, full, kernel []float64
+	for _, r := range s.Rows {
+		iters = append(iters, float64(r.Iterations))
+		meas = append(meas, r.Measured)
+		full = append(full, r.PredFull)
+		kernel = append(kernel, r.PredKernel)
+	}
+	cfg := plot.DefaultConfig(title + " (chart): speedup vs iteration count")
+	cfg.LogX = true
+	cfg.XLabel, cfg.YLabel = "iterations", "GPU speedup (x)"
+	return plot.Render(cfg,
+		plot.Series{Name: "measured", Marker: 'o', X: iters, Y: meas},
+		plot.Series{Name: "pred kernel+xfer", Marker: '+', X: iters, Y: full},
+		plot.Series{Name: "pred kernel-only", Marker: 'k', X: iters, Y: kernel},
+	)
+}
+
+// ChartFig5 draws the predicted-vs-measured transfer scatter with the
+// y=x diagonal, the paper's Figure 5.
+func ChartFig5(points []Fig5Point) (string, error) {
+	var pred, meas, diagX, diagY []float64
+	lo, hi := -1.0, -1.0
+	for _, p := range points {
+		pred = append(pred, p.Predicted)
+		meas = append(meas, p.Measured)
+		for _, v := range []float64{p.Predicted, p.Measured} {
+			if lo < 0 || v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	// The y=x reference line, sampled densely in log space.
+	for v := lo; v <= hi*1.0001; v *= 1.3 {
+		diagX = append(diagX, v)
+		diagY = append(diagY, v)
+	}
+	cfg := plot.DefaultConfig("Figure 5 (chart): predicted vs measured transfer time (log-log)")
+	cfg.LogX, cfg.LogY = true, true
+	cfg.XLabel, cfg.YLabel = "measured (s)", "predicted (s)"
+	return plot.Render(cfg,
+		plot.Series{Name: "y=x", Marker: '.', X: diagX, Y: diagY},
+		plot.Series{Name: "transfers", Marker: 'o', X: meas, Y: pred},
+	)
+}

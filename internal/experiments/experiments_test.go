@@ -1,0 +1,401 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"grophecy/internal/pcie"
+	"grophecy/internal/units"
+)
+
+// ctx is shared across tests: building it evaluates all ten workloads
+// once (calibration plus measurement), which is the expensive part.
+var sharedCtx *Context
+
+func getCtx(t *testing.T) *Context {
+	t.Helper()
+	if sharedCtx == nil {
+		c, err := NewContext(DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedCtx = c
+	}
+	return sharedCtx
+}
+
+func TestFig2ShapeMatchesPaper(t *testing.T) {
+	rows := getCtx(t).Fig2()
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d, want 30 sizes", len(rows))
+	}
+	for _, r := range rows {
+		// Predictions track pinned measurements within 25% at every
+		// size (visually overlapping curves in the paper's Fig 2).
+		for _, pair := range [][2]float64{{r.PredH2D, r.PinnedH2D}, {r.PredD2H, r.PinnedD2H}} {
+			ratio := pair[0] / pair[1]
+			if ratio < 0.75 || ratio > 1.25 {
+				t.Errorf("size %s: prediction/measurement ratio %v", units.FormatBytes(r.Size), ratio)
+			}
+		}
+		// Pinned beats pageable except small uploads (paper §III-C).
+		if r.Size > 2*units.KB && r.PageableH2D <= r.PinnedH2D {
+			t.Errorf("size %s: pageable H2D not slower", units.FormatBytes(r.Size))
+		}
+		if r.PageableD2H <= r.PinnedD2H {
+			t.Errorf("size %s: pageable D2H not slower", units.FormatBytes(r.Size))
+		}
+	}
+}
+
+func TestFig3SmallUploadsFavorPageable(t *testing.T) {
+	rows := getCtx(t).Fig3()
+	// Below 2KB, CPU-to-GPU pageable wins (speedup < 1); at large
+	// sizes pinned wins clearly in both directions.
+	for _, r := range rows {
+		if r.Size <= units.KB && r.SpeedupH2D >= 1 {
+			t.Errorf("size %s: pinned H2D speedup %v, want < 1", units.FormatBytes(r.Size), r.SpeedupH2D)
+		}
+		if r.Size >= 16*units.MB {
+			if r.SpeedupH2D < 1.2 || r.SpeedupD2H < 1.2 {
+				t.Errorf("size %s: large-transfer pinned speedups %v/%v too small",
+					units.FormatBytes(r.Size), r.SpeedupH2D, r.SpeedupD2H)
+			}
+		}
+	}
+}
+
+func TestFig4ErrorsMatchPaperRegime(t *testing.T) {
+	rows, sums := getCtx(t).Fig4()
+	if len(rows) != 30 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper: mean 2.0%/0.8%, max 6.4%/3.3%. Allow the same order of
+	// magnitude: means under 5%, maxima under 15%.
+	for _, s := range sums {
+		if s.MeanErr > 0.05 {
+			t.Errorf("%v mean error %v", s.Direction, s.MeanErr)
+		}
+		if s.MaxErr > 0.15 {
+			t.Errorf("%v max error %v", s.Direction, s.MaxErr)
+		}
+	}
+	// Error is essentially zero above 1MB.
+	for _, r := range rows {
+		if r.Size > units.MB && (r.ErrH2D > 0.03 || r.ErrD2H > 0.03) {
+			t.Errorf("size %s: errors %v/%v above 1MB", units.FormatBytes(r.Size), r.ErrH2D, r.ErrD2H)
+		}
+	}
+}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	rows, err := getCtx(t).Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		small := r.App == "HotSpot" && r.DataSize == "64 x 64"
+		if small {
+			// The one exception: kernel time exceeds transfer time.
+			if r.TransferTime >= r.KernelTime {
+				t.Errorf("HotSpot 64x64: transfer (%v) not below kernel (%v)",
+					r.TransferTime, r.KernelTime)
+			}
+			continue
+		}
+		// Everywhere else transfer dominates (paper Table I).
+		if r.TransferTime <= r.KernelTime {
+			t.Errorf("%s %s: transfer (%v) not above kernel (%v)",
+				r.App, r.DataSize, r.TransferTime, r.KernelTime)
+		}
+		// Transfer share lands in the paper's 60-85%% band.
+		if r.PercentTransfer < 0.55 || r.PercentTransfer > 0.90 {
+			t.Errorf("%s %s: percent transfer %v outside band", r.App, r.DataSize, r.PercentTransfer)
+		}
+	}
+}
+
+func TestTable1TransferSizes(t *testing.T) {
+	rows, err := getCtx(t).Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]float64{ // paper Table I, MB
+		"CFD/97K":                     {6.3, 1.9},
+		"HotSpot/1024 x 1024":         {8.0, 4.0},
+		"SRAD/2048 x 2048":            {16.0, 16.0},
+		"Stassuij/132x132 x 132x2048": {8.5, 4.1},
+	}
+	for _, r := range rows {
+		key := r.App + "/" + r.DataSize
+		w, ok := want[key]
+		if !ok {
+			continue
+		}
+		if rel(r.InputMB, w[0]) > 0.12 {
+			t.Errorf("%s input = %.2f MB, paper %.1f", key, r.InputMB, w[0])
+		}
+		if rel(r.OutputMB, w[1]) > 0.12 {
+			t.Errorf("%s output = %.2f MB, paper %.1f", key, r.OutputMB, w[1])
+		}
+	}
+}
+
+func rel(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / b
+}
+
+func TestFig5OverallErrorUnder15Percent(t *testing.T) {
+	points, meanErr, err := getCtx(t).Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 15 {
+		t.Fatalf("points = %d, want all application transfers", len(points))
+	}
+	// Paper: 7.6% average across all application transfers.
+	if meanErr > 0.15 {
+		t.Errorf("mean transfer error %v, want < 15%%", meanErr)
+	}
+	for _, p := range points {
+		if p.Predicted <= 0 || p.Measured <= 0 {
+			t.Errorf("%s %s %s: non-positive time", p.App, p.DataSize, p.Transfer)
+		}
+	}
+}
+
+func TestFig6ErrorsModest(t *testing.T) {
+	points, err := getCtx(t).Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.TransferErr > 0.30 {
+			t.Errorf("%s %s: transfer error %v", p.App, p.DataSize, p.TransferErr)
+		}
+		if p.KernelErr > 0.60 {
+			t.Errorf("%s %s: kernel error %v", p.App, p.DataSize, p.KernelErr)
+		}
+	}
+}
+
+func TestSpeedupBySizeKernelOnlyOverpredicts(t *testing.T) {
+	ctx := getCtx(t)
+	for _, app := range []string{"CFD", "HotSpot", "SRAD"} {
+		rows, err := ctx.SpeedupBySize(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("%s: rows = %d", app, len(rows))
+		}
+		for _, r := range rows {
+			// The paper's headline per-figure claim: ignoring
+			// transfer greatly overpredicts; including it lands close.
+			if r.PredKernel <= r.Measured {
+				t.Errorf("%s %s: kernel-only %v not above measured %v",
+					app, r.DataSize, r.PredKernel, r.Measured)
+			}
+			if r.ErrFull >= r.ErrKernel {
+				t.Errorf("%s %s: full error %v not below kernel-only %v",
+					app, r.DataSize, r.ErrFull, r.ErrKernel)
+			}
+			if r.ErrFull > 0.30 {
+				t.Errorf("%s %s: full error %v too large", app, r.DataSize, r.ErrFull)
+			}
+			// Importantly, these apps still WIN on the GPU (the
+			// misprediction is magnitude, not direction, §V-B4).
+			if r.Measured <= 1 {
+				t.Errorf("%s %s: measured speedup %v should exceed 1", app, r.DataSize, r.Measured)
+			}
+		}
+	}
+	if _, err := ctx.SpeedupBySize("NoSuchApp"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestIterationSweepConvergence(t *testing.T) {
+	ctx := getCtx(t)
+	sweep, err := ctx.IterationSweep("SRAD", "4096 x 4096", []int{1, 4, 16, 64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Rows) != 5 {
+		t.Fatalf("rows = %d", len(sweep.Rows))
+	}
+	// Measured speedup rises monotonically toward the limit.
+	for i := 1; i < len(sweep.Rows); i++ {
+		if sweep.Rows[i].Measured <= sweep.Rows[i-1].Measured {
+			t.Errorf("measured speedup not increasing at %d iterations",
+				sweep.Rows[i].Iterations)
+		}
+	}
+	// The with-transfer and without-transfer predictions converge.
+	first := sweep.Rows[0]
+	last := sweep.Rows[len(sweep.Rows)-1]
+	gapFirst := first.PredKernel - first.PredFull
+	gapLast := last.PredKernel - last.PredFull
+	if gapLast >= gapFirst {
+		t.Errorf("prediction gap grew: %v -> %v", gapFirst, gapLast)
+	}
+	// Limits bound the finite-iteration speedups.
+	if sweep.LimitMeasured < last.Measured {
+		t.Errorf("limit %v below 256-iteration measured %v", sweep.LimitMeasured, last.Measured)
+	}
+	if rel(sweep.LimitPred, sweep.LimitMeasured) > 0.4 {
+		t.Errorf("limit prediction error %v too large", rel(sweep.LimitPred, sweep.LimitMeasured))
+	}
+}
+
+func TestIterationSweepUnknownWorkload(t *testing.T) {
+	if _, err := getCtx(t).IterationSweep("CFD", "1M", []int{1}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestStassuijFlip(t *testing.T) {
+	res, err := getCtx(t).Stassuij()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §V-B4: kernel-only predicts a win, reality is a slowdown,
+	// GROPHECY++ predicts the slowdown.
+	if res.PredKernelOnly <= 1 {
+		t.Errorf("kernel-only prediction %v should exceed 1", res.PredKernelOnly)
+	}
+	if res.Measured >= 1 {
+		t.Errorf("measured speedup %v should be below 1", res.Measured)
+	}
+	if res.PredFull >= 1 {
+		t.Errorf("full prediction %v should be below 1", res.PredFull)
+	}
+	if res.ErrFull > 0.20 {
+		t.Errorf("full prediction error %v, want < 20%%", res.ErrFull)
+	}
+}
+
+func TestTable2HeadlineOrdering(t *testing.T) {
+	res, err := getCtx(t).Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 || len(res.PerApp) != 4 {
+		t.Fatalf("rows = %d, perApp = %d", len(res.Rows), len(res.PerApp))
+	}
+	// The paper's central claim, both averaging conventions:
+	// kernel-only >> transfer-only >> combined.
+	for _, avg := range []Table2Row{res.AvgDataSets, res.AvgApps} {
+		if !(avg.KernelOnly > avg.TransferOnly && avg.TransferOnly > avg.Both) {
+			t.Errorf("%s: ordering broken: %v / %v / %v",
+				avg.App, avg.KernelOnly, avg.TransferOnly, avg.Both)
+		}
+		// Magnitudes in the paper's regime: kernel-only hundreds of
+		// percent, combined under 15%.
+		if avg.KernelOnly < 1.0 {
+			t.Errorf("%s: kernel-only error %v under 100%%", avg.App, avg.KernelOnly)
+		}
+		if avg.Both > 0.15 {
+			t.Errorf("%s: combined error %v above 15%%", avg.App, avg.Both)
+		}
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	ctx := getCtx(t)
+	fig2 := ctx.Fig2()
+	if s := RenderFig2(fig2); !strings.Contains(s, "Figure 2") || !strings.Contains(s, "512MB") {
+		t.Error("RenderFig2 output incomplete")
+	}
+	if s := RenderFig3(ctx.Fig3()); !strings.Contains(s, "Figure 3") {
+		t.Error("RenderFig3 output incomplete")
+	}
+	rows4, sums4 := ctx.Fig4()
+	if s := RenderFig4(rows4, sums4); !strings.Contains(s, "mean error") {
+		t.Error("RenderFig4 output incomplete")
+	}
+	rows1, err := ctx.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderTable1(rows1); !strings.Contains(s, "HotSpot") || !strings.Contains(s, "Stassuij") {
+		t.Error("RenderTable1 output incomplete")
+	}
+	p5, m5, err := ctx.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderFig5(p5, m5); !strings.Contains(s, "overall mean") {
+		t.Error("RenderFig5 output incomplete")
+	}
+	p6, err := ctx.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderFig6(p6); !strings.Contains(s, "Kernel err") {
+		t.Error("RenderFig6 output incomplete")
+	}
+	rows7, err := ctx.SpeedupBySize("CFD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderSpeedupBySize("Figure 7", rows7); !strings.Contains(s, "97K") {
+		t.Error("RenderSpeedupBySize output incomplete")
+	}
+	sweep, err := ctx.IterationSweep("CFD", "233K", []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderIterSweep("Figure 8", sweep); !strings.Contains(s, "infinity") {
+		t.Error("RenderIterSweep output incomplete")
+	}
+	st, err := ctx.Stassuij()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderStassuij(st); !strings.Contains(s, "flip") {
+		t.Error("RenderStassuij output incomplete")
+	}
+	t2, err := ctx.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderTable2(t2); !strings.Contains(s, "Average (applications)") {
+		t.Error("RenderTable2 output incomplete")
+	}
+}
+
+func TestReportsCached(t *testing.T) {
+	ctx := getCtx(t)
+	a, err := ctx.Reports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Reports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached: identical measured values (a re-evaluation would draw
+	// fresh noise).
+	for i := range a {
+		if a[i].MeasKernelTime != b[i].MeasKernelTime {
+			t.Fatal("reports not cached")
+		}
+	}
+}
+
+func TestContextUsesPinnedCalibration(t *testing.T) {
+	if getCtx(t).P.BusModel().Kind != pcie.Pinned {
+		t.Error("projector should calibrate for pinned memory")
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFutureWorkRows(t *testing.T) {
+	rows, err := getCtx(t).FutureWork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	bySize := make(map[string]FutureWorkRow)
+	for _, r := range rows {
+		bySize[r.App+"/"+r.DataSize] = r
+		// Planner invariants.
+		if r.Planned > r.AllPinned+1e-12 || r.Planned > r.AllPageable+1e-12 {
+			t.Errorf("%s %s: planned %v worse than a fixed policy (%v / %v)",
+				r.App, r.DataSize, r.Planned, r.AllPinned, r.AllPageable)
+		}
+		if s := r.PlanSavings(); s < 0 || s > 1 {
+			t.Errorf("%s %s: savings %v out of range", r.App, r.DataSize, s)
+		}
+		// The paper's judgement: batching benefit is minor.
+		if r.BatchSavings() > 0.10 {
+			t.Errorf("%s %s: batching saves %v — not minor", r.App, r.DataSize, r.BatchSavings())
+		}
+	}
+	// HotSpot 64x64 is all small one-shot buffers: skipping pinning
+	// must save a large fraction of the (tiny) total.
+	if r := bySize["HotSpot/64 x 64"]; r.PlanSavings() < 0.3 {
+		t.Errorf("HotSpot 64x64 plan savings = %v, want > 30%%", r.PlanSavings())
+	}
+	// SRAD's image crosses twice: pinning amortizes, nothing moves to
+	// pageable.
+	if r := bySize["SRAD/4096 x 4096"]; r.PageableArrays != 0 {
+		t.Errorf("SRAD 4096: %d arrays planned pageable, want 0", r.PageableArrays)
+	}
+}
+
+func TestRenderFutureWork(t *testing.T) {
+	rows, err := getCtx(t).FutureWork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RenderFutureWork(rows)
+	for _, want := range []string{"Future work", "all-pinned", "HotSpot", "minor benefit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

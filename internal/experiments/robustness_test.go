@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRobustnessOrderingHoldsAcrossSeeds(t *testing.T) {
+	res, err := Robustness(DefaultSeed, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips != 0 {
+		t.Errorf("error ordering violated on %d seeds", res.Flips)
+	}
+	// The magnitudes stay in the paper's regime on every instance.
+	if res.KernelOnly.Min < 1.0 {
+		t.Errorf("kernel-only error dipped to %v", res.KernelOnly.Min)
+	}
+	if res.Both.Max > 0.15 {
+		t.Errorf("combined error rose to %v", res.Both.Max)
+	}
+	// Cross-seed variance is small: these are 10-run means over many
+	// transfers/kernels.
+	if cv := res.KernelOnly.CV(); cv > 0.10 {
+		t.Errorf("kernel-only CV %v suspiciously large", cv)
+	}
+}
+
+func TestRobustnessDeterministicAndParallelSafe(t *testing.T) {
+	a, err := Robustness(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Robustness(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.KernelOnly != b.KernelOnly || a.Both != b.Both {
+		t.Error("robustness study not deterministic across runs")
+	}
+}
+
+func TestRobustnessRejectsZeroSeeds(t *testing.T) {
+	if _, err := Robustness(1, 0); err == nil {
+		t.Error("zero seeds accepted")
+	}
+}
+
+func TestRenderRobustness(t *testing.T) {
+	res, err := Robustness(DefaultSeed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RenderRobustness(res)
+	for _, want := range []string{"machine instances", "kernel only", "violations"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

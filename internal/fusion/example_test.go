@@ -1,0 +1,41 @@
+package fusion_test
+
+import (
+	"fmt"
+
+	"grophecy/internal/fusion"
+	"grophecy/internal/gpu"
+	"grophecy/internal/skeleton"
+)
+
+// Example explores temporal fusion for a memory-bound Jacobi sweep:
+// how many time steps should one kernel launch perform?
+func Example() {
+	n := int64(2048)
+	u := skeleton.NewArray("u", skeleton.Float32, n, n)
+	unew := skeleton.NewArray("unew", skeleton.Float32, n, n)
+	jacobi := &skeleton.Kernel{
+		Name:  "jacobi",
+		Loops: []skeleton.Loop{skeleton.ParLoop("i", n), skeleton.ParLoop("j", n)},
+		Stmts: []skeleton.Statement{{
+			Accesses: []skeleton.Access{
+				skeleton.LoadOf(u, skeleton.Idx("i"), skeleton.Idx("j")),
+				skeleton.LoadOf(u, skeleton.IdxPlus("i", -1), skeleton.Idx("j")),
+				skeleton.LoadOf(u, skeleton.IdxPlus("i", 1), skeleton.Idx("j")),
+				skeleton.LoadOf(u, skeleton.Idx("i"), skeleton.IdxPlus("j", -1)),
+				skeleton.LoadOf(u, skeleton.Idx("i"), skeleton.IdxPlus("j", 1)),
+				skeleton.StoreOf(unew, skeleton.Idx("i"), skeleton.Idx("j")),
+			},
+			Flops: 5,
+		}},
+	}
+
+	best, err := fusion.Best(jacobi, gpu.QuadroFX5600(), 256)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fuse %d sweeps per launch (%d launches for 256 iterations)\n",
+		best.Factor, best.Launches)
+	// Output:
+	// fuse 4 sweeps per launch (64 launches for 256 iterations)
+}

@@ -1,0 +1,223 @@
+package fusion
+
+import (
+	"testing"
+
+	"grophecy/internal/bench"
+	"grophecy/internal/gpu"
+	"grophecy/internal/skeleton"
+	"grophecy/internal/transform"
+)
+
+func hotspotKernel(t *testing.T) *skeleton.Kernel {
+	t.Helper()
+	w, err := bench.HotSpot("1024 x 1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Seq.Kernels[0]
+}
+
+func TestStencilInfoExposed(t *testing.T) {
+	arch := gpu.QuadroFX5600()
+	info, ok := transform.Stencil(hotspotKernel(t), arch)
+	if !ok {
+		t.Fatal("HotSpot stencil not detected")
+	}
+	if info.Radius[0] != 1 || info.Radius[1] != 1 {
+		t.Errorf("radius = %v, want [1 1]", info.Radius)
+	}
+	if info.Arrays != 1 {
+		t.Errorf("stencil arrays = %d, want 1 (temp)", info.Arrays)
+	}
+}
+
+func TestStencilInfoAbsentForStreaming(t *testing.T) {
+	arch := gpu.QuadroFX5600()
+	a := skeleton.NewArray("a", skeleton.Float32, 1024)
+	b := skeleton.NewArray("b", skeleton.Float32, 1024)
+	k := &skeleton.Kernel{
+		Name:  "copy",
+		Loops: []skeleton.Loop{skeleton.ParLoop("i", 1024)},
+		Stmts: []skeleton.Statement{{
+			Accesses: []skeleton.Access{
+				skeleton.LoadOf(a, skeleton.Idx("i")),
+				skeleton.StoreOf(b, skeleton.Idx("i")),
+			},
+			Flops: 1,
+		}},
+	}
+	if _, ok := transform.Stencil(k, arch); ok {
+		t.Error("reuse-free kernel reported as stencil")
+	}
+	if _, err := Explore(k, arch, 16); err == nil {
+		t.Error("fusion accepted a non-stencil kernel")
+	}
+}
+
+func TestExploreCandidatesValid(t *testing.T) {
+	arch := gpu.QuadroFX5600()
+	cands, err := Explore(hotspotKernel(t), arch, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 2 {
+		t.Fatalf("only %d candidates — fusion ladder truncated too early", len(cands))
+	}
+	seen := make(map[int]bool)
+	for _, c := range cands {
+		if seen[c.Factor] {
+			t.Errorf("duplicate factor %d", c.Factor)
+		}
+		seen[c.Factor] = true
+		if c.Launches != (64+c.Factor-1)/c.Factor {
+			t.Errorf("factor %d: launches = %d", c.Factor, c.Launches)
+		}
+		if c.Proj.Time <= 0 || c.TotalTime <= 0 {
+			t.Errorf("factor %d: non-positive times", c.Factor)
+		}
+		if err := c.Ch.Validate(); err != nil {
+			t.Errorf("factor %d: invalid characteristics: %v", c.Factor, err)
+		}
+		// The expanded tile must still fit the SM.
+		if c.Ch.SharedMemPerBlock > arch.SharedMemPerSM {
+			t.Errorf("factor %d: tile %dB exceeds SM shared memory", c.Factor, c.Ch.SharedMemPerBlock)
+		}
+	}
+	// Sorted by total time.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].TotalTime < cands[i-1].TotalTime {
+			t.Error("candidates not sorted by total time")
+		}
+	}
+}
+
+// jacobiKernel builds a memory-bound 5-point Jacobi stencil: almost
+// no arithmetic, so traffic dominates and temporal fusion pays.
+func jacobiKernel(n int64) *skeleton.Kernel {
+	in := skeleton.NewArray("u", skeleton.Float32, n, n)
+	out := skeleton.NewArray("unew", skeleton.Float32, n, n)
+	return &skeleton.Kernel{
+		Name:  "jacobi",
+		Loops: []skeleton.Loop{skeleton.ParLoop("i", n), skeleton.ParLoop("j", n)},
+		Stmts: []skeleton.Statement{{
+			Accesses: []skeleton.Access{
+				skeleton.LoadOf(in, skeleton.Idx("i"), skeleton.Idx("j")),
+				skeleton.LoadOf(in, skeleton.IdxPlus("i", -1), skeleton.Idx("j")),
+				skeleton.LoadOf(in, skeleton.IdxPlus("i", 1), skeleton.Idx("j")),
+				skeleton.LoadOf(in, skeleton.Idx("i"), skeleton.IdxPlus("j", -1)),
+				skeleton.LoadOf(in, skeleton.Idx("i"), skeleton.IdxPlus("j", 1)),
+				skeleton.StoreOf(out, skeleton.Idx("i"), skeleton.Idx("j")),
+			},
+			Flops: 5,
+		}},
+	}
+}
+
+func TestFusionWinsForMemoryBoundStencil(t *testing.T) {
+	// A traffic-dominated Jacobi sweep: fusing divides global traffic
+	// by the factor, so with 256 iterations fusion must win.
+	arch := gpu.QuadroFX5600()
+	cands, err := Explore(jacobiKernel(2048), arch, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := cands[0]
+	unfused, ok := UnfusedTime(cands)
+	if !ok {
+		t.Fatal("factor-1 candidate missing")
+	}
+	if best.Factor == 1 {
+		t.Fatalf("fusion never wins for a memory-bound stencil (best %v, unfused %v)",
+			best.TotalTime, unfused)
+	}
+	if best.TotalTime >= unfused {
+		t.Errorf("best fused %v not below unfused %v", best.TotalTime, unfused)
+	}
+	t.Logf("best fusion factor %d: %.3gms vs unfused %.3gms (%.2fx)",
+		best.Factor, best.TotalTime*1e3, unfused*1e3, unfused/best.TotalTime)
+}
+
+func TestFusionDoesNotHelpComputeBoundStencil(t *testing.T) {
+	// HotSpot's calibrated skeleton is issue-bound: the trapezoid's
+	// redundant arithmetic outweighs the traffic and launch savings,
+	// so the explorer must keep factor 1. (This is the analysis
+	// answering "should I fuse?" — sometimes the answer is no.)
+	arch := gpu.QuadroFX5600()
+	cands, err := Explore(hotspotKernel(t), arch, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands[0].Factor != 1 {
+		t.Errorf("compute-bound stencil fused at factor %d", cands[0].Factor)
+	}
+}
+
+func TestFusionRedundancyEventuallyLoses(t *testing.T) {
+	// The trapezoid overhead grows with the factor: the largest
+	// launchable factor should NOT be the best one (an interior
+	// optimum exists).
+	arch := gpu.QuadroFX5600()
+	cands, err := Explore(hotspotKernel(t), arch, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxFactor := 0
+	for _, c := range cands {
+		if c.Factor > maxFactor {
+			maxFactor = c.Factor
+		}
+	}
+	if cands[0].Factor == maxFactor && maxFactor > 4 {
+		t.Errorf("largest factor %d is best — redundancy cost not biting", maxFactor)
+	}
+}
+
+func TestExploreRespectsIterationBound(t *testing.T) {
+	arch := gpu.QuadroFX5600()
+	cands, err := Explore(hotspotKernel(t), arch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Factor > 2 {
+			t.Errorf("factor %d exceeds iteration count 2", c.Factor)
+		}
+	}
+	if _, err := Explore(hotspotKernel(t), arch, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestBestMatchesExploreHead(t *testing.T) {
+	arch := gpu.QuadroFX5600()
+	best, err := Best(hotspotKernel(t), arch, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Explore(hotspotKernel(t), arch, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Factor != cands[0].Factor || best.TotalTime != cands[0].TotalTime {
+		t.Error("Best disagrees with Explore head")
+	}
+}
+
+func TestSRADKernelsFusable(t *testing.T) {
+	// SRAD's prep kernel is also a stencil; fusion must at least
+	// enumerate (even if the producer/consumer split limits real
+	// fusability, the per-kernel analysis applies).
+	w, err := bench.SRAD("1024 x 1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := gpu.QuadroFX5600()
+	cands, err := Explore(w.Seq.Kernels[0], arch, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+}

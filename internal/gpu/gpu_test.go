@@ -1,0 +1,166 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, a := range Presets() {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadArch(t *testing.T) {
+	mutations := []func(*Arch){
+		func(a *Arch) { a.Name = "" },
+		func(a *Arch) { a.SMs = 0 },
+		func(a *Arch) { a.CoreClock = -1 },
+		func(a *Arch) { a.WarpSize = 0 },
+		func(a *Arch) { a.IssueCyclesPerWarpInst = 0 },
+		func(a *Arch) { a.MaxThreadsPerSM = 0 },
+		func(a *Arch) { a.MaxBlocksPerSM = 0 },
+		func(a *Arch) { a.MaxThreadsPerBlock = 0 },
+		func(a *Arch) { a.RegistersPerSM = 0 },
+		func(a *Arch) { a.SharedMemPerSM = 0 },
+		func(a *Arch) { a.MemLatency = 0 },
+		func(a *Arch) { a.MemBandwidth = 0 },
+		func(a *Arch) { a.CoalesceSegment = 0 },
+		func(a *Arch) { a.TransactionCycles = 0 },
+		func(a *Arch) { a.LaunchOverhead = -1 },
+		func(a *Arch) { a.DRAMEfficiency = 0 },
+		func(a *Arch) { a.DRAMEfficiency = 1.2 },
+		func(a *Arch) { a.IrregularPenalty = 0.5 },
+	}
+	for i, mutate := range mutations {
+		a := QuadroFX5600()
+		mutate(&a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestQuadroFX5600Headline(t *testing.T) {
+	a := QuadroFX5600()
+	// 128 SPs at 1.35GHz with MAD: ~345.6 GFLOPS.
+	if g := a.PeakGFLOPS(); g < 340 || g > 350 {
+		t.Errorf("PeakGFLOPS = %v, want ~345.6", g)
+	}
+	if a.MaxWarpsPerSM() != 24 {
+		t.Errorf("MaxWarpsPerSM = %d, want 24", a.MaxWarpsPerSM())
+	}
+}
+
+func TestOccupancyThreadLimited(t *testing.T) {
+	a := QuadroFX5600()
+	// 256-thread blocks, tiny resource use: 768/256 = 3 blocks/SM.
+	occ := a.Occupancy(256, 10, 1024)
+	if occ.BlocksPerSM != 3 {
+		t.Errorf("BlocksPerSM = %d, want 3", occ.BlocksPerSM)
+	}
+	if occ.WarpsPerSM != 24 {
+		t.Errorf("WarpsPerSM = %d, want 24", occ.WarpsPerSM)
+	}
+	if occ.Limiter != "threads" {
+		t.Errorf("Limiter = %q", occ.Limiter)
+	}
+}
+
+func TestOccupancyBlockLimited(t *testing.T) {
+	a := QuadroFX5600()
+	// 32-thread blocks: 768/32 = 24 by threads, but hard cap of 8 blocks.
+	occ := a.Occupancy(32, 8, 256)
+	if occ.BlocksPerSM != 8 || occ.Limiter != "blocks" {
+		t.Errorf("occ = %+v", occ)
+	}
+	if occ.WarpsPerSM != 8 {
+		t.Errorf("WarpsPerSM = %d", occ.WarpsPerSM)
+	}
+}
+
+func TestOccupancyRegisterLimited(t *testing.T) {
+	a := QuadroFX5600()
+	// 256 threads x 32 regs = 8192 regs: exactly 1 block per SM.
+	occ := a.Occupancy(256, 32, 0)
+	if occ.BlocksPerSM != 1 || occ.Limiter != "registers" {
+		t.Errorf("occ = %+v", occ)
+	}
+}
+
+func TestOccupancySharedMemoryLimited(t *testing.T) {
+	a := QuadroFX5600()
+	// 9KB of shared memory per block: only 1 block fits in 16KB.
+	occ := a.Occupancy(64, 8, 9<<10)
+	if occ.BlocksPerSM != 1 || occ.Limiter != "shared memory" {
+		t.Errorf("occ = %+v", occ)
+	}
+}
+
+func TestOccupancyZeroWhenBlockTooBig(t *testing.T) {
+	a := QuadroFX5600()
+	if occ := a.Occupancy(1024, 8, 0); occ.BlocksPerSM != 0 {
+		t.Errorf("oversized block got occupancy %+v", occ)
+	}
+	if occ := a.Occupancy(0, 8, 0); occ.BlocksPerSM != 0 {
+		t.Errorf("zero block size got occupancy %+v", occ)
+	}
+	// A block needing more registers than an SM has.
+	if occ := a.Occupancy(512, 100, 0); occ.BlocksPerSM != 0 {
+		t.Errorf("register-starved block got occupancy %+v", occ)
+	}
+	if occ := a.Occupancy(64, -1, 0); occ.BlocksPerSM != 0 {
+		t.Errorf("negative regs got occupancy %+v", occ)
+	}
+}
+
+func TestOccupancyPartialWarpRoundsUp(t *testing.T) {
+	a := QuadroFX5600()
+	// 48-thread blocks occupy 2 warps each.
+	occ := a.Occupancy(48, 8, 0)
+	if occ.WarpsPerSM != occ.BlocksPerSM*2 {
+		t.Errorf("warps %d with %d blocks: partial warp not rounded up",
+			occ.WarpsPerSM, occ.BlocksPerSM)
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	a, ok := PresetByName("NVIDIA Quadro FX 5600")
+	if !ok || a.SMs != 16 {
+		t.Errorf("PresetByName = %+v, %v", a, ok)
+	}
+	if _, ok := PresetByName("no such gpu"); ok {
+		t.Error("unknown preset found")
+	}
+}
+
+func TestQuickOccupancyWithinLimits(t *testing.T) {
+	a := QuadroFX5600()
+	prop := func(bs uint16, regs uint8, shmem uint16) bool {
+		occ := a.Occupancy(int(bs), int(regs), int64(shmem))
+		if occ.BlocksPerSM < 0 {
+			return false
+		}
+		if occ.BlocksPerSM == 0 {
+			return true
+		}
+		if occ.BlocksPerSM > a.MaxBlocksPerSM {
+			return false
+		}
+		if occ.BlocksPerSM*int(bs) > a.MaxThreadsPerSM {
+			return false
+		}
+		if int(regs) > 0 && occ.BlocksPerSM*int(bs)*int(regs) > a.RegistersPerSM {
+			return false
+		}
+		if int64(shmem) > 0 && int64(occ.BlocksPerSM)*int64(shmem) > a.SharedMemPerSM {
+			return false
+		}
+		return occ.WarpsPerSM <= a.MaxWarpsPerSM()+occ.BlocksPerSM // partial-warp slack
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package gpusim
+
+import "testing"
+
+func BenchmarkBaseTime(b *testing.B) {
+	s := newSim()
+	ch := streaming(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.BaseTime(ch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeasureMeanTenRuns(b *testing.B) {
+	s := newSim()
+	ch := streaming(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.MeasureMean(ch, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package memplan_test
+
+import (
+	"fmt"
+
+	"grophecy/internal/brs"
+	"grophecy/internal/datausage"
+	"grophecy/internal/memplan"
+	"grophecy/internal/pcie"
+	"grophecy/internal/skeleton"
+)
+
+// Example plans host memory kinds for two buffers: a tiny parameter
+// block (pageable wins: command-buffer upload, no pinning cost) and a
+// large image crossing the bus twice (pinned wins: the locking cost
+// amortizes over two transfers).
+func Example() {
+	bus := pcie.NewBus(pcie.DefaultConfig())
+	alloc := pcie.NewAllocator(bus, pcie.DefaultAllocConfig())
+	models, err := memplan.Calibrate(bus, alloc)
+	if err != nil {
+		panic(err)
+	}
+
+	params := skeleton.NewArray("params", skeleton.Float32, 256) // 1KB
+	image := skeleton.NewArray("image", skeleton.Float32, 4096, 4096)
+	plan, err := memplan.Build(datausage.Plan{
+		Uploads: []datausage.Transfer{
+			{Dir: datausage.Upload, Section: brs.WholeArray(params)},
+			{Dir: datausage.Upload, Section: brs.WholeArray(image)},
+		},
+		Downloads: []datausage.Transfer{
+			{Dir: datausage.Download, Section: brs.WholeArray(image)},
+		},
+	}, models)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range plan.Choices {
+		fmt.Printf("%s -> %v\n", c.Array.Name, c.Kind)
+	}
+	// Output:
+	// params -> pageable
+	// image -> pinned
+}

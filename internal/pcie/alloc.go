@@ -1,0 +1,145 @@
+package pcie
+
+import "fmt"
+
+// Host memory allocation simulation — the substrate for the paper's
+// stated future work (§VII): "explore the tradeoffs of using
+// different types of memory (i.e., pinned and pageable) and account
+// for the overhead of memory allocation."
+//
+// Pageable allocations are ordinary malloc calls: nearly free (the
+// pages are not even touched). Pinned allocations (cudaHostAlloc) are
+// expensive: every page must be faulted in and locked, and the driver
+// registers the region with the DMA engine — a fixed syscall cost
+// plus a per-page cost that, for large buffers, can rival the time of
+// the transfer it is meant to accelerate.
+
+// AllocParams describes the deterministic cost of one host allocation
+// kind.
+type AllocParams struct {
+	// Fixed is the per-call overhead in seconds.
+	Fixed float64
+	// PerByte is the marginal cost in seconds/byte (page faulting,
+	// locking, DMA registration).
+	PerByte float64
+}
+
+// Time returns the noiseless allocation cost for size bytes.
+func (p AllocParams) Time(size int64) float64 {
+	return p.Fixed + p.PerByte*float64(size)
+}
+
+// AllocConfig holds the allocation parameters of a host system.
+type AllocConfig struct {
+	// Alloc is indexed by MemoryKind.
+	Alloc [2]AllocParams
+	// JitterSigma is the lognormal run-to-run noise on allocation
+	// times (page faults are noisy).
+	JitterSigma float64
+}
+
+// DefaultAllocConfig returns allocation costs representative of the
+// paper's vintage (CUDA 2.3 on SLES 10): malloc is ~1 us regardless
+// of size; cudaHostAlloc costs ~60 us plus ~0.25 s/GB of page-locking
+// — i.e. pinning a 512 MB calibration buffer takes ~130 ms, about
+// two-thirds of the transfer it accelerates.
+func DefaultAllocConfig() AllocConfig {
+	return AllocConfig{
+		Alloc: [2]AllocParams{
+			Pinned:   {Fixed: 60e-6, PerByte: 0.25e-9},
+			Pageable: {Fixed: 1.2e-6, PerByte: 0.004e-9},
+		},
+		JitterSigma: 0.10,
+	}
+}
+
+// Validate reports whether the configuration is sensible.
+func (c AllocConfig) Validate() error {
+	for k, p := range c.Alloc {
+		if p.Fixed <= 0 || p.PerByte < 0 {
+			return fmt.Errorf("pcie: invalid allocation params for %v", MemoryKind(k))
+		}
+	}
+	if c.JitterSigma < 0 {
+		return fmt.Errorf("pcie: negative allocation jitter")
+	}
+	if c.Alloc[Pinned].Time(1<<20) <= c.Alloc[Pageable].Time(1<<20) {
+		return fmt.Errorf("pcie: pinned allocation should cost more than pageable")
+	}
+	return nil
+}
+
+// Allocator simulates host memory allocation on the machine that owns
+// a Bus. Create it with NewAllocator; it shares determinism
+// discipline with the bus (its own seeded stream).
+type Allocator struct {
+	cfg   AllocConfig
+	bus   *Bus
+	stats AllocStats
+}
+
+// AllocStats counts simulated allocations.
+type AllocStats struct {
+	Calls      int
+	BytesAlloc int64
+	BusySecs   float64
+}
+
+// NewAllocator builds an allocator attached to the bus's noise stream
+// (allocation and transfer timings on one host share an OS). It
+// panics on an invalid configuration.
+func NewAllocator(bus *Bus, cfg AllocConfig) *Allocator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if bus == nil {
+		panic("pcie: NewAllocator with nil bus")
+	}
+	return &Allocator{cfg: cfg, bus: bus}
+}
+
+// Config returns the allocator configuration.
+func (a *Allocator) Config() AllocConfig { return a.cfg }
+
+// BaseTime returns the noiseless allocation cost.
+func (a *Allocator) BaseTime(kind MemoryKind, size int64) float64 {
+	if !kind.Valid() {
+		panic(fmt.Sprintf("pcie: invalid memory kind %d", kind))
+	}
+	if size < 0 {
+		panic(fmt.Sprintf("pcie: negative allocation size %d", size))
+	}
+	return a.cfg.Alloc[kind].Time(size)
+}
+
+// Alloc simulates one host allocation and returns the observed time.
+func (a *Allocator) Alloc(kind MemoryKind, size int64) float64 {
+	base := a.BaseTime(kind, size)
+	a.bus.mu.Lock()
+	defer a.bus.mu.Unlock()
+	t := base * a.bus.noise.LogNormalFactor(a.cfg.JitterSigma)
+	a.stats.Calls++
+	a.stats.BytesAlloc += size
+	a.stats.BusySecs += t
+	return t
+}
+
+// MeasureMean averages runs allocations, the measurement primitive
+// for allocation-model calibration.
+func (a *Allocator) MeasureMean(kind MemoryKind, size int64, runs int) float64 {
+	if runs <= 0 {
+		panic("pcie: MeasureMean needs at least one run")
+	}
+	var sum float64
+	for i := 0; i < runs; i++ {
+		sum += a.Alloc(kind, size)
+	}
+	return sum / float64(runs)
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Allocator) Stats() AllocStats {
+	a.bus.mu.Lock()
+	defer a.bus.mu.Unlock()
+	return a.stats
+}

@@ -1,0 +1,146 @@
+package pcie
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grophecy/internal/units"
+)
+
+func newAllocator() *Allocator {
+	return NewAllocator(NewBus(DefaultConfig()), DefaultAllocConfig())
+}
+
+func TestDefaultAllocConfigValid(t *testing.T) {
+	if err := DefaultAllocConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocConfigValidateRejects(t *testing.T) {
+	mutations := []func(*AllocConfig){
+		func(c *AllocConfig) { c.Alloc[Pinned].Fixed = 0 },
+		func(c *AllocConfig) { c.Alloc[Pageable].PerByte = -1 },
+		func(c *AllocConfig) { c.JitterSigma = -0.1 },
+		func(c *AllocConfig) { // pinned cheaper than pageable: nonsense
+			c.Alloc[Pinned] = AllocParams{Fixed: 1e-9, PerByte: 0}
+		},
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultAllocConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewAllocatorPanics(t *testing.T) {
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("nil bus", func() { NewAllocator(nil, DefaultAllocConfig()) })
+	assertPanic("bad config", func() {
+		cfg := DefaultAllocConfig()
+		cfg.JitterSigma = -1
+		NewAllocator(NewBus(DefaultConfig()), cfg)
+	})
+}
+
+func TestPinnedAllocationMuchMoreExpensive(t *testing.T) {
+	a := newAllocator()
+	size := int64(64 * units.MB)
+	pinned := a.BaseTime(Pinned, size)
+	pageable := a.BaseTime(Pageable, size)
+	if pinned < 10*pageable {
+		t.Errorf("pinned alloc (%v) should dwarf pageable (%v) at 64MB", pinned, pageable)
+	}
+}
+
+func TestPinnedAllocationComparableToTransfer(t *testing.T) {
+	// The future-work motivation: pinning a large buffer costs a
+	// meaningful fraction of the transfer it accelerates.
+	a := newAllocator()
+	size := int64(512 * units.MB)
+	alloc := a.BaseTime(Pinned, size)
+	xfer := a.bus.BaseTime(HostToDevice, Pinned, size)
+	ratio := alloc / xfer
+	if ratio < 0.2 || ratio > 2 {
+		t.Errorf("pinned alloc/transfer ratio at 512MB = %v, want O(1)", ratio)
+	}
+}
+
+func TestAllocNoiseCenteredOnBase(t *testing.T) {
+	a := newAllocator()
+	base := a.BaseTime(Pinned, units.MB)
+	var sum float64
+	const n = 400
+	for i := 0; i < n; i++ {
+		v := a.Alloc(Pinned, units.MB)
+		if v <= 0 {
+			t.Fatalf("alloc time %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-base)/base > 0.03 {
+		t.Errorf("mean %v deviates from base %v", mean, base)
+	}
+}
+
+func TestAllocStats(t *testing.T) {
+	a := newAllocator()
+	a.Alloc(Pinned, 100)
+	a.Alloc(Pageable, 200)
+	s := a.Stats()
+	if s.Calls != 2 || s.BytesAlloc != 300 || s.BusySecs <= 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestAllocMeasureMean(t *testing.T) {
+	a := newAllocator()
+	if m := a.MeasureMean(Pageable, units.KB, 10); m <= 0 {
+		t.Errorf("mean = %v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero runs did not panic")
+		}
+	}()
+	a.MeasureMean(Pageable, units.KB, 0)
+}
+
+func TestAllocBaseTimePanics(t *testing.T) {
+	a := newAllocator()
+	assertPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanic("bad kind", func() { a.BaseTime(MemoryKind(9), 1) })
+	assertPanic("negative size", func() { a.BaseTime(Pinned, -1) })
+}
+
+func TestQuickAllocMonotonicInSize(t *testing.T) {
+	a := newAllocator()
+	prop := func(s1, s2 uint32, k uint8) bool {
+		kind := MemoryKind(int(k) % 2)
+		x, y := int64(s1), int64(s2)
+		if x > y {
+			x, y = y, x
+		}
+		return a.BaseTime(kind, x) <= a.BaseTime(kind, y)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package pcie
+
+import (
+	"testing"
+
+	"grophecy/internal/units"
+)
+
+func BenchmarkTransferPinned(b *testing.B) {
+	bus := NewBus(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		_ = bus.Transfer(HostToDevice, Pinned, units.MB)
+	}
+}
+
+func BenchmarkTransferPageable(b *testing.B) {
+	bus := NewBus(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		_ = bus.Transfer(DeviceToHost, Pageable, units.MB)
+	}
+}

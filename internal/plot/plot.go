@@ -1,0 +1,171 @@
+// Package plot renders simple ASCII charts for the experiment
+// figures: log-log line charts for the transfer sweeps and linear
+// charts for the speedup-vs-iteration series. The paper presents its
+// results as figures; these renderings let cmd/paper show the same
+// curves in a terminal without any plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	// Marker is the rune plotted for this series.
+	Marker rune
+	X, Y   []float64
+}
+
+// Config controls the chart geometry and scales.
+type Config struct {
+	Title  string
+	Width  int // plot area columns
+	Height int // plot area rows
+	LogX   bool
+	LogY   bool
+	XLabel string
+	YLabel string
+}
+
+// DefaultConfig returns a terminal-friendly chart size.
+func DefaultConfig(title string) Config {
+	return Config{Title: title, Width: 64, Height: 18}
+}
+
+// Render draws the series into an ASCII chart. Series points outside
+// the positive domain of a log axis are skipped. An error is returned
+// for empty input or degenerate ranges.
+func Render(cfg Config, series ...Series) (string, error) {
+	if cfg.Width < 8 || cfg.Height < 4 {
+		return "", fmt.Errorf("plot: chart %dx%d too small", cfg.Width, cfg.Height)
+	}
+	if len(series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+
+	tx := transformer(cfg.LogX)
+	ty := transformer(cfg.LogY)
+
+	// Domain.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has mismatched lengths", s.Name)
+		}
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			points++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("plot: no drawable points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	// Canvas.
+	grid := make([][]rune, cfg.Height)
+	for r := range grid {
+		grid[r] = make([]rune, cfg.Width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			col := int(math.Round((x - minX) / (maxX - minX) * float64(cfg.Width-1)))
+			row := cfg.Height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(cfg.Height-1)))
+			grid[row][col] = marker
+		}
+	}
+
+	// Assembly.
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yTop := formatTick(maxY, cfg.LogY)
+	yBot := formatTick(minY, cfg.LogY)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for r := 0; r < cfg.Height; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yTop)
+		case cfg.Height - 1:
+			label = fmt.Sprintf("%*s", labelW, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", cfg.Width))
+	xLeft := formatTick(minX, cfg.LogX)
+	xRight := formatTick(maxX, cfg.LogX)
+	pad := cfg.Width - len(xLeft) - len(xRight)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xLeft, strings.Repeat(" ", pad), xRight)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", labelW), cfg.XLabel, cfg.YLabel)
+	}
+	var legend []string
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, s.Name))
+	}
+	fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", labelW), strings.Join(legend, ", "))
+	return b.String(), nil
+}
+
+// transformer returns the axis transform and a validity check.
+func transformer(logScale bool) func(float64) (float64, bool) {
+	if !logScale {
+		return func(v float64) (float64, bool) {
+			return v, !math.IsNaN(v) && !math.IsInf(v, 0)
+		}
+	}
+	return func(v float64) (float64, bool) {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+}
+
+// formatTick renders an axis endpoint, undoing the log transform.
+func formatTick(v float64, logScale bool) string {
+	if logScale {
+		return fmt.Sprintf("%.3g", math.Pow(10, v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}

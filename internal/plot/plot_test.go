@@ -1,0 +1,138 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func line(n int, f func(i int) (float64, float64)) Series {
+	s := Series{Name: "s", Marker: '*'}
+	for i := 0; i < n; i++ {
+		x, y := f(i)
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	return s
+}
+
+func TestRenderLinear(t *testing.T) {
+	s := line(10, func(i int) (float64, float64) { return float64(i), float64(2 * i) })
+	out, err := Render(DefaultConfig("test chart"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"test chart", "legend: * s", "+", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// An increasing line puts a marker in the top-right region and
+	// bottom-left region.
+	lines := strings.Split(out, "\n")
+	var plotLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines = append(plotLines, l[strings.Index(l, "|"):])
+		}
+	}
+	if len(plotLines) < 4 {
+		t.Fatalf("too few plot rows:\n%s", out)
+	}
+	top, bottom := plotLines[0], plotLines[len(plotLines)-1]
+	if !strings.Contains(top, "*") {
+		t.Error("no marker on the top row for the max point")
+	}
+	if !strings.Contains(bottom, "*") {
+		t.Error("no marker on the bottom row for the min point")
+	}
+	if strings.Index(top, "*") < strings.Index(bottom, "*") {
+		t.Error("increasing series should peak to the right")
+	}
+}
+
+func TestRenderLogLog(t *testing.T) {
+	s := line(20, func(i int) (float64, float64) {
+		x := math.Pow(2, float64(i))
+		return x, 1e-5 + 4e-10*x
+	})
+	cfg := DefaultConfig("transfer sweep")
+	cfg.LogX, cfg.LogY = true, true
+	cfg.XLabel, cfg.YLabel = "bytes", "seconds"
+	out, err := Render(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "x: bytes, y: seconds") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestRenderMultipleSeries(t *testing.T) {
+	a := line(5, func(i int) (float64, float64) { return float64(i), 1 })
+	a.Name, a.Marker = "flat", 'o'
+	b := line(5, func(i int) (float64, float64) { return float64(i), float64(i) })
+	b.Name, b.Marker = "rising", 'x'
+	out, err := Render(DefaultConfig(""), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "o flat") || !strings.Contains(out, "x rising") {
+		t.Error("legend incomplete")
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Error("markers missing")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	s := line(3, func(i int) (float64, float64) { return float64(i), float64(i) })
+	if _, err := Render(Config{Width: 2, Height: 2}, s); err == nil {
+		t.Error("tiny chart accepted")
+	}
+	if _, err := Render(DefaultConfig("")); err == nil {
+		t.Error("no series accepted")
+	}
+	bad := Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}
+	if _, err := Render(DefaultConfig(""), bad); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	// All points invalid on a log axis.
+	neg := Series{Name: "neg", X: []float64{-1, -2}, Y: []float64{1, 2}}
+	cfg := DefaultConfig("")
+	cfg.LogX = true
+	if _, err := Render(cfg, neg); err == nil {
+		t.Error("undrawable series accepted")
+	}
+}
+
+func TestRenderSkipsInvalidPointsOnLogAxis(t *testing.T) {
+	s := Series{Name: "mixed", X: []float64{0, 1, 10, 100}, Y: []float64{1, 1, 2, 3}}
+	cfg := DefaultConfig("")
+	cfg.LogX = true
+	out, err := Render(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("valid points not drawn")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := line(4, func(i int) (float64, float64) { return 5, 7 })
+	if _, err := Render(DefaultConfig(""), s); err != nil {
+		t.Fatalf("degenerate range should render: %v", err)
+	}
+}
+
+func TestDefaultMarker(t *testing.T) {
+	s := Series{Name: "m", X: []float64{0, 1}, Y: []float64{0, 1}}
+	out, err := Render(DefaultConfig(""), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* m") {
+		t.Error("default marker not applied")
+	}
+}

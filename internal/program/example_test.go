@@ -1,0 +1,48 @@
+package program_test
+
+import (
+	"fmt"
+
+	"grophecy/internal/program"
+	"grophecy/internal/skeleton"
+)
+
+// Example analyzes a two-phase pipeline where the intermediate stays
+// on the GPU: phase 2 re-uploads nothing.
+func Example() {
+	n := int64(1 << 20)
+	a := skeleton.NewArray("a", skeleton.Float32, n)
+	b := skeleton.NewArray("b", skeleton.Float32, n)
+	c := skeleton.NewArray("c", skeleton.Float32, n)
+	phase := func(name string, src, dst *skeleton.Array) program.Phase {
+		k := &skeleton.Kernel{
+			Name:  name,
+			Loops: []skeleton.Loop{skeleton.ParLoop("i", n)},
+			Stmts: []skeleton.Statement{{
+				Accesses: []skeleton.Access{
+					skeleton.LoadOf(src, skeleton.Idx("i")),
+					skeleton.StoreOf(dst, skeleton.Idx("i")),
+				},
+				Flops: 2,
+			}},
+		}
+		return program.Phase{Seq: &skeleton.Sequence{
+			Name: name, Kernels: []*skeleton.Kernel{k}, Iterations: 1,
+		}}
+	}
+
+	plan, err := program.Analyze(&program.Program{
+		Name:   "two-phase",
+		Phases: []program.Phase{phase("p1", a, b), phase("p2", b, c)},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("phase 1: %d uploads, %d downloads\n",
+		len(plan.Phases[0].Uploads), len(plan.Phases[0].Downloads))
+	fmt.Printf("phase 2: %d uploads, %d downloads\n",
+		len(plan.Phases[1].Uploads), len(plan.Phases[1].Downloads))
+	// Output:
+	// phase 1: 1 uploads, 0 downloads
+	// phase 2: 0 uploads, 2 downloads
+}

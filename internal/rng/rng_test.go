@@ -1,0 +1,201 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with distinct seeds agreed on %d of 100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) hit only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	const mean, stddev = 5.0, 2.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(mean, stddev)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	sd := math.Sqrt(sumSq/n - m*m)
+	if math.Abs(m-mean) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~%v", m, mean)
+	}
+	if math.Abs(sd-stddev) > 0.05 {
+		t.Errorf("Normal stddev = %v, want ~%v", sd, stddev)
+	}
+}
+
+func TestLogNormalFactorCenteredNearOne(t *testing.T) {
+	s := New(17)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		f := s.LogNormalFactor(0.02)
+		if f <= 0 {
+			t.Fatalf("LogNormalFactor returned non-positive %v", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.01 {
+		t.Fatalf("LogNormalFactor(0.02) mean = %v, want ~1", mean)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(19)
+	const n = 200000
+	const want = 3.5
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Exponential(want)
+		if v < 0 {
+			t.Fatalf("Exponential returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("Exponential mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(23)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	freq := float64(hits) / n
+	if math.Abs(freq-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", freq)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(29)
+	a := parent.Fork()
+	b := parent.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked streams agreed on %d of 100 draws", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Stream
+	// Must not panic and must produce values in range.
+	for i := 0; i < 100; i++ {
+		if f := s.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("zero-value stream Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestQuickFloat64AlwaysInRange(t *testing.T) {
+	prop := func(seed uint64, draws uint8) bool {
+		s := New(seed)
+		for i := 0; i < int(draws); i++ {
+			if f := s.Float64(); f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeterminismProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package sklang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkParseBlur(b *testing.B) {
+	data, err := os.ReadFile(filepath.Join("testdata", "blur.sk"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := string(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFormatBlur(b *testing.B) {
+	data, err := os.ReadFile(filepath.Join("testdata", "blur.sk"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := Parse(string(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Format(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package sklang_test
+
+import (
+	"fmt"
+
+	"grophecy/internal/sklang"
+)
+
+// Example parses a minimal skeleton file and reports its structure.
+func Example() {
+	w, err := sklang.Parse(`
+workload "Saxpy" size "1M"
+array x[1048576] float32
+array y[1048576] float32
+kernel saxpy {
+    parfor i in 0..1048576 {
+        stmt flops=2 {
+            load x[i]
+            load y[i]
+            store y[i]
+        }
+    }
+}
+sequence { saxpy }
+cpu elements=1048576 flops=2 bytes=12 vectorizable=true regions=1
+`)
+	if err != nil {
+		panic(err)
+	}
+	k := w.Seq.Kernels[0]
+	fmt.Printf("%s: %d threads, %d flops/thread\n", k.Name, k.ParallelIterations(), k.FlopsPerThread())
+	// Output:
+	// saxpy: 1048576 threads, 2 flops/thread
+}
+
+// ExampleParse_errors shows the positioned errors the parser reports.
+func ExampleParse_errors() {
+	_, err := sklang.Parse(`workload "W" size "s"
+array a[4] float32
+kernel k { parfor i in 0..4 { stmt flops=1 { load b[i] } } }`)
+	fmt.Println(err)
+	// Output:
+	// 3:51: undeclared array "b"
+}

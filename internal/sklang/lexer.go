@@ -1,0 +1,263 @@
+package sklang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates the lexical classes of the skeleton language.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLBracket // [
+	tokRBracket // ]
+	tokAssign   // =
+	tokPlus     // +
+	tokMinus    // -
+	tokStar     // *
+	tokQuestion // ?
+	tokDotDot   // ..
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "float"
+	case tokString:
+		return "string"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokAssign:
+		return "'='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokQuestion:
+		return "'?'"
+	case tokDotDot:
+		return "'..'"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", int(k))
+	}
+}
+
+// pos is a source position for error messages.
+type pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// token is one lexical unit.
+type token struct {
+	Kind tokenKind
+	Text string // identifier name, literal text (unquoted for strings)
+	Pos  pos
+}
+
+// Error is a positioned skeleton-language error.
+type Error struct {
+	Pos pos
+	Msg string
+}
+
+// Error implements the error interface with a position prefix.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errorf(p pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer scans skeleton source into tokens. '#' starts a comment to
+// end of line; whitespace separates tokens.
+type lexer struct {
+	src  []rune
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) pos() pos { return pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.off]
+	l.off++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		r := l.peek()
+		switch {
+		case r == '#':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case unicode.IsSpace(r):
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token or a positioned error.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return token{Kind: tokEOF, Pos: start}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '{':
+		l.advance()
+		return token{Kind: tokLBrace, Pos: start}, nil
+	case r == '}':
+		l.advance()
+		return token{Kind: tokRBrace, Pos: start}, nil
+	case r == '[':
+		l.advance()
+		return token{Kind: tokLBracket, Pos: start}, nil
+	case r == ']':
+		l.advance()
+		return token{Kind: tokRBracket, Pos: start}, nil
+	case r == '=':
+		l.advance()
+		return token{Kind: tokAssign, Pos: start}, nil
+	case r == '+':
+		l.advance()
+		return token{Kind: tokPlus, Pos: start}, nil
+	case r == '-':
+		l.advance()
+		return token{Kind: tokMinus, Pos: start}, nil
+	case r == '*':
+		l.advance()
+		return token{Kind: tokStar, Pos: start}, nil
+	case r == '?':
+		l.advance()
+		return token{Kind: tokQuestion, Pos: start}, nil
+	case r == '.':
+		l.advance()
+		if l.peek() != '.' {
+			return token{}, errorf(start, "unexpected '.', expected '..'")
+		}
+		l.advance()
+		return token{Kind: tokDotDot, Pos: start}, nil
+	case r == '"':
+		return l.lexString(start)
+	case unicode.IsDigit(r):
+		return l.lexNumber(start)
+	case unicode.IsLetter(r) || r == '_':
+		return l.lexIdent(start)
+	default:
+		return token{}, errorf(start, "unexpected character %q", r)
+	}
+}
+
+func (l *lexer) lexString(start pos) (token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			return token{}, errorf(start, "unterminated string")
+		}
+		r := l.advance()
+		if r == '"' {
+			return token{Kind: tokString, Text: b.String(), Pos: start}, nil
+		}
+		if r == '\n' {
+			return token{}, errorf(start, "newline in string")
+		}
+		b.WriteRune(r)
+	}
+}
+
+func (l *lexer) lexNumber(start pos) (token, error) {
+	var b strings.Builder
+	kind := tokInt
+	for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+		b.WriteRune(l.advance())
+	}
+	// A fraction part — but only when not followed by a second dot
+	// (the range operator '..').
+	if l.peek() == '.' && l.off+1 < len(l.src) && unicode.IsDigit(l.src[l.off+1]) {
+		kind = tokFloat
+		b.WriteRune(l.advance())
+		for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+	}
+	return token{Kind: kind, Text: b.String(), Pos: start}, nil
+}
+
+func (l *lexer) lexIdent(start pos) (token, error) {
+	var b strings.Builder
+	for l.off < len(l.src) {
+		r := l.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			b.WriteRune(l.advance())
+		} else {
+			break
+		}
+	}
+	return token{Kind: tokIdent, Text: b.String(), Pos: start}, nil
+}
+
+// lexAll scans the whole source, for the parser's lookahead buffer.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package sklang
+
+import (
+	"strings"
+	"testing"
+)
+
+const lintBase = `
+workload "W" size "s"
+array a[65536] float32
+array b[65536] float32
+kernel k {
+    parfor i in 0..65536 {
+        stmt flops=2 {
+            load a[i]
+            store b[i]
+        }
+    }
+}
+sequence { k }
+cpu elements=65536 flops=2 bytes=8 regions=1
+`
+
+func lintWarnings(t *testing.T, src string) []string {
+	t.Helper()
+	warns, err := Lint(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, w := range warns {
+		msgs = append(msgs, w.Msg)
+	}
+	return msgs
+}
+
+func hasWarning(msgs []string, sub string) bool {
+	for _, m := range msgs {
+		if strings.Contains(m, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLintCleanFile(t *testing.T) {
+	if msgs := lintWarnings(t, lintBase); len(msgs) != 0 {
+		t.Errorf("clean file warned: %v", msgs)
+	}
+}
+
+func TestLintUnusedArray(t *testing.T) {
+	src := strings.Replace(lintBase, `array b[65536] float32`,
+		"array b[65536] float32\narray ghost[4] float32", 1)
+	// ghost is declared but never accessed; b still used.
+	src = strings.Replace(src, "store b[i]", "store b[i]", 1)
+	msgs := lintWarnings(t, src)
+	if !hasWarning(msgs, `array "ghost" is declared but never accessed`) {
+		t.Errorf("unused array not flagged: %v", msgs)
+	}
+}
+
+func TestLintUnsequencedKernel(t *testing.T) {
+	src := strings.Replace(lintBase, "sequence { k }",
+		`kernel orphan {
+    parfor i in 0..65536 {
+        stmt flops=1 { load a[i] }
+    }
+}
+sequence { k }`, 1)
+	msgs := lintWarnings(t, src)
+	if !hasWarning(msgs, `kernel "orphan" is declared but not in the sequence`) {
+		t.Errorf("orphan kernel not flagged: %v", msgs)
+	}
+}
+
+func TestLintTemporaryThatUploads(t *testing.T) {
+	src := strings.Replace(lintBase, "array a[65536] float32",
+		"temporary array a[65536] float32", 1)
+	msgs := lintWarnings(t, src)
+	if !hasWarning(msgs, `temporary array "a" is read before any kernel writes it`) {
+		t.Errorf("contradictory temporary not flagged: %v", msgs)
+	}
+}
+
+func TestLintAffineSparse(t *testing.T) {
+	src := strings.Replace(lintBase, "array a[65536] float32",
+		"sparse array a[65536] float32", 1)
+	msgs := lintWarnings(t, src)
+	if !hasWarning(msgs, `sparse array "a" is only accessed with affine indices`) {
+		t.Errorf("affine sparse not flagged: %v", msgs)
+	}
+}
+
+func TestLintSparseWithIrregularAccessIsClean(t *testing.T) {
+	src := strings.Replace(lintBase, "array a[65536] float32",
+		"sparse array a[65536] float32", 1)
+	src = strings.Replace(src, "load a[i]", "load a[?]", 1)
+	msgs := lintWarnings(t, src)
+	if hasWarning(msgs, "sparse array") {
+		t.Errorf("legit sparse usage flagged: %v", msgs)
+	}
+}
+
+func TestLintWorkFreeStatement(t *testing.T) {
+	src := strings.Replace(lintBase, "stmt flops=2 {", "stmt {", 1)
+	msgs := lintWarnings(t, src)
+	if !hasWarning(msgs, "has no arithmetic") {
+		t.Errorf("work-free statement not flagged: %v", msgs)
+	}
+}
+
+func TestLintThreadStarvedKernel(t *testing.T) {
+	src := strings.ReplaceAll(lintBase, "65536", "64")
+	msgs := lintWarnings(t, src)
+	if !hasWarning(msgs, "parallel iterations") {
+		t.Errorf("tiny kernel not flagged: %v", msgs)
+	}
+}
+
+func TestLintParseErrorPropagates(t *testing.T) {
+	if _, err := Lint("bogus"); err == nil {
+		t.Error("parse error not propagated")
+	}
+}
+
+func TestParseWithInfo(t *testing.T) {
+	_, info, err := ParseWithInfo(lintBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Arrays) != 2 || info.Arrays[0].Name != "a" || info.Arrays[1].Name != "b" {
+		t.Errorf("arrays = %v", info.Arrays)
+	}
+	if len(info.Kernels) != 1 || info.Kernels[0].Name != "k" {
+		t.Errorf("kernels = %v", info.Kernels)
+	}
+}

@@ -1,0 +1,189 @@
+package sklang
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"grophecy/internal/program"
+)
+
+func parsePipeline(t *testing.T) ProgramWorkload {
+	t.Helper()
+	pw, err := ParseProgramFile(filepath.Join("testdata", "pipeline.sk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pw
+}
+
+func TestParseProgramFile(t *testing.T) {
+	pw := parsePipeline(t)
+	if pw.Name != "MiniPipeline" || pw.DataSize != "1024 x 1024" {
+		t.Errorf("header = %q %q", pw.Name, pw.DataSize)
+	}
+	if len(pw.Prog.Phases) != 2 {
+		t.Fatalf("phases = %d", len(pw.Prog.Phases))
+	}
+	p1, p2 := pw.Prog.Phases[0], pw.Prog.Phases[1]
+	if p1.Seq.Iterations != 4 || p2.Seq.Iterations != 1 {
+		t.Errorf("iterations = %d, %d", p1.Seq.Iterations, p2.Seq.Iterations)
+	}
+	if len(p1.Seq.Kernels) != 1 || p1.Seq.Kernels[0].Name != "denoise" {
+		t.Errorf("phase 1 kernels = %v", p1.Seq.Kernels)
+	}
+	if len(p1.CPUReads) != 1 || p1.CPUReads[0].Name != "img" {
+		t.Errorf("phase 1 cpu_reads = %v", p1.CPUReads)
+	}
+	if len(p1.CPUWrites) != 0 {
+		t.Errorf("phase 1 cpu_writes = %v", p1.CPUWrites)
+	}
+	if pw.CPU.Regions != 2 {
+		t.Errorf("cpu = %+v", pw.CPU)
+	}
+}
+
+func TestParsedProgramAnalyzes(t *testing.T) {
+	pw := parsePipeline(t)
+	plan, err := program.Analyze(pw.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1 uploads img; CPU reads it back (download); CPU does not
+	// write it, so phase 2 reuses the GPU copy.
+	if len(plan.Phases[0].Uploads) != 1 || len(plan.Phases[0].Downloads) != 1 {
+		t.Errorf("phase 1 plan = %+v", plan.Phases[0])
+	}
+	if len(plan.Phases[1].Uploads) != 0 {
+		t.Errorf("phase 2 re-uploads: %v", plan.Phases[1].Uploads)
+	}
+	if len(plan.Phases[1].Downloads) != 1 { // out
+		t.Errorf("phase 2 downloads = %v", plan.Phases[1].Downloads)
+	}
+}
+
+func TestParseProgramErrNotProgram(t *testing.T) {
+	if _, err := ParseProgram(lintBase); !errors.Is(err, ErrNotProgram) {
+		t.Errorf("single-sequence file: err = %v, want ErrNotProgram", err)
+	}
+}
+
+func TestParseRejectsPhaseFiles(t *testing.T) {
+	src := `
+workload "W" size "s"
+array a[2048] float32
+kernel k { parfor i in 0..2048 { stmt flops=1 { load a[i] store a[i] } } }
+phase { run k }
+cpu elements=2048 flops=1 bytes=8 regions=1
+`
+	if _, err := Parse(src); !errors.Is(err, ErrNotWorkload) {
+		t.Errorf("Parse on phase file: err = %v, want ErrNotWorkload", err)
+	}
+	// And the same source parses as a program.
+	if _, err := ParseProgram(src); err != nil {
+		t.Errorf("ParseProgram failed: %v", err)
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantMsg string
+	}{
+		{`workload "W" size "s"
+phase { }
+cpu elements=1 flops=1`, "runs no kernels"},
+		{`workload "W" size "s"
+phase { run nosuch }
+cpu elements=1 flops=1`, "undeclared kernel"},
+		{`workload "W" size "s"
+array a[2048] float32
+kernel k { parfor i in 0..2048 { stmt flops=1 { load a[i] store a[i] } } }
+phase { run k cpu_reads ghost }
+cpu elements=1 flops=1`, "undeclared array"},
+		{`workload "W" size "s"
+array a[2048] float32
+kernel k { parfor i in 0..2048 { stmt flops=1 { load a[i] store a[i] } } }
+sequence { k }
+phase { run k }
+cpu elements=1 flops=1`, "not both"},
+		{`array a[2048] float32
+kernel k { parfor i in 0..2048 { stmt flops=1 { load a[i] store a[i] } } }
+phase { run k }
+cpu elements=1 flops=1`, "missing workload"},
+		{`workload "W" size "s"
+array a[2048] float32
+kernel k { parfor i in 0..2048 { stmt flops=1 { load a[i] store a[i] } } }
+phase { run k }`, "missing cpu"},
+		{`workload "W" size "s"
+phase { bogus }
+cpu elements=1 flops=1`, "expected 'run'"},
+	}
+	for _, c := range cases {
+		_, err := ParseProgram(c.src)
+		if err == nil {
+			t.Errorf("accepted:\n%s", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("error %q does not mention %q", err.Error(), c.wantMsg)
+		}
+	}
+}
+
+func TestFormatProgramRoundTrip(t *testing.T) {
+	pw := parsePipeline(t)
+	src, err := FormatProgram(pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, src)
+	}
+	if len(back.Prog.Phases) != len(pw.Prog.Phases) {
+		t.Fatal("phase count changed")
+	}
+	for i := range pw.Prog.Phases {
+		a, b := pw.Prog.Phases[i], back.Prog.Phases[i]
+		if a.Seq.Iterations != b.Seq.Iterations ||
+			len(a.Seq.Kernels) != len(b.Seq.Kernels) ||
+			len(a.CPUReads) != len(b.CPUReads) ||
+			len(a.CPUWrites) != len(b.CPUWrites) {
+			t.Errorf("phase %d shape changed", i)
+		}
+	}
+	// Same transfer schedule.
+	pa, err := program.Analyze(pw.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := program.Analyze(back.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.UploadBytes() != pb.UploadBytes() || pa.DownloadBytes() != pb.DownloadBytes() {
+		t.Error("transfer schedules diverge after round trip")
+	}
+	// FormatProgram is idempotent.
+	twice, err := FormatProgram(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != twice {
+		t.Error("FormatProgram not idempotent")
+	}
+}
+
+func TestFormatProgramRejectsNil(t *testing.T) {
+	if _, err := FormatProgram(ProgramWorkload{}); err == nil {
+		t.Error("nil program accepted")
+	}
+}
+
+func TestParseProgramFileMissing(t *testing.T) {
+	if _, err := ParseProgramFile("testdata/nope.sk"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

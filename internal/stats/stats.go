@@ -1,0 +1,239 @@
+// Package stats provides the small statistical toolkit used throughout
+// the GROPHECY++ evaluation: means, error magnitudes, linear
+// regression, and run summaries.
+//
+// The paper's headline metric is the "error magnitude": the absolute
+// value of the percent difference between a predicted and a measured
+// value (§V-A). ErrorMagnitude implements exactly that definition and
+// is used by every experiment in internal/experiments.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrMismatchedLengths is returned by functions that require paired
+// samples of equal length.
+var ErrMismatchedLengths = errors.New("stats: mismatched sample lengths")
+
+// ErrEmpty is returned when an aggregate is requested over no samples.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty
+// slice; callers that must distinguish use MeanChecked.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanChecked is Mean with an explicit error for the empty case.
+func MeanChecked(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Mean(xs), nil
+}
+
+// GeoMean returns the geometric mean of xs. All values must be
+// positive; non-positive values yield NaN, mirroring math.Log.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Min returns the smallest element of xs, or +Inf if xs is empty.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or -Inf if xs is empty.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (the mean of the two middle elements
+// for even lengths). It returns 0 for an empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// ErrorMagnitude returns the paper's accuracy metric: the absolute
+// value of the percent difference between predicted and measured,
+// expressed as a fraction (0.08 == 8%). A measured value of zero with
+// a nonzero prediction yields +Inf; zero/zero yields 0.
+func ErrorMagnitude(predicted, measured float64) float64 {
+	if measured == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(predicted-measured) / math.Abs(measured)
+}
+
+// MeanErrorMagnitude returns the arithmetic mean error magnitude over
+// paired predicted/measured samples, as used for the overall model
+// validation in §V-A.
+func MeanErrorMagnitude(predicted, measured []float64) (float64, error) {
+	if len(predicted) != len(measured) {
+		return 0, ErrMismatchedLengths
+	}
+	if len(predicted) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for i := range predicted {
+		sum += ErrorMagnitude(predicted[i], measured[i])
+	}
+	return sum / float64(len(predicted)), nil
+}
+
+// MaxErrorMagnitude returns the largest error magnitude over paired
+// samples (the "maximum error" reported for Fig 4).
+func MaxErrorMagnitude(predicted, measured []float64) (float64, error) {
+	if len(predicted) != len(measured) {
+		return 0, ErrMismatchedLengths
+	}
+	if len(predicted) == 0 {
+		return 0, ErrEmpty
+	}
+	worst := 0.0
+	for i := range predicted {
+		if e := ErrorMagnitude(predicted[i], measured[i]); e > worst {
+			worst = e
+		}
+	}
+	return worst, nil
+}
+
+// LinearFit holds the result of an ordinary least squares fit
+// y = Intercept + Slope*x.
+type LinearFit struct {
+	Intercept float64
+	Slope     float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// FitLine performs ordinary least squares over paired samples. It is
+// the "full regression" ablation against the paper's two-point
+// calibration (DESIGN.md §5). At least two points with distinct x are
+// required.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, ErrMismatchedLengths
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate fit, all x equal")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	// R^2 = 1 - SS_res/SS_tot.
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := intercept + slope*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - my) * (ys[i] - my)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{Intercept: intercept, Slope: slope, R2: r2}, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 {
+	return f.Intercept + f.Slope*x
+}
+
+// Summary aggregates a set of repeated measurements of one quantity.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+	}
+}
+
+// CV returns the coefficient of variation (stddev/mean), a unitless
+// noise measure; 0 if the mean is 0.
+func (s Summary) CV() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.StdDev / s.Mean
+}

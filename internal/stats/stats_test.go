@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almost(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeanChecked(t *testing.T) {
+	if _, err := MeanChecked(nil); err != ErrEmpty {
+		t.Errorf("MeanChecked(nil) err = %v, want ErrEmpty", err)
+	}
+	got, err := MeanChecked([]float64{2, 4})
+	if err != nil || got != 3 {
+		t.Errorf("MeanChecked([2 4]) = %v, %v", got, err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almost(got, 2, 1e-12) {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{8}); !almost(got, 8, 1e-12) {
+		t.Errorf("GeoMean(8) = %v, want 8", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev(constant) = %v, want 0", got)
+	}
+	// Population stddev of {1,3} is 1.
+	if got := StdDev([]float64{1, 3}); !almost(got, 1, 1e-12) {
+		t.Errorf("StdDev(1,3) = %v, want 1", got)
+	}
+	if got := StdDev([]float64{7}); got != 0 {
+		t.Errorf("StdDev(single) = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("Min/Max of empty should be +Inf/-Inf")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("odd Median = %v, want 3", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("empty Median = %v, want 0", got)
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestErrorMagnitude(t *testing.T) {
+	cases := []struct {
+		pred, meas, want float64
+	}{
+		{110, 100, 0.10},
+		{90, 100, 0.10},
+		{100, 100, 0},
+		{-50, 100, 1.5},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := ErrorMagnitude(c.pred, c.meas); !almost(got, c.want, 1e-12) {
+			t.Errorf("ErrorMagnitude(%v,%v) = %v, want %v", c.pred, c.meas, got, c.want)
+		}
+	}
+	if got := ErrorMagnitude(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("ErrorMagnitude(1,0) = %v, want +Inf", got)
+	}
+}
+
+func TestMeanErrorMagnitude(t *testing.T) {
+	pred := []float64{110, 90}
+	meas := []float64{100, 100}
+	got, err := MeanErrorMagnitude(pred, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 0.10, 1e-12) {
+		t.Errorf("MeanErrorMagnitude = %v, want 0.10", got)
+	}
+	if _, err := MeanErrorMagnitude(pred, meas[:1]); err != ErrMismatchedLengths {
+		t.Errorf("mismatched lengths err = %v", err)
+	}
+	if _, err := MeanErrorMagnitude(nil, nil); err != ErrEmpty {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestMaxErrorMagnitude(t *testing.T) {
+	pred := []float64{101, 120, 95}
+	meas := []float64{100, 100, 100}
+	got, err := MaxErrorMagnitude(pred, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 0.20, 1e-12) {
+		t.Errorf("MaxErrorMagnitude = %v, want 0.20", got)
+	}
+}
+
+func TestFitLineExact(t *testing.T) {
+	// y = 3 + 2x exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Intercept, 3, 1e-9) || !almost(fit.Slope, 2, 1e-9) {
+		t.Errorf("fit = %+v, want intercept 3 slope 2", fit)
+	}
+	if !almost(fit.R2, 1, 1e-9) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if got := fit.Predict(10); !almost(got, 23, 1e-9) {
+		t.Errorf("Predict(10) = %v, want 23", got)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1, 2}); err != ErrMismatchedLengths {
+		t.Errorf("mismatch err = %v", err)
+	}
+	if _, err := FitLine([]float64{1}, []float64{1}); err != ErrEmpty {
+		t.Errorf("too-few err = %v", err)
+	}
+	if _, err := FitLine([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("degenerate fit should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if cv := s.CV(); cv <= 0 {
+		t.Errorf("CV = %v, want > 0", cv)
+	}
+	var zero Summary
+	if zero.CV() != 0 {
+		t.Error("zero Summary CV should be 0")
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Errorf("Summarize(nil) = %+v", got)
+	}
+}
+
+func TestQuickErrorMagnitudeSymmetricInSign(t *testing.T) {
+	// |pred-meas|/|meas| must be non-negative and zero iff pred==meas.
+	prop := func(pred, meas float64) bool {
+		if math.IsNaN(pred) || math.IsNaN(meas) {
+			return true
+		}
+		e := ErrorMagnitude(pred, meas)
+		if e < 0 {
+			return false
+		}
+		if pred == meas && e != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFitLineRecoversLine(t *testing.T) {
+	prop := func(a, b float64, n uint8) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Keep coefficients in a sane range for numeric stability.
+		if math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		m := int(n%20) + 2
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := 0; i < m; i++ {
+			xs[i] = float64(i)
+			ys[i] = a + b*float64(i)
+		}
+		fit, err := FitLine(xs, ys)
+		if err != nil {
+			return false
+		}
+		tol := 1e-6 * (1 + math.Abs(a) + math.Abs(b))
+		return almost(fit.Intercept, a, tol) && almost(fit.Slope, b, tol)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMeanBetweenMinAndMax(t *testing.T) {
+	prop := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

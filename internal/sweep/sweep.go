@@ -1,0 +1,70 @@
+// Package sweep provides a small deterministic parallel-map utility
+// for parameter sweeps.
+//
+// Experiments in this repository are single-machine-deterministic: a
+// given seed always produces the same numbers. Sweeps over *many*
+// machine instances (seed-sensitivity studies, architecture grids)
+// are embarrassingly parallel — each point owns its own simulated
+// machine — so they run on a bounded worker pool. Results come back
+// in input order regardless of scheduling, preserving determinism.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Run maps fn over n inputs using at most workers goroutines and
+// returns the n results in input order. If workers <= 0, it defaults
+// to GOMAXPROCS. The first error wins and is returned after all
+// workers drain; its result slice is nil.
+//
+// fn must be safe to call concurrently for distinct indices (each
+// index should own its state — e.g. its own simulated machine).
+func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: negative input count %d", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]T, n)
+	errs := make([]error, n)
+	indices := make(chan int)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: input %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// Map is Run with one worker per available CPU.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return Run(n, 0, fn)
+}

@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunPreservesOrder(t *testing.T) {
+	got, err := Run(100, 7, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunZeroInputs(t *testing.T) {
+	got, err := Run(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestRunNegativeInputs(t *testing.T) {
+	if _, err := Run(-1, 4, func(i int) (int, error) { return 0, nil }); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(50, 8, func(i int) (int, error) {
+		if i == 33 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunBoundsWorkers(t *testing.T) {
+	var active, peak int64
+	_, err := Run(64, 3, func(i int) (int, error) {
+		cur := atomic.AddInt64(&active, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+				break
+			}
+		}
+		// Small busy loop to let overlap happen.
+		s := 0
+		for j := 0; j < 10000; j++ {
+			s += j
+		}
+		atomic.AddInt64(&active, -1)
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt64(&peak); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds 3 workers", p)
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	got, err := Map(10, func(i int) (string, error) { return "x", nil })
+	if err != nil || len(got) != 10 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestQuickRunMatchesSequential(t *testing.T) {
+	prop := func(n uint8, workers uint8) bool {
+		fn := func(i int) (int, error) { return 3*i + 1, nil }
+		par, err := Run(int(n), int(workers%8), fn)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(n); i++ {
+			want, _ := fn(i)
+			if par[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

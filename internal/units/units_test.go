@@ -1,0 +1,77 @@
+package units
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0B"},
+		{1, "1B"},
+		{1023, "1023B"},
+		{1024, "1KB"},
+		{2048, "2KB"},
+		{1536, "1.5KB"},
+		{MB, "1MB"},
+		{512 * MB, "512MB"},
+		{GB, "1GB"},
+		{3 * GB / 2, "1.5GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{2.0, "2s"},
+		{0.0019, "1.9ms"},
+		{10.3e-6, "10.3us"},
+		{5e-9, "5ns"},
+	}
+	for _, c := range cases {
+		if got := FormatSeconds(c.in); got != c.want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	d := Duration(1.5e-3)
+	if d != 1500*time.Microsecond {
+		t.Errorf("Duration(1.5ms) = %v", d)
+	}
+	if got := Seconds(d); got != 1.5e-3 {
+		t.Errorf("Seconds round trip = %v", got)
+	}
+}
+
+func TestMiB(t *testing.T) {
+	if got := MiB(2); got != 2*MB {
+		t.Errorf("MiB(2) = %d", got)
+	}
+	if got := MiB(0.5); got != MB/2 {
+		t.Errorf("MiB(0.5) = %d", got)
+	}
+}
+
+func TestBytesToMB(t *testing.T) {
+	if got := BytesToMB(6 * MB); got != 6 {
+		t.Errorf("BytesToMB(6MB) = %v", got)
+	}
+}
+
+func TestGBps(t *testing.T) {
+	if got := GBps(2.5); got != 2.5e9 {
+		t.Errorf("GBps(2.5) = %v", got)
+	}
+}

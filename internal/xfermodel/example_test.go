@@ -1,0 +1,45 @@
+package xfermodel_test
+
+import (
+	"fmt"
+
+	"grophecy/internal/pcie"
+	"grophecy/internal/units"
+	"grophecy/internal/xfermodel"
+)
+
+// Example shows the paper's §III-C procedure end to end: calibrate
+// the linear PCIe model from two measurements per direction, then
+// predict a transfer.
+func Example() {
+	bus := pcie.NewBus(pcie.DefaultConfig())
+
+	model, err := xfermodel.CalibrateTwoPoint(bus, xfermodel.DefaultCalibration())
+	if err != nil {
+		panic(err)
+	}
+
+	// Predict the upload of an 8 MB image.
+	t := model.Predict(pcie.HostToDevice, 8*units.MB)
+	fmt.Printf("calibrated from %d transfers\n", model.CalibrationTransfers)
+	fmt.Printf("8MB upload predicted at %s\n", units.FormatSeconds(t))
+	// Output:
+	// calibrated from 40 transfers
+	// 8MB upload predicted at 3.3ms
+}
+
+func ExampleModel_Predict() {
+	m := xfermodel.Model{Alpha: 10e-6, Beta: 0.4e-9} // 10us + 2.5GB/s
+	fmt.Println(units.FormatSeconds(m.Predict(0)))
+	fmt.Println(units.FormatSeconds(m.Predict(units.MB)))
+	// Output:
+	// 10us
+	// 429us
+}
+
+func ExamplePowerOfTwoSizes() {
+	sizes := xfermodel.PowerOfTwoSizes(1, 8)
+	fmt.Println(sizes)
+	// Output:
+	// [1 2 4 8]
+}

@@ -1,0 +1,313 @@
+// Package xfermodel implements the paper's first contribution: a
+// simple, accurate empirical model of CPU<->GPU transfer time over the
+// PCIe bus (§III-C).
+//
+// The model is linear in the transfer size d:
+//
+//	T(d) = alpha + beta*d                          (Equation 1)
+//
+// where alpha is the fixed latency of sending the first byte and beta
+// is the per-byte cost (the inverse of the transfer bandwidth). The
+// two parameters are derived from only two measurements on the target
+// system:
+//
+//   - alpha = mean time of a 1-byte transfer over 10 runs,
+//   - beta  = mean time of a 512 MB transfer over 10 runs, divided by
+//     512 MB.
+//
+// Each direction (CPU-to-GPU, GPU-to-CPU) gets its own parameters,
+// since real links are mildly asymmetric. GROPHECY++ assumes pinned
+// host memory throughout (it is faster in all typical use cases,
+// §III-C); the calibration kind is configurable for the pageable
+// ablation.
+//
+// CalibrateLeastSquares is the ablation described in DESIGN.md §5: an
+// ordinary least-squares fit over a full power-of-two sweep. It needs
+// dozens of measurements instead of two and, as the benchmarks show,
+// buys almost nothing — which is the point the paper makes by choosing
+// the two-point scheme.
+package xfermodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"grophecy/internal/pcie"
+	"grophecy/internal/stats"
+	"grophecy/internal/units"
+)
+
+// Model predicts the transfer time of one direction of the bus.
+type Model struct {
+	// Alpha is the fixed per-transfer latency in seconds.
+	Alpha float64
+	// Beta is the per-byte transfer cost in seconds/byte.
+	Beta float64
+}
+
+// Predict returns the modeled transfer time in seconds for size bytes.
+func (m Model) Predict(size int64) float64 {
+	if size < 0 {
+		panic(fmt.Sprintf("xfermodel: negative transfer size %d", size))
+	}
+	return m.Alpha + m.Beta*float64(size)
+}
+
+// Bandwidth returns the asymptotic bandwidth 1/Beta in bytes/second,
+// or +Inf when Beta is zero.
+func (m Model) Bandwidth() float64 {
+	if m.Beta == 0 {
+		return math.Inf(1)
+	}
+	return 1 / m.Beta
+}
+
+// String renders the model parameters in the units the paper quotes
+// (alpha in microseconds, bandwidth in GB/s).
+func (m Model) String() string {
+	return fmt.Sprintf("T(d) = %.2fus + d/%.2fGB/s", m.Alpha/units.Microsecond, m.Bandwidth()/1e9)
+}
+
+// Valid reports whether the parameters are physically plausible.
+func (m Model) Valid() bool {
+	return m.Alpha > 0 && m.Beta > 0
+}
+
+// BusModel holds one Model per transfer direction plus provenance of
+// the calibration.
+type BusModel struct {
+	// Dir is indexed by pcie.Direction.
+	Dir [pcie.NumDirections]Model
+	// Kind is the host memory kind the model was calibrated for.
+	Kind pcie.MemoryKind
+	// CalibrationCost is the simulated wall-clock time spent on the
+	// calibration transfers, in seconds. Reported so users can see
+	// that the two-point scheme is cheap.
+	CalibrationCost float64
+	// CalibrationTransfers is the number of transfers performed.
+	CalibrationTransfers int
+}
+
+// Predict returns the modeled time for one transfer.
+func (bm BusModel) Predict(dir pcie.Direction, size int64) float64 {
+	if !dir.Valid() {
+		panic(fmt.Sprintf("xfermodel: invalid direction %d", dir))
+	}
+	return bm.Dir[dir].Predict(size)
+}
+
+// Valid reports whether both directional models are plausible.
+func (bm BusModel) Valid() bool {
+	return bm.Dir[pcie.HostToDevice].Valid() && bm.Dir[pcie.DeviceToHost].Valid()
+}
+
+// CalibrationConfig controls how a model is derived from a bus.
+type CalibrationConfig struct {
+	// Runs is how many transfers are averaged per measurement point.
+	// The paper uses 10 (§III-C).
+	Runs int
+	// SmallSize is the size used to measure alpha. The paper uses a
+	// single byte.
+	SmallSize int64
+	// LargeSize is the size used to measure beta. The paper uses
+	// 512 MB, chosen "rather arbitrarily; any size larger than a few
+	// megabytes would be sufficient" (footnote 5).
+	LargeSize int64
+	// Kind is the host memory kind to calibrate for.
+	Kind pcie.MemoryKind
+}
+
+// DefaultCalibration returns the paper's calibration settings: 10
+// runs, 1 B and 512 MB points, pinned memory.
+func DefaultCalibration() CalibrationConfig {
+	return CalibrationConfig{
+		Runs:      10,
+		SmallSize: 1,
+		LargeSize: 512 * units.MB,
+		Kind:      pcie.Pinned,
+	}
+}
+
+// Validate reports whether the calibration settings make sense.
+func (c CalibrationConfig) Validate() error {
+	if c.Runs <= 0 {
+		return errors.New("xfermodel: calibration needs at least one run")
+	}
+	if c.SmallSize <= 0 {
+		return errors.New("xfermodel: small calibration size must be positive")
+	}
+	if c.LargeSize <= c.SmallSize {
+		return errors.New("xfermodel: large calibration size must exceed small size")
+	}
+	if !c.Kind.Valid() {
+		return fmt.Errorf("xfermodel: invalid memory kind %d", c.Kind)
+	}
+	return nil
+}
+
+// CalibrateTwoPoint derives a BusModel from bus using the paper's
+// two-measurement scheme, independently per direction. This is the
+// procedure GROPHECY++ runs automatically on each new system.
+func CalibrateTwoPoint(bus *pcie.Bus, cfg CalibrationConfig) (BusModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return BusModel{}, err
+	}
+	bm := BusModel{Kind: cfg.Kind}
+	for d := 0; d < pcie.NumDirections; d++ {
+		dir := pcie.Direction(d)
+		tSmall := bus.MeasureMean(dir, cfg.Kind, cfg.SmallSize, cfg.Runs)
+		tLarge := bus.MeasureMean(dir, cfg.Kind, cfg.LargeSize, cfg.Runs)
+		bm.Dir[d] = Model{
+			Alpha: tSmall,
+			Beta:  tLarge / float64(cfg.LargeSize),
+		}
+		bm.CalibrationCost += float64(cfg.Runs) * (tSmall + tLarge)
+		bm.CalibrationTransfers += 2 * cfg.Runs
+	}
+	if !bm.Valid() {
+		return BusModel{}, errors.New("xfermodel: calibration produced implausible parameters")
+	}
+	return bm, nil
+}
+
+// CalibrateLeastSquares derives a BusModel by measuring every size in
+// sizes (cfg.Runs transfers each) and fitting T = alpha + beta*d by
+// ordinary least squares, per direction. It is the expensive ablation
+// against CalibrateTwoPoint.
+//
+// Note that an unweighted fit over a power-of-two sweep is dominated
+// by the largest sizes, so its alpha can come out slightly negative;
+// in that case alpha is clamped to the smallest measured time to keep
+// the model physical.
+func CalibrateLeastSquares(bus *pcie.Bus, cfg CalibrationConfig, sizes []int64) (BusModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return BusModel{}, err
+	}
+	if len(sizes) < 2 {
+		return BusModel{}, errors.New("xfermodel: least-squares calibration needs at least two sizes")
+	}
+	bm := BusModel{Kind: cfg.Kind}
+	for d := 0; d < pcie.NumDirections; d++ {
+		dir := pcie.Direction(d)
+		xs := make([]float64, len(sizes))
+		ys := make([]float64, len(sizes))
+		minTime := 0.0
+		for i, size := range sizes {
+			if size < 0 {
+				return BusModel{}, fmt.Errorf("xfermodel: negative sweep size %d", size)
+			}
+			mean := bus.MeasureMean(dir, cfg.Kind, size, cfg.Runs)
+			xs[i] = float64(size)
+			ys[i] = mean
+			if i == 0 || mean < minTime {
+				minTime = mean
+			}
+			bm.CalibrationCost += float64(cfg.Runs) * mean
+			bm.CalibrationTransfers += cfg.Runs
+		}
+		fit, err := stats.FitLine(xs, ys)
+		if err != nil {
+			return BusModel{}, fmt.Errorf("xfermodel: %v fit failed: %w", dir, err)
+		}
+		alpha := fit.Intercept
+		if alpha <= 0 {
+			alpha = minTime
+		}
+		bm.Dir[d] = Model{Alpha: alpha, Beta: fit.Slope}
+	}
+	if !bm.Valid() {
+		return BusModel{}, errors.New("xfermodel: least-squares calibration produced implausible parameters")
+	}
+	return bm, nil
+}
+
+// PowerOfTwoSizes returns all powers of two from min to max inclusive
+// (min and max are rounded to themselves; both must already be powers
+// of two). This is the sweep used by the paper's validation (1 B to
+// 512 MB, §V-A).
+func PowerOfTwoSizes(min, max int64) []int64 {
+	if min <= 0 || max < min {
+		panic("xfermodel: invalid size range")
+	}
+	if min&(min-1) != 0 || max&(max-1) != 0 {
+		panic("xfermodel: size bounds must be powers of two")
+	}
+	var sizes []int64
+	for s := min; s <= max; s <<= 1 {
+		sizes = append(sizes, s)
+		if s > max>>1 {
+			break // avoid overflow on the final shift
+		}
+	}
+	return sizes
+}
+
+// ValidationPoint records one size/direction comparison between the
+// model and fresh measurements.
+type ValidationPoint struct {
+	Dir       pcie.Direction
+	Size      int64
+	Predicted float64 // seconds
+	Measured  float64 // seconds, mean over the validation runs
+	// ErrMag is |Predicted-Measured|/Measured, the paper's error
+	// magnitude, as a fraction.
+	ErrMag float64
+}
+
+// Validate measures every size in sizes in both directions (runs
+// transfers each, arithmetic mean) and compares against the model,
+// reproducing the paper's §V-A validation sweep.
+func Validate(bus *pcie.Bus, bm BusModel, sizes []int64, runs int) []ValidationPoint {
+	if runs <= 0 {
+		panic("xfermodel: Validate needs at least one run")
+	}
+	points := make([]ValidationPoint, 0, len(sizes)*pcie.NumDirections)
+	for d := 0; d < pcie.NumDirections; d++ {
+		dir := pcie.Direction(d)
+		for _, size := range sizes {
+			measured := bus.MeasureMean(dir, bm.Kind, size, runs)
+			predicted := bm.Predict(dir, size)
+			points = append(points, ValidationPoint{
+				Dir:       dir,
+				Size:      size,
+				Predicted: predicted,
+				Measured:  measured,
+				ErrMag:    stats.ErrorMagnitude(predicted, measured),
+			})
+		}
+	}
+	return points
+}
+
+// SummarizeValidation aggregates validation points per direction,
+// returning the mean and max error magnitude (the numbers quoted for
+// Fig 4: mean 2.0%/0.8%, max 6.4%/3.3%).
+type ValidationSummary struct {
+	Dir     pcie.Direction
+	MeanErr float64
+	MaxErr  float64
+	N       int
+}
+
+// SummarizeValidation computes per-direction summaries of points.
+func SummarizeValidation(points []ValidationPoint) [pcie.NumDirections]ValidationSummary {
+	var out [pcie.NumDirections]ValidationSummary
+	for d := 0; d < pcie.NumDirections; d++ {
+		out[d].Dir = pcie.Direction(d)
+	}
+	for _, p := range points {
+		s := &out[p.Dir]
+		s.N++
+		s.MeanErr += p.ErrMag
+		if p.ErrMag > s.MaxErr {
+			s.MaxErr = p.ErrMag
+		}
+	}
+	for d := range out {
+		if out[d].N > 0 {
+			out[d].MeanErr /= float64(out[d].N)
+		}
+	}
+	return out
+}

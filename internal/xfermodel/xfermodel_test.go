@@ -1,0 +1,319 @@
+package xfermodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grophecy/internal/pcie"
+	"grophecy/internal/stats"
+	"grophecy/internal/units"
+)
+
+func calibrated(t *testing.T) (*pcie.Bus, BusModel) {
+	t.Helper()
+	bus := pcie.NewBus(pcie.DefaultConfig())
+	bm, err := CalibrateTwoPoint(bus, DefaultCalibration())
+	if err != nil {
+		t.Fatalf("calibration failed: %v", err)
+	}
+	return bus, bm
+}
+
+func TestModelPredictLinear(t *testing.T) {
+	m := Model{Alpha: 10e-6, Beta: 1e-9}
+	if got := m.Predict(0); got != 10e-6 {
+		t.Errorf("Predict(0) = %v", got)
+	}
+	if got := m.Predict(1000); math.Abs(got-11e-6) > 1e-18 {
+		t.Errorf("Predict(1000) = %v, want 11us", got)
+	}
+}
+
+func TestModelPredictPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict(-1) did not panic")
+		}
+	}()
+	Model{Alpha: 1, Beta: 1}.Predict(-1)
+}
+
+func TestModelBandwidth(t *testing.T) {
+	m := Model{Alpha: 10e-6, Beta: 4e-10}
+	if got := m.Bandwidth(); math.Abs(got-2.5e9) > 1 {
+		t.Errorf("Bandwidth = %v, want 2.5e9", got)
+	}
+	if !math.IsInf(Model{}.Bandwidth(), 1) {
+		t.Error("zero-beta bandwidth should be +Inf")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := Model{Alpha: 10e-6, Beta: 4e-10}
+	if got := m.String(); got != "T(d) = 10.00us + d/2.50GB/s" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestModelValid(t *testing.T) {
+	if (Model{}).Valid() {
+		t.Error("zero model should be invalid")
+	}
+	if !(Model{Alpha: 1e-6, Beta: 1e-10}).Valid() {
+		t.Error("plausible model should be valid")
+	}
+}
+
+func TestDefaultCalibrationMatchesPaper(t *testing.T) {
+	cfg := DefaultCalibration()
+	if cfg.Runs != 10 {
+		t.Errorf("Runs = %d, want 10", cfg.Runs)
+	}
+	if cfg.SmallSize != 1 {
+		t.Errorf("SmallSize = %d, want 1", cfg.SmallSize)
+	}
+	if cfg.LargeSize != 512*units.MB {
+		t.Errorf("LargeSize = %d, want 512MB", cfg.LargeSize)
+	}
+	if cfg.Kind != pcie.Pinned {
+		t.Errorf("Kind = %v, want pinned", cfg.Kind)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default calibration invalid: %v", err)
+	}
+}
+
+func TestCalibrationConfigValidate(t *testing.T) {
+	bad := []CalibrationConfig{
+		{Runs: 0, SmallSize: 1, LargeSize: 2, Kind: pcie.Pinned},
+		{Runs: 1, SmallSize: 0, LargeSize: 2, Kind: pcie.Pinned},
+		{Runs: 1, SmallSize: 4, LargeSize: 4, Kind: pcie.Pinned},
+		{Runs: 1, SmallSize: 1, LargeSize: 2, Kind: pcie.MemoryKind(9)},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestCalibrateTwoPointRecoversBusParameters(t *testing.T) {
+	bus, bm := calibrated(t)
+	cfg := bus.Config()
+	for d := 0; d < pcie.NumDirections; d++ {
+		m := bm.Dir[d]
+		// Alpha should be within noise (~15%) of the true setup
+		// latency; beta within 2% of the true inverse bandwidth.
+		trueAlpha := cfg.Pinned[d].SetupLatency
+		if e := stats.ErrorMagnitude(m.Alpha, trueAlpha); e > 0.15 {
+			t.Errorf("%v: alpha %v vs true %v (err %v)", pcie.Direction(d), m.Alpha, trueAlpha, e)
+		}
+		trueBeta := 1 / cfg.Pinned[d].Bandwidth
+		if e := stats.ErrorMagnitude(m.Beta, trueBeta); e > 0.02 {
+			t.Errorf("%v: beta %v vs true %v (err %v)", pcie.Direction(d), m.Beta, trueBeta, e)
+		}
+	}
+}
+
+func TestCalibrationMatchesPaperMagnitudes(t *testing.T) {
+	// Paper §III-C: "alpha is on the order of 10us and the transfer
+	// bandwidth (1/beta) is approximately 2.5 GB/s."
+	_, bm := calibrated(t)
+	for d := 0; d < pcie.NumDirections; d++ {
+		m := bm.Dir[d]
+		if m.Alpha < 5e-6 || m.Alpha > 25e-6 {
+			t.Errorf("%v alpha = %v, want order of 10us", pcie.Direction(d), m.Alpha)
+		}
+		bw := m.Bandwidth()
+		if bw < 2.0e9 || bw > 3.0e9 {
+			t.Errorf("%v bandwidth = %v, want ~2.5GB/s", pcie.Direction(d), bw)
+		}
+	}
+}
+
+func TestCalibrationCostAccounting(t *testing.T) {
+	_, bm := calibrated(t)
+	if bm.CalibrationTransfers != 40 { // 2 sizes x 10 runs x 2 directions
+		t.Errorf("CalibrationTransfers = %d, want 40", bm.CalibrationTransfers)
+	}
+	// Dominated by 20 transfers of 512MB at ~2.5GB/s: ~4s total.
+	if bm.CalibrationCost < 2 || bm.CalibrationCost > 10 {
+		t.Errorf("CalibrationCost = %v s, want a few seconds", bm.CalibrationCost)
+	}
+}
+
+func TestCalibrateRejectsBadConfig(t *testing.T) {
+	bus := pcie.NewBus(pcie.DefaultConfig())
+	if _, err := CalibrateTwoPoint(bus, CalibrationConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := CalibrateLeastSquares(bus, CalibrationConfig{}, []int64{1, 2}); err == nil {
+		t.Error("zero config accepted by least squares")
+	}
+	if _, err := CalibrateLeastSquares(bus, DefaultCalibration(), []int64{1}); err == nil {
+		t.Error("single-point least squares accepted")
+	}
+	if _, err := CalibrateLeastSquares(bus, DefaultCalibration(), []int64{-1, 2}); err == nil {
+		t.Error("negative sweep size accepted")
+	}
+}
+
+func TestBusModelPredictPanicsOnBadDirection(t *testing.T) {
+	_, bm := calibrated(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad direction did not panic")
+		}
+	}()
+	bm.Predict(pcie.Direction(5), 100)
+}
+
+func TestPredictionAccuracyMatchesFig4(t *testing.T) {
+	// Reproduce the §V-A validation: sweep 1B..512MB, 10 runs per
+	// size. Paper: max error 6.4% (H2D) / 3.3% (D2H); mean 2.0% /
+	// 0.8%. Our simulated bus should land in the same regime: mean
+	// under 5%, max under 15%, and near-zero error above 1MB.
+	bus, bm := calibrated(t)
+	sizes := PowerOfTwoSizes(1, 512*units.MB)
+	points := Validate(bus, bm, sizes, 10)
+	sums := SummarizeValidation(points)
+	for _, s := range sums {
+		if s.MeanErr > 0.05 {
+			t.Errorf("%v mean error %v, want < 5%%", s.Dir, s.MeanErr)
+		}
+		if s.MaxErr > 0.15 {
+			t.Errorf("%v max error %v, want < 15%%", s.Dir, s.MaxErr)
+		}
+	}
+	for _, p := range points {
+		if p.Size > units.MB && p.ErrMag > 0.02 {
+			t.Errorf("%v %s: error %v should be ~0 above 1MB",
+				p.Dir, units.FormatBytes(p.Size), p.ErrMag)
+		}
+	}
+}
+
+func TestErrorLargerAtSmallSizes(t *testing.T) {
+	// Fig 4 shape: relative error decreases with size.
+	bus, bm := calibrated(t)
+	sizes := PowerOfTwoSizes(1, 512*units.MB)
+	points := Validate(bus, bm, sizes, 10)
+	var small, large []float64
+	for _, p := range points {
+		if p.Size <= units.KB {
+			small = append(small, p.ErrMag)
+		} else if p.Size >= units.MB {
+			large = append(large, p.ErrMag)
+		}
+	}
+	if stats.Mean(small) <= stats.Mean(large) {
+		t.Errorf("small-size mean error %v should exceed large-size %v",
+			stats.Mean(small), stats.Mean(large))
+	}
+}
+
+func TestLeastSquaresComparableToTwoPoint(t *testing.T) {
+	cfg := pcie.DefaultConfig()
+	busA := pcie.NewBus(cfg)
+	busB := pcie.NewBus(cfg)
+	two, err := CalibrateTwoPoint(busA, DefaultCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := PowerOfTwoSizes(1, 512*units.MB)
+	ls, err := CalibrateLeastSquares(busB, DefaultCalibration(), sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both should agree on beta within a couple percent; and LS must
+	// be far more expensive to calibrate.
+	for d := 0; d < pcie.NumDirections; d++ {
+		if e := stats.ErrorMagnitude(ls.Dir[d].Beta, two.Dir[d].Beta); e > 0.03 {
+			t.Errorf("%v: LS beta deviates %v from two-point", pcie.Direction(d), e)
+		}
+	}
+	if ls.CalibrationTransfers <= two.CalibrationTransfers {
+		t.Error("least squares should need more transfers than two-point")
+	}
+}
+
+func TestPowerOfTwoSizes(t *testing.T) {
+	sizes := PowerOfTwoSizes(1, 512*units.MB)
+	if len(sizes) != 30 { // 2^0 .. 2^29
+		t.Fatalf("len = %d, want 30", len(sizes))
+	}
+	if sizes[0] != 1 || sizes[len(sizes)-1] != 512*units.MB {
+		t.Errorf("bounds = %d..%d", sizes[0], sizes[len(sizes)-1])
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != sizes[i-1]*2 {
+			t.Errorf("sizes[%d] = %d not double of previous", i, sizes[i])
+		}
+	}
+}
+
+func TestPowerOfTwoSizesPanics(t *testing.T) {
+	cases := []struct{ min, max int64 }{
+		{0, 8}, {8, 4}, {3, 8}, {2, 12},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PowerOfTwoSizes(%d,%d) did not panic", c.min, c.max)
+				}
+			}()
+			PowerOfTwoSizes(c.min, c.max)
+		}()
+	}
+}
+
+func TestValidatePanicsOnZeroRuns(t *testing.T) {
+	bus, bm := calibrated(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Validate with 0 runs did not panic")
+		}
+	}()
+	Validate(bus, bm, []int64{1}, 0)
+}
+
+func TestSummarizeValidationEmpty(t *testing.T) {
+	sums := SummarizeValidation(nil)
+	for d, s := range sums {
+		if s.N != 0 || s.MeanErr != 0 || s.MaxErr != 0 {
+			t.Errorf("dir %d: nonzero summary %+v for empty input", d, s)
+		}
+	}
+}
+
+func TestQuickPredictMonotonicInSize(t *testing.T) {
+	_, bm := calibrated(t)
+	prop := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return bm.Predict(pcie.HostToDevice, x) <= bm.Predict(pcie.HostToDevice, y)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPredictAdditivity(t *testing.T) {
+	// Splitting one transfer into two always costs one extra alpha:
+	// T(a)+T(b) == T(a+b) + alpha. This is why the paper notes that
+	// batching small arrays together can help (§III-B).
+	_, bm := calibrated(t)
+	m := bm.Dir[pcie.HostToDevice]
+	prop := func(a, b uint16) bool {
+		lhs := m.Predict(int64(a)) + m.Predict(int64(b))
+		rhs := m.Predict(int64(a)+int64(b)) + m.Alpha
+		return math.Abs(lhs-rhs) < 1e-15
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
