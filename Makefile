@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench paper csv examples fuzz fmt clean
+.PHONY: all check build test vet race bench paper csv examples fuzz fmt clean
 
-all: build vet test
+all: check
+
+# The default verification gate: everything must compile, pass vet,
+# and pass the full test suite under the race detector.
+check: build vet race
+
+race:
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

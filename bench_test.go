@@ -58,7 +58,10 @@ func sharedCtx(b *testing.B) *experiments.Context {
 func BenchmarkFig2TransferSweep(b *testing.B) {
 	c := sharedCtx(b)
 	for i := 0; i < b.N; i++ {
-		rows := c.Fig2()
+		rows, err := c.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rows) != 30 {
 			b.Fatalf("rows = %d", len(rows))
 		}
@@ -69,7 +72,10 @@ func BenchmarkFig3PinnedSpeedup(b *testing.B) {
 	c := sharedCtx(b)
 	var last float64
 	for i := 0; i < b.N; i++ {
-		rows := c.Fig3()
+		rows, err := c.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
 		last = rows[len(rows)-1].SpeedupH2D
 	}
 	b.ReportMetric(last, "pinned-speedup-512MB")
@@ -79,7 +85,10 @@ func BenchmarkFig4ModelError(b *testing.B) {
 	c := sharedCtx(b)
 	var meanH2D, meanD2H float64
 	for i := 0; i < b.N; i++ {
-		_, sums := c.Fig4()
+		_, sums, err := c.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
 		meanH2D, meanD2H = sums[0].MeanErr, sums[1].MeanErr
 	}
 	b.ReportMetric(100*meanH2D, "mean-err-C2G-%")

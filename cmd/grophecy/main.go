@@ -10,20 +10,25 @@
 //	grophecy -app HotSpot -size "1024 x 1024"
 //	grophecy -app CFD -size 233K -iters 8
 //	grophecy -app SRAD -size "2048 x 2048" -gpu "NVIDIA Tesla C2050"
+//	grophecy -app HotSpot -size "1024 x 1024" -faults "transient=0.02,outlier=0.01:8"
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"grophecy/internal/bench"
 	"grophecy/internal/core"
 	"grophecy/internal/cpumodel"
 	"grophecy/internal/experiments"
+	"grophecy/internal/fault"
 	"grophecy/internal/gpu"
+	"grophecy/internal/measure"
 	"grophecy/internal/pcie"
 	"grophecy/internal/perfmodel"
 	"grophecy/internal/sklang"
@@ -44,8 +49,17 @@ func main() {
 		showTime = flag.Bool("timeline", false, "render the measured execution timeline as a Gantt chart")
 		asJSON   = flag.Bool("json", false, "emit the report as JSON instead of text")
 		verbose  = flag.Bool("v", false, "print per-kernel model and simulator diagnostics")
+		faults   = flag.String("faults", "", `fault-injection plan, e.g. "transient=0.02,outlier=0.01:8,slow=40:5:6,drift=0.001" (see docs/ROBUSTNESS.md); empty or "none" disables injection`)
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	plan, err := fault.ParsePlan(*faults)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		printList()
@@ -60,13 +74,12 @@ func main() {
 	}
 
 	var w core.Workload
-	var err error
 	if *skeleton != "" {
 		w, err = sklang.ParseFile(*skeleton)
 		if err != nil && errors.Is(err, sklang.ErrNotWorkload) {
 			// A multi-phase program file: evaluate it with
 			// residency-aware planning and exit.
-			runProgramFile(*skeleton, *seed)
+			runProgramFile(ctx, *skeleton, *seed, plan)
 			return
 		}
 	} else {
@@ -96,7 +109,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	projector, err := core.NewProjector(machine)
+	projector, err := buildProjector(ctx, machine, plan)
 	if err != nil {
 		fatal(err)
 	}
@@ -110,7 +123,7 @@ func main() {
 		fmt.Printf("  GPU-to-CPU: %s\n\n", model.Dir[pcie.DeviceToHost])
 	}
 
-	rep, err := projector.Evaluate(w)
+	rep, err := projector.EvaluateCtx(ctx, w)
 	if err != nil {
 		fatal(err)
 	}
@@ -119,6 +132,7 @@ func main() {
 		return
 	}
 	printReport(rep)
+	printResilience(machine, rep.Resilient, rep.Degradations)
 	if *verbose {
 		printDiagnostics(machine, rep)
 	}
@@ -163,18 +177,48 @@ func printDiagnostics(machine *core.Machine, r core.Report) {
 	}
 }
 
+// buildProjector returns the raw projector for an empty fault plan —
+// bit-identical to the paper's pipeline — or a resilient projector
+// measuring through the armed fault layer otherwise.
+func buildProjector(ctx context.Context, machine *core.Machine, plan fault.Plan) (*core.Projector, error) {
+	if plan.Empty() {
+		return core.NewProjector(machine)
+	}
+	machine.ArmFaults(plan)
+	return core.NewResilientProjector(ctx, machine, pcie.Pinned, measure.DefaultConfig())
+}
+
+// printResilience reports what the fault layer injected and what the
+// resilient pipeline had to do about it.
+func printResilience(machine *core.Machine, resilient bool, degradations []string) {
+	if !resilient || machine.Faults == nil {
+		return
+	}
+	fmt.Println("\nresilience:")
+	fmt.Printf("  fault plan:  %s\n", machine.Faults.Plan)
+	fmt.Printf("  injected:    %s\n", machine.Faults.Stats())
+	if len(degradations) == 0 {
+		fmt.Println("  degradations: none (all measurements recovered)")
+		return
+	}
+	fmt.Printf("  degradations (%d):\n", len(degradations))
+	for _, d := range degradations {
+		fmt.Printf("    - %s\n", d)
+	}
+}
+
 // runProgramFile evaluates a multi-phase skeleton file.
-func runProgramFile(path string, seed uint64) {
+func runProgramFile(ctx context.Context, path string, seed uint64, plan fault.Plan) {
 	pw, err := sklang.ParseProgramFile(path)
 	if err != nil {
 		fatal(err)
 	}
 	machine := core.NewMachine(seed)
-	projector, err := core.NewProjector(machine)
+	projector, err := buildProjector(ctx, machine, plan)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := projector.EvaluateProgram(pw.Prog, pw.CPU)
+	rep, err := projector.EvaluateProgramCtx(ctx, pw.Prog, pw.CPU)
 	if err != nil {
 		fatal(err)
 	}
@@ -200,6 +244,7 @@ func runProgramFile(path string, seed uint64) {
 		100*rep.ResidencySavings())
 	fmt.Printf("projected speedup %.2fx, measured %.2fx\n",
 		rep.SpeedupFull(), rep.MeasuredSpeedup())
+	printResilience(machine, rep.Resilient, rep.Degradations)
 }
 
 func printList() {

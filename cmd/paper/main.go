@@ -55,7 +55,10 @@ func main() {
 	}
 
 	if *all || *fig == 2 {
-		rows := ctx.Fig2()
+		rows, err := ctx.Fig2()
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Println(experiments.RenderFig2(rows))
 		if *charts {
 			chart, err := experiments.ChartFig2(rows)
@@ -66,10 +69,17 @@ func main() {
 		}
 	}
 	if *all || *fig == 3 {
-		fmt.Println(experiments.RenderFig3(ctx.Fig3()))
+		rows, err := ctx.Fig3()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(experiments.RenderFig3(rows))
 	}
 	if *all || *fig == 4 {
-		rows, sums := ctx.Fig4()
+		rows, sums, err := ctx.Fig4()
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Println(experiments.RenderFig4(rows, sums))
 		if *charts {
 			chart, err := experiments.ChartFig4(rows)

@@ -42,10 +42,13 @@ func main() {
 		cfg.Kind = pcie.Pageable
 	}
 
-	sizes := xfermodel.PowerOfTwoSizes(1, 512*units.MB)
+	sizes, err := xfermodel.PowerOfTwoSizes(1, 512*units.MB)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pciecal:", err)
+		os.Exit(1)
+	}
 
 	var model xfermodel.BusModel
-	var err error
 	if *ls {
 		fmt.Println("calibration: ordinary least squares over the full sweep (ablation)")
 		model, err = xfermodel.CalibrateLeastSquares(bus, cfg, sizes)
@@ -66,7 +69,11 @@ func main() {
 		fmt.Printf("%-10v %s\n", pcie.Direction(d), model.Dir[d])
 	}
 
-	points := xfermodel.Validate(bus, model, sizes, cfg.Runs)
+	points, err := xfermodel.Validate(bus, model, sizes, cfg.Runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pciecal:", err)
+		os.Exit(1)
+	}
 	sums := xfermodel.SummarizeValidation(points)
 	fmt.Println("\nvalidation over 1B..512MB (Figure 4):")
 	for _, s := range sums {

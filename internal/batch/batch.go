@@ -101,12 +101,19 @@ func Analyze(plan datausage.Plan, bm xfermodel.BusModel, cfg Config) ([]Estimate
 		est := Estimate{Dir: group.dir, Transfers: len(group.trs)}
 		for _, tr := range group.trs {
 			est.Bytes += tr.Bytes()
-			est.PerArray += bm.Predict(group.dir, tr.Bytes())
+			t, err := bm.Predict(group.dir, tr.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			est.PerArray += t
 		}
 		// One packed transfer plus marshalling on the host side (the
 		// GPU-side unpack rides the kernel's first touch for free).
-		est.Batched = bm.Predict(group.dir, est.Bytes) +
-			float64(est.Bytes)/cfg.PackBandwidth
+		batched, err := bm.Predict(group.dir, est.Bytes)
+		if err != nil {
+			return nil, err
+		}
+		est.Batched = batched + float64(est.Bytes)/cfg.PackBandwidth
 		out = append(out, est)
 	}
 	return out, nil

@@ -22,13 +22,19 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"grophecy/internal/cpumodel"
 	"grophecy/internal/datausage"
+	"grophecy/internal/errdefs"
+	"grophecy/internal/fault"
 	"grophecy/internal/gpu"
 	"grophecy/internal/gpusim"
+	"grophecy/internal/measure"
 	"grophecy/internal/pcie"
+	"grophecy/internal/perfmodel"
 	"grophecy/internal/skeleton"
 	"grophecy/internal/stats"
 	"grophecy/internal/transform"
@@ -45,6 +51,19 @@ type Machine struct {
 	GPU     *gpusim.Sim
 	CPU     *cpumodel.Sim
 	Bus     *pcie.Bus
+
+	// Faults, when non-nil, wraps the three measurement surfaces with
+	// a deterministic fault-injection layer. Arm it with ArmFaults;
+	// projectors then measure through the wrapped surfaces.
+	Faults *fault.Set
+}
+
+// ArmFaults wraps the machine's measurement surfaces with plan's
+// deterministic fault streams. An empty plan still installs the
+// wrappers, but they are strict pass-throughs.
+func (m *Machine) ArmFaults(plan fault.Plan) *fault.Set {
+	m.Faults = fault.NewSet(plan, m.Bus, m.GPU, m.CPU)
+	return m.Faults
 }
 
 // NewMachine builds the paper's evaluation node: a Xeon E5405 CPU, a
@@ -143,6 +162,15 @@ type Report struct {
 	MeasKernelTime   float64
 	PredTransferTime float64
 	MeasTransferTime float64
+
+	// Resilient marks reports produced through the resilient
+	// measurement layer (retries, robust estimators, degradation
+	// ladder) rather than the paper's raw 10-run means.
+	Resilient bool `json:",omitempty"`
+	// Degradations lists, in order, every fallback the resilient
+	// pipeline took: calibration ladder rungs, partial measurements,
+	// predicted-value substitutions. Empty for clean runs.
+	Degradations []string `json:",omitempty"`
 }
 
 // MeasTotalGPU returns the measured total GPU time.
@@ -213,12 +241,22 @@ func (r Report) LimitSpeedups() (measured, predicted float64) {
 // Projector is the configured GROPHECY++ pipeline for one machine.
 // Create it with NewProjector, which runs the automatic PCIe
 // calibration the paper describes ("automatically invoked by
-// GROPHECY++ when run on a new system", §III-C).
+// GROPHECY++ when run on a new system", §III-C), or with
+// NewResilientProjector to calibrate and measure through the
+// resilient measurement layer (internal/measure) — with fault
+// injection when the machine has armed faults.
 type Projector struct {
 	m     *Machine
 	model xfermodel.BusModel
 	kind  pcie.MemoryKind
 	runs  int
+
+	// meter, when non-nil, switches every measurement to the
+	// resilient protocol: retries, deadlines, robust estimators,
+	// graceful degradation. Nil reproduces the paper's raw 10-run
+	// means bit-for-bit.
+	meter  *measure.Meter
+	health *xfermodel.Health
 }
 
 // NewProjector calibrates the transfer model on the machine's bus and
@@ -240,17 +278,89 @@ func NewProjectorWith(m *Machine, kind pcie.MemoryKind) (*Projector, error) {
 	return &Projector{m: m, model: model, kind: kind, runs: MeasureRuns}, nil
 }
 
+// NewResilientProjector calibrates through the resilient measurement
+// layer and returns a projector whose every measurement retries
+// transients, enforces deadlines, and estimates robustly. If the
+// machine has armed faults, calibration and measurement both go
+// through the fault-injecting surfaces.
+func NewResilientProjector(ctx context.Context, m *Machine, kind pcie.MemoryKind, mcfg measure.Config) (*Projector, error) {
+	meter, err := measure.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg := xfermodel.DefaultCalibration()
+	cfg.Kind = kind
+	cfg.Runs = mcfg.Runs
+	p := &Projector{m: m, kind: kind, runs: mcfg.Runs, meter: meter}
+	model, health, err := xfermodel.CalibrateResilient(ctx, meter, p.busSource(), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: resilient PCIe calibration failed: %w", err)
+	}
+	p.model, p.health = model, health
+	return p, nil
+}
+
 // BusModel returns the calibrated transfer model.
 func (p *Projector) BusModel() xfermodel.BusModel { return p.model }
 
 // Machine returns the underlying machine.
 func (p *Projector) Machine() *Machine { return p.m }
 
+// Health returns the calibration health record of a resilient
+// projector, or nil for the raw pipeline.
+func (p *Projector) Health() *xfermodel.Health { return p.health }
+
+// busSource returns the transfer surface measurements go through:
+// the fault-wrapped bus when faults are armed, else the raw bus.
+func (p *Projector) busSource() measure.Source {
+	if p.m.Faults != nil {
+		return p.m.Faults.Bus
+	}
+	return p.m.Bus
+}
+
+// gpuRun performs one kernel-launch observation through the fault
+// layer when armed.
+func (p *Projector) gpuRun(ch perfmodel.Characteristics) (float64, error) {
+	if p.m.Faults != nil {
+		return p.m.Faults.GPU.Run(ch)
+	}
+	return p.m.GPU.Run(ch)
+}
+
+// cpuRun performs one CPU-baseline observation through the fault
+// layer when armed.
+func (p *Projector) cpuRun(w cpumodel.Workload) (float64, error) {
+	if p.m.Faults != nil {
+		return p.m.Faults.CPU.Run(w)
+	}
+	return p.m.CPU.Run(w)
+}
+
+// degradable reports whether a measurement failure should be absorbed
+// by the degradation ladder (transient exhaustion, simulated
+// deadline) rather than propagated (cancellation, invalid input).
+func degradable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	return errdefs.IsTransient(err) || errors.Is(err, errdefs.ErrMeasureTimeout)
+}
+
 // Evaluate runs the full GROPHECY++ pipeline on one workload:
 // transformation exploration and kernel projection, data usage
 // analysis, transfer projection — and the corresponding measurements
 // on the simulated hardware.
 func (p *Projector) Evaluate(w Workload) (Report, error) {
+	return p.EvaluateCtx(context.Background(), w)
+}
+
+// EvaluateCtx is Evaluate with cancellation. A raw projector checks
+// ctx between measurement groups; a resilient projector additionally
+// enforces it inside every measurement, degrades gracefully on
+// absorbed failures, and records every fallback in
+// Report.Degradations.
+func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error) {
 	if err := w.Validate(); err != nil {
 		return Report{}, err
 	}
@@ -265,16 +375,25 @@ func (p *Projector) Evaluate(w Workload) (Report, error) {
 		DataSize:   w.DataSize,
 		Iterations: w.Seq.Iterations,
 		Plan:       plan,
+		Resilient:  p.meter != nil,
+	}
+	if p.health != nil {
+		for _, d := range p.health.Degradations {
+			r.Degradations = append(r.Degradations, "calibration: "+d)
+		}
 	}
 
 	// Kernels: project best variant, then "measure" the hand-coded
 	// equivalent.
 	for _, k := range w.Seq.Kernels {
+		if err := ctx.Err(); err != nil {
+			return Report{}, err
+		}
 		variant, proj, err := transform.Best(k, p.m.GPUArch)
 		if err != nil {
 			return Report{}, err
 		}
-		measured, err := p.m.GPU.MeasureMean(variant.Ch, p.runs)
+		measured, err := p.measureKernel(ctx, k.Name, variant.Ch, proj.Time, &r.Degradations)
 		if err != nil {
 			return Report{}, fmt.Errorf("core: measuring kernel %q: %w", k.Name, err)
 		}
@@ -291,12 +410,21 @@ func (p *Projector) Evaluate(w Workload) (Report, error) {
 
 	// Transfers: pinned memory, one transfer per array per direction.
 	for _, tr := range append(append([]datausage.Transfer(nil), plan.Uploads...), plan.Downloads...) {
+		if err := ctx.Err(); err != nil {
+			return Report{}, err
+		}
 		dir := pcie.HostToDevice
 		if tr.Dir == datausage.Download {
 			dir = pcie.DeviceToHost
 		}
-		pred := p.model.Predict(dir, tr.Bytes())
-		meas := p.m.Bus.MeasureMean(dir, p.kind, tr.Bytes(), p.runs)
+		pred, err := p.model.Predict(dir, tr.Bytes())
+		if err != nil {
+			return Report{}, err
+		}
+		meas, err := p.measureTransfer(ctx, tr.String(), dir, tr.Bytes(), pred, &r.Degradations)
+		if err != nil {
+			return Report{}, err
+		}
 		r.Transfers = append(r.Transfers, TransferResult{
 			Transfer:  tr,
 			Predicted: pred,
@@ -307,7 +435,7 @@ func (p *Projector) Evaluate(w Workload) (Report, error) {
 	}
 
 	// CPU baseline: the same offloaded portion, all iterations.
-	cpuPerIter, err := p.m.CPU.MeasureMean(w.CPU, p.runs)
+	cpuPerIter, err := p.measureCPU(ctx, w.CPU, &r.Degradations)
 	if err != nil {
 		return Report{}, err
 	}
@@ -316,15 +444,95 @@ func (p *Projector) Evaluate(w Workload) (Report, error) {
 	return r, nil
 }
 
+// measureKernel measures one kernel's per-invocation time. The raw
+// pipeline uses the paper's 10-run mean; the resilient pipeline uses
+// the robust protocol and, when the measurement is unrecoverable,
+// degrades to the analytical prediction with a recorded warning.
+func (p *Projector) measureKernel(ctx context.Context, name string, ch perfmodel.Characteristics, predicted float64, notes *[]string) (float64, error) {
+	if p.meter == nil {
+		return p.m.GPU.MeasureMean(ch, p.runs)
+	}
+	res, err := p.meter.Sample(ctx, func() (float64, error) { return p.gpuRun(ch) })
+	if err != nil {
+		if res.Samples > 0 && degradable(ctx, err) {
+			*notes = append(*notes, fmt.Sprintf(
+				"kernel %s: measurement cut short (%d samples kept): %v", name, res.Samples, err))
+			return res.Value, nil
+		}
+		if degradable(ctx, err) {
+			*notes = append(*notes, fmt.Sprintf(
+				"kernel %s: measurement unrecoverable, using analytical prediction: %v", name, err))
+			return predicted, nil
+		}
+		return 0, err
+	}
+	return res.Value, nil
+}
+
+// measureTransfer measures one transfer. Degradation ladder: partial
+// robust estimate, then the calibrated model's prediction.
+func (p *Projector) measureTransfer(ctx context.Context, label string, dir pcie.Direction, size int64, predicted float64, notes *[]string) (float64, error) {
+	if p.meter == nil {
+		return p.m.Bus.MeasureMean(dir, p.kind, size, p.runs)
+	}
+	res, err := p.meter.MeasureTransfer(ctx, p.busSource(), dir, p.kind, size)
+	if err != nil {
+		if res.Samples > 0 && degradable(ctx, err) {
+			*notes = append(*notes, fmt.Sprintf(
+				"transfer %s: measurement cut short (%d samples kept): %v", label, res.Samples, err))
+			return res.Value, nil
+		}
+		if degradable(ctx, err) {
+			*notes = append(*notes, fmt.Sprintf(
+				"transfer %s: measurement unrecoverable, using model prediction: %v", label, err))
+			return predicted, nil
+		}
+		return 0, err
+	}
+	return res.Value, nil
+}
+
+// measureCPU measures the per-iteration CPU baseline, degrading to
+// the noiseless model time when the measurement is unrecoverable.
+func (p *Projector) measureCPU(ctx context.Context, w cpumodel.Workload, notes *[]string) (float64, error) {
+	if p.meter == nil {
+		return p.m.CPU.MeasureMean(w, p.runs)
+	}
+	res, err := p.meter.Sample(ctx, func() (float64, error) { return p.cpuRun(w) })
+	if err != nil {
+		if res.Samples > 0 && degradable(ctx, err) {
+			*notes = append(*notes, fmt.Sprintf(
+				"CPU baseline: measurement cut short (%d samples kept): %v", res.Samples, err))
+			return res.Value, nil
+		}
+		if degradable(ctx, err) {
+			base, berr := p.m.CPU.BaseTime(w)
+			if berr != nil {
+				return 0, berr
+			}
+			*notes = append(*notes, fmt.Sprintf(
+				"CPU baseline: measurement unrecoverable, using noiseless model time: %v", err))
+			return base, nil
+		}
+		return 0, err
+	}
+	return res.Value, nil
+}
+
 // EvaluateIterations evaluates the workload at several iteration
 // counts, reusing one projector (for the iteration-sweep figures).
 func (p *Projector) EvaluateIterations(w Workload, iterations []int) ([]Report, error) {
+	return p.EvaluateIterationsCtx(context.Background(), w, iterations)
+}
+
+// EvaluateIterationsCtx is EvaluateIterations with cancellation.
+func (p *Projector) EvaluateIterationsCtx(ctx context.Context, w Workload, iterations []int) ([]Report, error) {
 	reports := make([]Report, 0, len(iterations))
 	for _, n := range iterations {
 		if n < 1 {
-			return nil, fmt.Errorf("core: iteration count %d below 1", n)
+			return nil, errdefs.Invalidf("core: iteration count %d below 1", n)
 		}
-		rep, err := p.Evaluate(w.WithIterations(n))
+		rep, err := p.EvaluateCtx(ctx, w.WithIterations(n))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"grophecy/internal/cpumodel"
@@ -38,6 +39,11 @@ type ProgramReport struct {
 	// NaiveTransferPred is what per-phase (residency-blind) planning
 	// would have predicted for transfers, for the savings comparison.
 	NaiveTransferPred float64
+
+	// Resilient and Degradations mirror Report's fields: set only when
+	// the program was evaluated through the resilient measurement layer.
+	Resilient    bool     `json:",omitempty"`
+	Degradations []string `json:",omitempty"`
 }
 
 // Totals sums across phases.
@@ -79,6 +85,12 @@ func (r ProgramReport) ResidencySavings() float64 {
 // EvaluateProgram runs the full pipeline over a multi-phase program.
 // baseline describes one run of the whole program on the CPU.
 func (p *Projector) EvaluateProgram(prog *program.Program, baseline cpumodel.Workload) (ProgramReport, error) {
+	return p.EvaluateProgramCtx(context.Background(), prog, baseline)
+}
+
+// EvaluateProgramCtx is EvaluateProgram with cancellation and — on a
+// resilient projector — the same degradation ladder as EvaluateCtx.
+func (p *Projector) EvaluateProgramCtx(ctx context.Context, prog *program.Program, baseline cpumodel.Workload) (ProgramReport, error) {
 	if err := prog.Validate(); err != nil {
 		return ProgramReport{}, err
 	}
@@ -90,15 +102,23 @@ func (p *Projector) EvaluateProgram(prog *program.Program, baseline cpumodel.Wor
 		return ProgramReport{}, err
 	}
 
-	rep := ProgramReport{Name: prog.Name}
+	rep := ProgramReport{Name: prog.Name, Resilient: p.meter != nil}
+	if p.health != nil {
+		for _, d := range p.health.Degradations {
+			rep.Degradations = append(rep.Degradations, "calibration: "+d)
+		}
+	}
 	for i, ph := range prog.Phases {
+		if err := ctx.Err(); err != nil {
+			return ProgramReport{}, err
+		}
 		var pr PhaseReport
 		for _, k := range ph.Seq.Kernels {
 			variant, proj, err := transform.Best(k, p.m.GPUArch)
 			if err != nil {
 				return ProgramReport{}, fmt.Errorf("core: phase %d: %w", i, err)
 			}
-			measured, err := p.m.GPU.MeasureMean(variant.Ch, p.runs)
+			measured, err := p.measureKernel(ctx, k.Name, variant.Ch, proj.Time, &rep.Degradations)
 			if err != nil {
 				return ProgramReport{}, fmt.Errorf("core: phase %d kernel %q: %w", i, k.Name, err)
 			}
@@ -117,8 +137,14 @@ func (p *Projector) EvaluateProgram(prog *program.Program, baseline cpumodel.Wor
 			if tr.Dir == datausage.Download {
 				dir = pcie.DeviceToHost
 			}
-			pred := p.model.Predict(dir, tr.Bytes())
-			meas := p.m.Bus.MeasureMean(dir, p.kind, tr.Bytes(), p.runs)
+			pred, err := p.model.Predict(dir, tr.Bytes())
+			if err != nil {
+				return ProgramReport{}, err
+			}
+			meas, err := p.measureTransfer(ctx, tr.String(), dir, tr.Bytes(), pred, &rep.Degradations)
+			if err != nil {
+				return ProgramReport{}, err
+			}
 			pr.Transfers = append(pr.Transfers, TransferResult{
 				Transfer: tr, Predicted: pred, Measured: meas,
 			})
@@ -134,14 +160,22 @@ func (p *Projector) EvaluateProgram(prog *program.Program, baseline cpumodel.Wor
 			return ProgramReport{}, err
 		}
 		for _, tr := range naive.Uploads {
-			rep.NaiveTransferPred += p.model.Predict(pcie.HostToDevice, tr.Bytes())
+			t, err := p.model.Predict(pcie.HostToDevice, tr.Bytes())
+			if err != nil {
+				return ProgramReport{}, err
+			}
+			rep.NaiveTransferPred += t
 		}
 		for _, tr := range naive.Downloads {
-			rep.NaiveTransferPred += p.model.Predict(pcie.DeviceToHost, tr.Bytes())
+			t, err := p.model.Predict(pcie.DeviceToHost, tr.Bytes())
+			if err != nil {
+				return ProgramReport{}, err
+			}
+			rep.NaiveTransferPred += t
 		}
 	}
 
-	cpu, err := p.m.CPU.MeasureMean(baseline, p.runs)
+	cpu, err := p.measureCPU(ctx, baseline, &rep.Degradations)
 	if err != nil {
 		return ProgramReport{}, err
 	}

@@ -1,0 +1,52 @@
+package errdefs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestInvalidfWraps(t *testing.T) {
+	err := Invalidf("bad size %d", -1)
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("err = %v, not ErrInvalidInput", err)
+	}
+	if got := err.Error(); got != "invalid input: bad size -1" {
+		t.Errorf("message = %q", got)
+	}
+}
+
+func TestTransientfWraps(t *testing.T) {
+	err := Transientf("link hiccup %d", 3)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v, not ErrTransient", err)
+	}
+	if !IsTransient(err) {
+		t.Error("IsTransient false for a transient error")
+	}
+}
+
+func TestIsTransientSeesThroughWrapping(t *testing.T) {
+	inner := Transientf("flake")
+	wrapped := fmt.Errorf("measuring kernel: %w", inner)
+	if !IsTransient(wrapped) {
+		t.Error("IsTransient false through fmt.Errorf wrapping")
+	}
+	if IsTransient(errors.New("permanent")) {
+		t.Error("IsTransient true for an unrelated error")
+	}
+	if IsTransient(nil) {
+		t.Error("IsTransient true for nil")
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	sentinels := []error{ErrInvalidInput, ErrTransient, ErrMeasureTimeout, ErrCalibrationFailed, ErrPanic}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i != j && errors.Is(a, b) {
+				t.Errorf("sentinel %v matches %v", a, b)
+			}
+		}
+	}
+}

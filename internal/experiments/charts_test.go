@@ -6,7 +6,11 @@ import (
 )
 
 func TestChartFig2(t *testing.T) {
-	out, err := ChartFig2(getCtx(t).Fig2())
+	rows, err := getCtx(t).Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ChartFig2(rows)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,7 +22,10 @@ func TestChartFig2(t *testing.T) {
 }
 
 func TestChartFig4(t *testing.T) {
-	rows, _ := getCtx(t).Fig4()
+	rows, _, err := getCtx(t).Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
 	out, err := ChartFig4(rows)
 	if err != nil {
 		t.Fatal(err)

@@ -46,8 +46,12 @@ func (c *Context) WriteCSV(dir string) ([]string, error) {
 	fi := func(v int64) string { return strconv.FormatInt(v, 10) }
 
 	// Figure 2 (and 3, derivable): the transfer sweep.
+	rows2, err := c.Fig2()
+	if err != nil {
+		return nil, err
+	}
 	var fig2 [][]string
-	for _, r := range c.Fig2() {
+	for _, r := range rows2 {
 		fig2 = append(fig2, []string{
 			fi(r.Size), ff(r.PinnedH2D), ff(r.PageableH2D), ff(r.PredH2D),
 			ff(r.PinnedD2H), ff(r.PageableD2H), ff(r.PredD2H),
@@ -60,7 +64,10 @@ func (c *Context) WriteCSV(dir string) ([]string, error) {
 	}
 
 	// Figure 4: model error per size.
-	rows4, _ := c.Fig4()
+	rows4, _, err := c.Fig4()
+	if err != nil {
+		return nil, err
+	}
 	var fig4 [][]string
 	for _, r := range rows4 {
 		fig4 = append(fig4, []string{fi(r.Size), ff(r.ErrH2D), ff(r.ErrD2H)})

@@ -90,22 +90,40 @@ const Fig2Runs = 10
 
 // Fig2 measures the full sweep on the bus and overlays the calibrated
 // model's predictions.
-func (c *Context) Fig2() []Fig2Row {
-	sizes := xfermodel.PowerOfTwoSizes(1, 512*units.MB)
+func (c *Context) Fig2() ([]Fig2Row, error) {
+	sizes, err := xfermodel.PowerOfTwoSizes(1, 512*units.MB)
+	if err != nil {
+		return nil, err
+	}
 	model := c.P.BusModel()
 	rows := make([]Fig2Row, 0, len(sizes))
 	for _, size := range sizes {
-		rows = append(rows, Fig2Row{
-			Size:        size,
-			PinnedH2D:   c.M.Bus.MeasureMean(pcie.HostToDevice, pcie.Pinned, size, Fig2Runs),
-			PageableH2D: c.M.Bus.MeasureMean(pcie.HostToDevice, pcie.Pageable, size, Fig2Runs),
-			PinnedD2H:   c.M.Bus.MeasureMean(pcie.DeviceToHost, pcie.Pinned, size, Fig2Runs),
-			PageableD2H: c.M.Bus.MeasureMean(pcie.DeviceToHost, pcie.Pageable, size, Fig2Runs),
-			PredH2D:     model.Predict(pcie.HostToDevice, size),
-			PredD2H:     model.Predict(pcie.DeviceToHost, size),
-		})
+		row := Fig2Row{Size: size}
+		for _, cell := range []struct {
+			dst  *float64
+			dir  pcie.Direction
+			kind pcie.MemoryKind
+		}{
+			{&row.PinnedH2D, pcie.HostToDevice, pcie.Pinned},
+			{&row.PageableH2D, pcie.HostToDevice, pcie.Pageable},
+			{&row.PinnedD2H, pcie.DeviceToHost, pcie.Pinned},
+			{&row.PageableD2H, pcie.DeviceToHost, pcie.Pageable},
+		} {
+			t, err := c.M.Bus.MeasureMean(cell.dir, cell.kind, size, Fig2Runs)
+			if err != nil {
+				return nil, err
+			}
+			*cell.dst = t
+		}
+		if row.PredH2D, err = model.Predict(pcie.HostToDevice, size); err != nil {
+			return nil, err
+		}
+		if row.PredD2H, err = model.Predict(pcie.DeviceToHost, size); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // RenderFig2 prints the sweep as an aligned table.
@@ -136,8 +154,11 @@ type Fig3Row struct {
 }
 
 // Fig3 derives the pinned-vs-pageable speedups from a fresh sweep.
-func (c *Context) Fig3() []Fig3Row {
-	rows := c.Fig2()
+func (c *Context) Fig3() ([]Fig3Row, error) {
+	rows, err := c.Fig2()
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Fig3Row, 0, len(rows))
 	for _, r := range rows {
 		out = append(out, Fig3Row{
@@ -146,7 +167,7 @@ func (c *Context) Fig3() []Fig3Row {
 			SpeedupD2H: r.PageableD2H / r.PinnedD2H,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // RenderFig3 prints the speedup series.
@@ -180,9 +201,15 @@ type Fig4Summary struct {
 }
 
 // Fig4 validates the model over the power-of-two sweep.
-func (c *Context) Fig4() ([]Fig4Row, [pcie.NumDirections]Fig4Summary) {
-	sizes := xfermodel.PowerOfTwoSizes(1, 512*units.MB)
-	points := xfermodel.Validate(c.M.Bus, c.P.BusModel(), sizes, Fig2Runs)
+func (c *Context) Fig4() ([]Fig4Row, [pcie.NumDirections]Fig4Summary, error) {
+	sizes, err := xfermodel.PowerOfTwoSizes(1, 512*units.MB)
+	if err != nil {
+		return nil, [pcie.NumDirections]Fig4Summary{}, err
+	}
+	points, err := xfermodel.Validate(c.M.Bus, c.P.BusModel(), sizes, Fig2Runs)
+	if err != nil {
+		return nil, [pcie.NumDirections]Fig4Summary{}, err
+	}
 	byDirSize := make(map[pcie.Direction]map[int64]float64)
 	for d := 0; d < pcie.NumDirections; d++ {
 		byDirSize[pcie.Direction(d)] = make(map[int64]float64)
@@ -203,7 +230,7 @@ func (c *Context) Fig4() ([]Fig4Row, [pcie.NumDirections]Fig4Summary) {
 	for d, s := range sums {
 		out[d] = Fig4Summary{Direction: s.Dir, MeanErr: s.MeanErr, MaxErr: s.MaxErr}
 	}
-	return rows, out
+	return rows, out, nil
 }
 
 // RenderFig4 prints the error series and the summary line.

@@ -25,7 +25,10 @@ func getCtx(t *testing.T) *Context {
 }
 
 func TestFig2ShapeMatchesPaper(t *testing.T) {
-	rows := getCtx(t).Fig2()
+	rows, err := getCtx(t).Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 30 {
 		t.Fatalf("rows = %d, want 30 sizes", len(rows))
 	}
@@ -49,7 +52,10 @@ func TestFig2ShapeMatchesPaper(t *testing.T) {
 }
 
 func TestFig3SmallUploadsFavorPageable(t *testing.T) {
-	rows := getCtx(t).Fig3()
+	rows, err := getCtx(t).Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Below 2KB, CPU-to-GPU pageable wins (speedup < 1); at large
 	// sizes pinned wins clearly in both directions.
 	for _, r := range rows {
@@ -66,7 +72,10 @@ func TestFig3SmallUploadsFavorPageable(t *testing.T) {
 }
 
 func TestFig4ErrorsMatchPaperRegime(t *testing.T) {
-	rows, sums := getCtx(t).Fig4()
+	rows, sums, err := getCtx(t).Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 30 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -313,14 +322,24 @@ func TestTable2HeadlineOrdering(t *testing.T) {
 
 func TestRenderersProduceOutput(t *testing.T) {
 	ctx := getCtx(t)
-	fig2 := ctx.Fig2()
+	fig2, err := ctx.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s := RenderFig2(fig2); !strings.Contains(s, "Figure 2") || !strings.Contains(s, "512MB") {
 		t.Error("RenderFig2 output incomplete")
 	}
-	if s := RenderFig3(ctx.Fig3()); !strings.Contains(s, "Figure 3") {
+	fig3, err := ctx.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := RenderFig3(fig3); !strings.Contains(s, "Figure 3") {
 		t.Error("RenderFig3 output incomplete")
 	}
-	rows4, sums4 := ctx.Fig4()
+	rows4, sums4, err := ctx.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s := RenderFig4(rows4, sums4); !strings.Contains(s, "mean error") {
 		t.Error("RenderFig4 output incomplete")
 	}

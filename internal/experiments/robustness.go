@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,6 +32,13 @@ type RobustnessResult struct {
 // Robustness evaluates the full benchmark suite on n machine
 // instances derived from the context's base seed.
 func Robustness(baseSeed uint64, n int) (RobustnessResult, error) {
+	return RobustnessCtx(context.Background(), baseSeed, n)
+}
+
+// RobustnessCtx is Robustness under a context: cancellation stops
+// scheduling further machine instances and returns the context's
+// error joined with any evaluation failures.
+func RobustnessCtx(ctx context.Context, baseSeed uint64, n int) (RobustnessResult, error) {
 	if n <= 0 {
 		return RobustnessResult{}, fmt.Errorf("experiments: robustness needs at least one seed")
 	}
@@ -43,12 +51,12 @@ func Robustness(baseSeed uint64, n int) (RobustnessResult, error) {
 		// increment, guaranteeing distinct streams.
 		seeds[i] = baseSeed + uint64(i)*0x9e3779b97f4a7c15
 	}
-	points, err := sweep.Map(n, func(i int) (point, error) {
-		ctx, err := NewContext(seeds[i])
+	points, err := sweep.RunCtx(ctx, n, 0, func(i int) (point, error) {
+		ec, err := NewContext(seeds[i])
 		if err != nil {
 			return point{}, err
 		}
-		res, err := ctx.Table2()
+		res, err := ec.Table2()
 		if err != nil {
 			return point{}, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -38,6 +40,14 @@ func TestRobustnessDeterministicAndParallelSafe(t *testing.T) {
 	}
 	if a.KernelOnly != b.KernelOnly || a.Both != b.Both {
 		t.Error("robustness study not deterministic across runs")
+	}
+}
+
+func TestRobustnessCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RobustnessCtx(ctx, 7, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
 

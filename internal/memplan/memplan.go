@@ -95,8 +95,14 @@ func CalibrateAlloc(a *pcie.Allocator, kind pcie.MemoryKind, cfg AllocCalibratio
 	if !kind.Valid() {
 		return AllocModel{}, fmt.Errorf("memplan: invalid memory kind %d", kind)
 	}
-	tSmall := a.MeasureMean(kind, cfg.SmallSize, cfg.Runs)
-	tLarge := a.MeasureMean(kind, cfg.LargeSize, cfg.Runs)
+	tSmall, err := a.MeasureMean(kind, cfg.SmallSize, cfg.Runs)
+	if err != nil {
+		return AllocModel{}, err
+	}
+	tLarge, err := a.MeasureMean(kind, cfg.LargeSize, cfg.Runs)
+	if err != nil {
+		return AllocModel{}, err
+	}
 	perByte := (tLarge - tSmall) / float64(cfg.LargeSize-cfg.SmallSize)
 	if perByte < 0 {
 		perByte = 0 // measurement noise on a size-independent allocator
@@ -148,12 +154,16 @@ func (ms Models) Valid() bool {
 
 // kindCost prices one array's buffer under one memory kind: its
 // allocation plus all its transfers.
-func (ms Models) kindCost(kind pcie.MemoryKind, bytes int64, dirs []pcie.Direction) float64 {
+func (ms Models) kindCost(kind pcie.MemoryKind, bytes int64, dirs []pcie.Direction) (float64, error) {
 	total := ms.Alloc[kind].Predict(bytes)
 	for _, d := range dirs {
-		total += ms.Transfer[kind].Predict(d, bytes)
+		t, err := ms.Transfer[kind].Predict(d, bytes)
+		if err != nil {
+			return 0, err
+		}
+		total += t
 	}
-	return total
+	return total, nil
 }
 
 // Choice is the planner's decision for one array.
@@ -225,8 +235,14 @@ func Build(tp datausage.Plan, ms Models) (Plan, error) {
 	var plan Plan
 	for _, arr := range order {
 		u := uses[arr]
-		pinned := ms.kindCost(pcie.Pinned, u.bytes, u.dirs)
-		pageable := ms.kindCost(pcie.Pageable, u.bytes, u.dirs)
+		pinned, err := ms.kindCost(pcie.Pinned, u.bytes, u.dirs)
+		if err != nil {
+			return Plan{}, err
+		}
+		pageable, err := ms.kindCost(pcie.Pageable, u.bytes, u.dirs)
+		if err != nil {
+			return Plan{}, err
+		}
 		choice := Choice{
 			Array:        arr,
 			Bytes:        u.bytes,

@@ -98,8 +98,15 @@ func TestCalibrateBuildsFourValidModels(t *testing.T) {
 	// Pinned transfers faster, pinned allocation slower: both facts
 	// must survive calibration.
 	size := int64(16 * units.MB)
-	if ms.Transfer[pcie.Pinned].Predict(pcie.DeviceToHost, size) >=
-		ms.Transfer[pcie.Pageable].Predict(pcie.DeviceToHost, size) {
+	pinned, err := ms.Transfer[pcie.Pinned].Predict(pcie.DeviceToHost, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageable, err := ms.Transfer[pcie.Pageable].Predict(pcie.DeviceToHost, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned >= pageable {
 		t.Error("pinned transfer model not faster than pageable")
 	}
 	if ms.Alloc[pcie.Pinned].Predict(size) <= ms.Alloc[pcie.Pageable].Predict(size) {

@@ -1,6 +1,10 @@
 package pcie
 
-import "fmt"
+import (
+	"fmt"
+
+	"grophecy/internal/errdefs"
+)
 
 // Host memory allocation simulation — the substrate for the paper's
 // stated future work (§VII): "explore the tradeoffs of using
@@ -87,7 +91,9 @@ type AllocStats struct {
 
 // NewAllocator builds an allocator attached to the bus's noise stream
 // (allocation and transfer timings on one host share an OS). It
-// panics on an invalid configuration.
+// panics on an invalid configuration — a hard-coded config mistake is
+// a programmer error; methods taking caller-supplied allocation
+// parameters return errdefs.ErrInvalidInput instead.
 func NewAllocator(bus *Bus, cfg AllocConfig) *Allocator {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -101,40 +107,49 @@ func NewAllocator(bus *Bus, cfg AllocConfig) *Allocator {
 // Config returns the allocator configuration.
 func (a *Allocator) Config() AllocConfig { return a.cfg }
 
-// BaseTime returns the noiseless allocation cost.
-func (a *Allocator) BaseTime(kind MemoryKind, size int64) float64 {
+// BaseTime returns the noiseless allocation cost. Allocation
+// parameters come from workload data, so invalid ones are reported as
+// errdefs.ErrInvalidInput rather than panics.
+func (a *Allocator) BaseTime(kind MemoryKind, size int64) (float64, error) {
 	if !kind.Valid() {
-		panic(fmt.Sprintf("pcie: invalid memory kind %d", kind))
+		return 0, errdefs.Invalidf("pcie: invalid memory kind %d", kind)
 	}
 	if size < 0 {
-		panic(fmt.Sprintf("pcie: negative allocation size %d", size))
+		return 0, errdefs.Invalidf("pcie: negative allocation size %d", size)
 	}
-	return a.cfg.Alloc[kind].Time(size)
+	return a.cfg.Alloc[kind].Time(size), nil
 }
 
 // Alloc simulates one host allocation and returns the observed time.
-func (a *Allocator) Alloc(kind MemoryKind, size int64) float64 {
-	base := a.BaseTime(kind, size)
+func (a *Allocator) Alloc(kind MemoryKind, size int64) (float64, error) {
+	base, err := a.BaseTime(kind, size)
+	if err != nil {
+		return 0, err
+	}
 	a.bus.mu.Lock()
 	defer a.bus.mu.Unlock()
 	t := base * a.bus.noise.LogNormalFactor(a.cfg.JitterSigma)
 	a.stats.Calls++
 	a.stats.BytesAlloc += size
 	a.stats.BusySecs += t
-	return t
+	return t, nil
 }
 
 // MeasureMean averages runs allocations, the measurement primitive
 // for allocation-model calibration.
-func (a *Allocator) MeasureMean(kind MemoryKind, size int64, runs int) float64 {
+func (a *Allocator) MeasureMean(kind MemoryKind, size int64, runs int) (float64, error) {
 	if runs <= 0 {
-		panic("pcie: MeasureMean needs at least one run")
+		return 0, errdefs.Invalidf("pcie: MeasureMean needs at least one run, got %d", runs)
 	}
 	var sum float64
 	for i := 0; i < runs; i++ {
-		sum += a.Alloc(kind, size)
+		t, err := a.Alloc(kind, size)
+		if err != nil {
+			return 0, err
+		}
+		sum += t
 	}
-	return sum / float64(runs)
+	return sum / float64(runs), nil
 }
 
 // Stats returns a snapshot of the counters.

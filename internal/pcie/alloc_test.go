@@ -1,10 +1,12 @@
 package pcie
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 
+	"grophecy/internal/errdefs"
 	"grophecy/internal/units"
 )
 
@@ -56,8 +58,8 @@ func TestNewAllocatorPanics(t *testing.T) {
 func TestPinnedAllocationMuchMoreExpensive(t *testing.T) {
 	a := newAllocator()
 	size := int64(64 * units.MB)
-	pinned := a.BaseTime(Pinned, size)
-	pageable := a.BaseTime(Pageable, size)
+	pinned := mustTime(t)(a.BaseTime(Pinned, size))
+	pageable := mustTime(t)(a.BaseTime(Pageable, size))
 	if pinned < 10*pageable {
 		t.Errorf("pinned alloc (%v) should dwarf pageable (%v) at 64MB", pinned, pageable)
 	}
@@ -68,8 +70,8 @@ func TestPinnedAllocationComparableToTransfer(t *testing.T) {
 	// meaningful fraction of the transfer it accelerates.
 	a := newAllocator()
 	size := int64(512 * units.MB)
-	alloc := a.BaseTime(Pinned, size)
-	xfer := a.bus.BaseTime(HostToDevice, Pinned, size)
+	alloc := mustTime(t)(a.BaseTime(Pinned, size))
+	xfer := mustTime(t)(a.bus.BaseTime(HostToDevice, Pinned, size))
 	ratio := alloc / xfer
 	if ratio < 0.2 || ratio > 2 {
 		t.Errorf("pinned alloc/transfer ratio at 512MB = %v, want O(1)", ratio)
@@ -78,11 +80,11 @@ func TestPinnedAllocationComparableToTransfer(t *testing.T) {
 
 func TestAllocNoiseCenteredOnBase(t *testing.T) {
 	a := newAllocator()
-	base := a.BaseTime(Pinned, units.MB)
+	base := mustTime(t)(a.BaseTime(Pinned, units.MB))
 	var sum float64
 	const n = 400
 	for i := 0; i < n; i++ {
-		v := a.Alloc(Pinned, units.MB)
+		v := mustTime(t)(a.Alloc(Pinned, units.MB))
 		if v <= 0 {
 			t.Fatalf("alloc time %v", v)
 		}
@@ -95,8 +97,8 @@ func TestAllocNoiseCenteredOnBase(t *testing.T) {
 
 func TestAllocStats(t *testing.T) {
 	a := newAllocator()
-	a.Alloc(Pinned, 100)
-	a.Alloc(Pageable, 200)
+	mustTime(t)(a.Alloc(Pinned, 100))
+	mustTime(t)(a.Alloc(Pageable, 200))
 	s := a.Stats()
 	if s.Calls != 2 || s.BytesAlloc != 300 || s.BusySecs <= 0 {
 		t.Errorf("stats = %+v", s)
@@ -105,29 +107,22 @@ func TestAllocStats(t *testing.T) {
 
 func TestAllocMeasureMean(t *testing.T) {
 	a := newAllocator()
-	if m := a.MeasureMean(Pageable, units.KB, 10); m <= 0 {
+	if m := mustTime(t)(a.MeasureMean(Pageable, units.KB, 10)); m <= 0 {
 		t.Errorf("mean = %v", m)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("zero runs did not panic")
-		}
-	}()
-	a.MeasureMean(Pageable, units.KB, 0)
+	if _, err := a.MeasureMean(Pageable, units.KB, 0); !errors.Is(err, errdefs.ErrInvalidInput) {
+		t.Errorf("zero runs err = %v, want ErrInvalidInput", err)
+	}
 }
 
-func TestAllocBaseTimePanics(t *testing.T) {
+func TestAllocBaseTimeRejectsBadInputs(t *testing.T) {
 	a := newAllocator()
-	assertPanic := func(name string, f func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s did not panic", name)
-			}
-		}()
-		f()
+	if _, err := a.BaseTime(MemoryKind(9), 1); !errors.Is(err, errdefs.ErrInvalidInput) {
+		t.Errorf("bad kind err = %v, want ErrInvalidInput", err)
 	}
-	assertPanic("bad kind", func() { a.BaseTime(MemoryKind(9), 1) })
-	assertPanic("negative size", func() { a.BaseTime(Pinned, -1) })
+	if _, err := a.BaseTime(Pinned, -1); !errors.Is(err, errdefs.ErrInvalidInput) {
+		t.Errorf("negative size err = %v, want ErrInvalidInput", err)
+	}
 }
 
 func TestQuickAllocMonotonicInSize(t *testing.T) {
@@ -138,7 +133,9 @@ func TestQuickAllocMonotonicInSize(t *testing.T) {
 		if x > y {
 			x, y = y, x
 		}
-		return a.BaseTime(kind, x) <= a.BaseTime(kind, y)
+		tx, errX := a.BaseTime(kind, x)
+		ty, errY := a.BaseTime(kind, y)
+		return errX == nil && errY == nil && tx <= ty
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)

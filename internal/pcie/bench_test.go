@@ -9,13 +9,13 @@ import (
 func BenchmarkTransferPinned(b *testing.B) {
 	bus := NewBus(DefaultConfig())
 	for i := 0; i < b.N; i++ {
-		_ = bus.Transfer(HostToDevice, Pinned, units.MB)
+		_, _ = bus.Transfer(HostToDevice, Pinned, units.MB)
 	}
 }
 
 func BenchmarkTransferPageable(b *testing.B) {
 	bus := NewBus(DefaultConfig())
 	for i := 0; i < b.N; i++ {
-		_ = bus.Transfer(DeviceToHost, Pageable, units.MB)
+		_, _ = bus.Transfer(DeviceToHost, Pageable, units.MB)
 	}
 }

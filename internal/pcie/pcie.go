@@ -32,6 +32,7 @@ import (
 	"math"
 	"sync"
 
+	"grophecy/internal/errdefs"
 	"grophecy/internal/rng"
 	"grophecy/internal/units"
 )
@@ -319,7 +320,9 @@ type Bus struct {
 
 // NewBus creates a bus from cfg. It panics if cfg is invalid, since a
 // bad bus configuration is a programming error, not a runtime
-// condition.
+// condition (error policy: see internal/errdefs — methods taking
+// caller-supplied transfer parameters return errdefs.ErrInvalidInput
+// instead of panicking).
 func NewBus(cfg Config) *Bus {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -347,22 +350,24 @@ func (b *Bus) ResetStats() {
 // BaseTime returns the noiseless transfer time for size bytes: the
 // ground truth the simulator perturbs. Exposed for tests and for the
 // oracle comparisons in internal/experiments; the GROPHECY++ model
-// itself never calls this.
-func (b *Bus) BaseTime(dir Direction, kind MemoryKind, size int64) float64 {
+// itself never calls this. Transfer parameters come from workload
+// data, so invalid ones are reported as errdefs.ErrInvalidInput
+// rather than panics.
+func (b *Bus) BaseTime(dir Direction, kind MemoryKind, size int64) (float64, error) {
 	if !dir.Valid() {
-		panic(fmt.Sprintf("pcie: invalid direction %d", dir))
+		return 0, errdefs.Invalidf("pcie: invalid direction %d", dir)
 	}
 	if !kind.Valid() {
-		panic(fmt.Sprintf("pcie: invalid memory kind %d", kind))
+		return 0, errdefs.Invalidf("pcie: invalid memory kind %d", kind)
 	}
 	if size < 0 {
-		panic(fmt.Sprintf("pcie: negative transfer size %d", size))
+		return 0, errdefs.Invalidf("pcie: negative transfer size %d", size)
 	}
 	switch kind {
 	case Pinned:
-		return b.pinnedTime(dir, size)
+		return b.pinnedTime(dir, size), nil
 	default:
-		return b.pageableTime(dir, size)
+		return b.pageableTime(dir, size), nil
 	}
 }
 
@@ -390,8 +395,11 @@ func (b *Bus) pageableTime(dir Direction, size int64) float64 {
 // observed (noisy) wall-clock time in seconds. Zero-byte transfers
 // are legal and cost roughly the setup latency, matching CUDA's
 // behaviour for cudaMemcpy with count 0.
-func (b *Bus) Transfer(dir Direction, kind MemoryKind, size int64) float64 {
-	base := b.BaseTime(dir, kind, size) // validates args
+func (b *Bus) Transfer(dir Direction, kind MemoryKind, size int64) (float64, error) {
+	base, err := b.BaseTime(dir, kind, size) // validates args
+	if err != nil {
+		return 0, err
+	}
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -420,7 +428,7 @@ func (b *Bus) Transfer(dir Direction, kind MemoryKind, size int64) float64 {
 	b.stats.Transfers++
 	b.stats.BytesMoved += size
 	b.stats.BusySecs += t
-	return t
+	return t, nil
 }
 
 func (b *Bus) setupPortion(dir Direction, kind MemoryKind, size int64) float64 {
@@ -439,13 +447,17 @@ func (b *Bus) setupPortion(dir Direction, kind MemoryKind, size int64) float64 {
 // of the observed times — the measurement primitive used both by the
 // model calibration (which averages 10 runs, §III-C) and by the
 // validation sweeps.
-func (b *Bus) MeasureMean(dir Direction, kind MemoryKind, size int64, runs int) float64 {
+func (b *Bus) MeasureMean(dir Direction, kind MemoryKind, size int64, runs int) (float64, error) {
 	if runs <= 0 {
-		panic("pcie: MeasureMean needs at least one run")
+		return 0, errdefs.Invalidf("pcie: MeasureMean needs at least one run, got %d", runs)
 	}
 	var sum float64
 	for i := 0; i < runs; i++ {
-		sum += b.Transfer(dir, kind, size)
+		t, err := b.Transfer(dir, kind, size)
+		if err != nil {
+			return 0, err
+		}
+		sum += t
 	}
-	return sum / float64(runs)
+	return sum / float64(runs), nil
 }

@@ -1,14 +1,28 @@
 package pcie
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 
+	"grophecy/internal/errdefs"
 	"grophecy/internal/units"
 )
 
 func newTestBus() *Bus { return NewBus(DefaultConfig()) }
+
+// mustTime returns an unwrapper for (time, error) calls whose inputs
+// are known-valid in the test at hand.
+func mustTime(t *testing.T) func(float64, error) float64 {
+	return func(v float64, err error) float64 {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+}
 
 func TestDirectionString(t *testing.T) {
 	if HostToDevice.String() != "CPU-to-GPU" || DeviceToHost.String() != "GPU-to-CPU" {
@@ -81,7 +95,7 @@ func TestBaseTimeLinearInSizeForPinned(t *testing.T) {
 		beta := 1 / cfg.Pinned[d].Bandwidth
 		for _, size := range []int64{0, 1, units.KB, units.MB, 512 * units.MB} {
 			want := alpha + float64(size)*beta
-			got := b.BaseTime(dir, Pinned, size)
+			got := mustTime(t)(b.BaseTime(dir, Pinned, size))
 			if math.Abs(got-want) > 1e-15 {
 				t.Errorf("%v pinned BaseTime(%d) = %v, want %v", dir, size, got, want)
 			}
@@ -97,8 +111,8 @@ func TestPinnedFasterThanPageableExceptSmallUploads(t *testing.T) {
 	for _, dir := range []Direction{HostToDevice, DeviceToHost} {
 		for p := 0; p <= 29; p++ {
 			size := int64(1) << p
-			pinned := b.BaseTime(dir, Pinned, size)
-			pageable := b.BaseTime(dir, Pageable, size)
+			pinned := mustTime(t)(b.BaseTime(dir, Pinned, size))
+			pageable := mustTime(t)(b.BaseTime(dir, Pageable, size))
 			small := dir == HostToDevice && size <= b.Config().CmdBufThreshold
 			if small {
 				if pageable >= pinned {
@@ -120,7 +134,7 @@ func TestBaseTimeMonotonicInSize(t *testing.T) {
 			prev := -1.0
 			for p := 0; p <= 29; p++ {
 				size := int64(1) << p
-				tt := b.BaseTime(dir, kind, size)
+				tt := mustTime(t)(b.BaseTime(dir, kind, size))
 				if tt < prev {
 					t.Errorf("%v %v: BaseTime not monotonic at %s", dir, kind, units.FormatBytes(size))
 				}
@@ -136,7 +150,7 @@ func TestLargePinnedBandwidthApprox(t *testing.T) {
 	b := newTestBus()
 	size := int64(512 * units.MB)
 	for d := 0; d < NumDirections; d++ {
-		tt := b.BaseTime(Direction(d), Pinned, size)
+		tt := mustTime(t)(b.BaseTime(Direction(d), Pinned, size))
 		bw := float64(size) / tt
 		want := b.Config().Pinned[d].Bandwidth
 		if math.Abs(bw-want)/want > 0.01 {
@@ -148,11 +162,11 @@ func TestLargePinnedBandwidthApprox(t *testing.T) {
 func TestTransferNoiseIsBoundedAndPositive(t *testing.T) {
 	b := newTestBus()
 	for i := 0; i < 2000; i++ {
-		tt := b.Transfer(HostToDevice, Pinned, units.KB)
+		tt := mustTime(t)(b.Transfer(HostToDevice, Pinned, units.KB))
 		if tt <= 0 {
 			t.Fatalf("transfer time %v not positive", tt)
 		}
-		base := b.BaseTime(HostToDevice, Pinned, units.KB)
+		base := mustTime(t)(b.BaseTime(HostToDevice, Pinned, units.KB))
 		if tt > base*10 {
 			t.Fatalf("transfer time %v implausibly larger than base %v", tt, base)
 		}
@@ -162,8 +176,8 @@ func TestTransferNoiseIsBoundedAndPositive(t *testing.T) {
 func TestTransferMeanNearBase(t *testing.T) {
 	b := newTestBus()
 	for _, size := range []int64{units.KB, units.MB, 64 * units.MB} {
-		base := b.BaseTime(DeviceToHost, Pinned, size)
-		mean := b.MeasureMean(DeviceToHost, Pinned, size, 400)
+		base := mustTime(t)(b.BaseTime(DeviceToHost, Pinned, size))
+		mean := mustTime(t)(b.MeasureMean(DeviceToHost, Pinned, size, 400))
 		if math.Abs(mean-base)/base > 0.05 {
 			t.Errorf("size %s: mean %v deviates more than 5%% from base %v",
 				units.FormatBytes(size), mean, base)
@@ -176,11 +190,11 @@ func TestRelativeNoiseShrinksWithSize(t *testing.T) {
 	// essentially zero above 1MB.
 	b := newTestBus()
 	noiseAt := func(size int64) float64 {
-		base := b.BaseTime(HostToDevice, Pinned, size)
+		base := mustTime(t)(b.BaseTime(HostToDevice, Pinned, size))
 		var dev float64
 		const n = 200
 		for i := 0; i < n; i++ {
-			d := b.Transfer(HostToDevice, Pinned, size) - base
+			d := mustTime(t)(b.Transfer(HostToDevice, Pinned, size)) - base
 			dev += d * d
 		}
 		return math.Sqrt(dev/n) / base
@@ -198,8 +212,8 @@ func TestRelativeNoiseShrinksWithSize(t *testing.T) {
 func TestDeterministicAcrossBuses(t *testing.T) {
 	a, b := newTestBus(), newTestBus()
 	for i := 0; i < 100; i++ {
-		ta := a.Transfer(HostToDevice, Pageable, 4096)
-		tb := b.Transfer(HostToDevice, Pageable, 4096)
+		ta := mustTime(t)(a.Transfer(HostToDevice, Pageable, 4096))
+		tb := mustTime(t)(b.Transfer(HostToDevice, Pageable, 4096))
 		if ta != tb {
 			t.Fatalf("same-seed buses diverged at transfer %d: %v vs %v", i, ta, tb)
 		}
@@ -214,7 +228,7 @@ func TestSeedChangesNoise(t *testing.T) {
 	b := NewBus(cfg)
 	same := 0
 	for i := 0; i < 50; i++ {
-		if a.Transfer(HostToDevice, Pinned, units.KB) == b.Transfer(HostToDevice, Pinned, units.KB) {
+		if mustTime(t)(a.Transfer(HostToDevice, Pinned, units.KB)) == mustTime(t)(b.Transfer(HostToDevice, Pinned, units.KB)) {
 			same++
 		}
 	}
@@ -225,8 +239,8 @@ func TestSeedChangesNoise(t *testing.T) {
 
 func TestStatsAccumulate(t *testing.T) {
 	b := newTestBus()
-	b.Transfer(HostToDevice, Pinned, 100)
-	b.Transfer(DeviceToHost, Pinned, 200)
+	mustTime(t)(b.Transfer(HostToDevice, Pinned, 100))
+	mustTime(t)(b.Transfer(DeviceToHost, Pinned, 200))
 	s := b.Stats()
 	if s.Transfers != 2 || s.BytesMoved != 300 || s.BusySecs <= 0 {
 		t.Errorf("stats = %+v", s)
@@ -239,29 +253,26 @@ func TestStatsAccumulate(t *testing.T) {
 
 func TestZeroByteTransferCostsAboutSetup(t *testing.T) {
 	b := newTestBus()
-	base := b.BaseTime(HostToDevice, Pinned, 0)
+	base := mustTime(t)(b.BaseTime(HostToDevice, Pinned, 0))
 	if base != b.Config().Pinned[HostToDevice].SetupLatency {
 		t.Errorf("zero-byte pinned base = %v", base)
 	}
-	if tt := b.Transfer(HostToDevice, Pinned, 0); tt <= 0 {
+	if tt := mustTime(t)(b.Transfer(HostToDevice, Pinned, 0)); tt <= 0 {
 		t.Errorf("zero-byte transfer time = %v", tt)
 	}
 }
 
-func TestPanicsOnBadArgs(t *testing.T) {
+func TestRejectsBadArgs(t *testing.T) {
 	b := newTestBus()
-	assertPanic := func(name string, f func()) {
-		defer func() {
-			if recover() == nil {
-				t.Errorf("%s did not panic", name)
-			}
-		}()
-		f()
+	assertInvalid := func(name string, f func() (float64, error)) {
+		if _, err := f(); !errors.Is(err, errdefs.ErrInvalidInput) {
+			t.Errorf("%s: err = %v, want ErrInvalidInput", name, err)
+		}
 	}
-	assertPanic("negative size", func() { b.BaseTime(HostToDevice, Pinned, -1) })
-	assertPanic("bad direction", func() { b.BaseTime(Direction(7), Pinned, 1) })
-	assertPanic("bad kind", func() { b.BaseTime(HostToDevice, MemoryKind(7), 1) })
-	assertPanic("zero runs", func() { b.MeasureMean(HostToDevice, Pinned, 1, 0) })
+	assertInvalid("negative size", func() (float64, error) { return b.BaseTime(HostToDevice, Pinned, -1) })
+	assertInvalid("bad direction", func() (float64, error) { return b.BaseTime(Direction(7), Pinned, 1) })
+	assertInvalid("bad kind", func() (float64, error) { return b.BaseTime(HostToDevice, MemoryKind(7), 1) })
+	assertInvalid("zero runs", func() (float64, error) { return b.MeasureMean(HostToDevice, Pinned, 1, 0) })
 }
 
 func TestConcurrentTransfersSafe(t *testing.T) {
@@ -289,7 +300,7 @@ func TestPageableStagingSlowerAtLargeSizes(t *testing.T) {
 	b := newTestBus()
 	size := int64(512 * units.MB)
 	for _, dir := range []Direction{HostToDevice, DeviceToHost} {
-		ratio := b.BaseTime(dir, Pageable, size) / b.BaseTime(dir, Pinned, size)
+		ratio := mustTime(t)(b.BaseTime(dir, Pageable, size)) / mustTime(t)(b.BaseTime(dir, Pinned, size))
 		if ratio < 1.25 {
 			t.Errorf("%v: pageable/pinned ratio at 512MB = %v, want > 1.25", dir, ratio)
 		}
@@ -305,9 +316,9 @@ func TestQuickBaseTimeProperties(t *testing.T) {
 		if k%2 == 1 {
 			kind = Pageable
 		}
-		tt := b.BaseTime(dir, kind, size)
+		tt, err := b.BaseTime(dir, kind, size)
 		// Always positive, and at least the per-byte streaming time.
-		if tt <= 0 {
+		if err != nil || tt <= 0 {
 			return false
 		}
 		return tt >= float64(size)/b.Config().Pinned[dir].Bandwidth
@@ -320,7 +331,8 @@ func TestQuickBaseTimeProperties(t *testing.T) {
 func TestQuickTransferAtLeastZero(t *testing.T) {
 	b := newTestBus()
 	prop := func(rawSize uint16) bool {
-		return b.Transfer(DeviceToHost, Pageable, int64(rawSize)) >= 0
+		tt, err := b.Transfer(DeviceToHost, Pageable, int64(rawSize))
+		return err == nil && tt >= 0
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)

@@ -7,24 +7,46 @@
 // are embarrassingly parallel — each point owns its own simulated
 // machine — so they run on a bounded worker pool. Results come back
 // in input order regardless of scheduling, preserving determinism.
+//
+// Failure semantics: every input is attempted (unless the context is
+// cancelled first), every failure is kept, and all failures are
+// aggregated with errors.Join — no first-error-wins truncation. A
+// panicking worker function is recovered into an error carrying the
+// panic value and the goroutine stack (errdefs.ErrPanic), so one bad
+// input cannot take down a whole sweep.
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+
+	"grophecy/internal/errdefs"
 )
 
 // Run maps fn over n inputs using at most workers goroutines and
 // returns the n results in input order. If workers <= 0, it defaults
-// to GOMAXPROCS. The first error wins and is returned after all
-// workers drain; its result slice is nil.
+// to GOMAXPROCS. All worker errors are aggregated with errors.Join
+// (each wrapped with its input index); on any error the result slice
+// is nil.
 //
 // fn must be safe to call concurrently for distinct indices (each
 // index should own its state — e.g. its own simulated machine).
 func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return RunCtx(context.Background(), n, workers, fn)
+}
+
+// RunCtx is Run with cancellation: once ctx is cancelled, no new
+// indices are scheduled (in-flight calls run to completion), and
+// ctx's error is joined into the returned error. Results computed
+// before cancellation are discarded, matching Run's all-or-nothing
+// contract.
+func RunCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if n < 0 {
-		return nil, fmt.Errorf("sweep: negative input count %d", n)
+		return nil, errdefs.Invalidf("sweep: negative input count %d", n)
 	}
 	if n == 0 {
 		return nil, nil
@@ -46,22 +68,49 @@ func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				results[i], errs[i] = fn(i)
+				results[i], errs[i] = protect(fn, i)
 			}
 		}()
 	}
+	cancelled := false
+schedule:
 	for i := 0; i < n; i++ {
-		indices <- i
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			cancelled = true
+			break schedule
+		}
 	}
 	close(indices)
 	wg.Wait()
 
+	joined := make([]error, 0, n+1)
+	if cancelled {
+		joined = append(joined, ctx.Err())
+	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sweep: input %d: %w", i, err)
+			joined = append(joined, fmt.Errorf("sweep: input %d: %w", i, err))
 		}
 	}
+	if err := errors.Join(joined...); err != nil {
+		return nil, err
+	}
 	return results, nil
+}
+
+// protect invokes fn(i), converting a panic into an error that wraps
+// errdefs.ErrPanic and carries the recovered value plus the stack.
+func protect[T any](fn func(i int) (T, error), i int) (result T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			result = zero
+			err = fmt.Errorf("%w: %v\n%s", errdefs.ErrPanic, r, debug.Stack())
+		}
+	}()
+	return fn(i)
 }
 
 // Map is Run with one worker per available CPU.

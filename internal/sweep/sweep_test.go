@@ -1,10 +1,14 @@
 package sweep
 
 import (
+	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+
+	"grophecy/internal/errdefs"
 )
 
 func TestRunPreservesOrder(t *testing.T) {
@@ -95,5 +99,71 @@ func TestQuickRunMatchesSequential(t *testing.T) {
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunAggregatesAllErrors(t *testing.T) {
+	errA := errors.New("boom A")
+	errB := errors.New("boom B")
+	_, err := Run(50, 8, func(i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, errA
+		case 41:
+			return 0, errB
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want both boom A and boom B joined", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	_, err := Run(20, 4, func(i int) (int, error) {
+		if i == 13 {
+			panic("unlucky input")
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errdefs.ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	if !strings.Contains(err.Error(), "unlucky input") {
+		t.Errorf("err %q does not carry the panic value", err)
+	}
+	if !strings.Contains(err.Error(), "sweep.protect") {
+		t.Errorf("err %q does not carry a stack trace", err)
+	}
+}
+
+func TestRunCtxStopsScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int64
+	_, err := RunCtx(ctx, 1000, 2, func(i int) (int, error) {
+		atomic.AddInt64(&started, 1)
+		if i == 0 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt64(&started); n >= 1000 {
+		t.Errorf("all %d inputs ran despite cancellation", n)
+	}
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	_, err := RunCtx(ctx, 100, 4, func(i int) (int, error) {
+		atomic.AddInt64(&ran, 1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -20,7 +20,10 @@ func Example() {
 	}
 
 	// Predict the upload of an 8 MB image.
-	t := model.Predict(pcie.HostToDevice, 8*units.MB)
+	t, err := model.Predict(pcie.HostToDevice, 8*units.MB)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("calibrated from %d transfers\n", model.CalibrationTransfers)
 	fmt.Printf("8MB upload predicted at %s\n", units.FormatSeconds(t))
 	// Output:
@@ -30,15 +33,17 @@ func Example() {
 
 func ExampleModel_Predict() {
 	m := xfermodel.Model{Alpha: 10e-6, Beta: 0.4e-9} // 10us + 2.5GB/s
-	fmt.Println(units.FormatSeconds(m.Predict(0)))
-	fmt.Println(units.FormatSeconds(m.Predict(units.MB)))
+	t0, _ := m.Predict(0)
+	t1, _ := m.Predict(units.MB)
+	fmt.Println(units.FormatSeconds(t0))
+	fmt.Println(units.FormatSeconds(t1))
 	// Output:
 	// 10us
 	// 429us
 }
 
 func ExamplePowerOfTwoSizes() {
-	sizes := xfermodel.PowerOfTwoSizes(1, 8)
+	sizes, _ := xfermodel.PowerOfTwoSizes(1, 8)
 	fmt.Println(sizes)
 	// Output:
 	// [1 2 4 8]

@@ -1,0 +1,171 @@
+// Resilient calibration: the hardened counterpart of
+// CalibrateTwoPoint, built on the internal/measure layer.
+//
+// The paper's calibration is deliberately minimal — two sizes, ten
+// runs each (§III-C) — which is exactly why it is fragile: one stuck
+// transfer or one outlier burst lands directly in alpha or beta. The
+// resilient path keeps the two-point structure but measures each
+// point robustly and, when a point cannot be measured at all, walks a
+// degradation ladder instead of failing the whole pipeline:
+//
+//  1. measure the requested size (robust estimator, retries,
+//     deadline);
+//  2. fall back to the nearest healthy size — halving the large
+//     point down to a few megabytes (footnote 5: "any size larger
+//     than a few megabytes would be sufficient"), doubling the small
+//     point up to a few kilobytes — and rescale;
+//  3. fall back to a conservative default model for that direction,
+//     with an explicit warning in the report.
+//
+// Every rung taken is recorded in Health.Degradations so reports can
+// say precisely how trustworthy the model is.
+package xfermodel
+
+import (
+	"context"
+	"fmt"
+
+	"grophecy/internal/errdefs"
+	"grophecy/internal/measure"
+	"grophecy/internal/pcie"
+	"grophecy/internal/units"
+)
+
+// Health records what the resilient calibration had to do to produce
+// a model.
+type Health struct {
+	// Degradations lists, in order, every fallback taken. Empty means
+	// a clean calibration.
+	Degradations []string
+	// Retries is the total transient retries absorbed.
+	Retries int
+	// Conservative marks directions that fell all the way back to the
+	// conservative default model, indexed by pcie.Direction.
+	Conservative [pcie.NumDirections]bool
+}
+
+// Degraded reports whether any fallback was taken.
+func (h *Health) Degraded() bool { return len(h.Degradations) > 0 }
+
+// note records one degradation.
+func (h *Health) note(format string, args ...any) {
+	h.Degradations = append(h.Degradations, fmt.Sprintf(format, args...))
+}
+
+// ConservativeModel is the last rung of the degradation ladder: a
+// deliberately pessimistic transfer model (high latency, low
+// bandwidth) so that projections made with it under-promise rather
+// than over-promise GPU benefit.
+func ConservativeModel() Model {
+	return Model{Alpha: 50e-6, Beta: 1 / units.GBps(1.0)}
+}
+
+// smallLadder returns the fallback sizes for the alpha point: the
+// requested size, then doublings up to 16x (alpha is a latency
+// measurement, so any size in the latency-dominated regime works).
+func smallLadder(size int64) []int64 {
+	out := []int64{size}
+	for i := 0; i < 4; i++ {
+		size *= 2
+		out = append(out, size)
+	}
+	return out
+}
+
+// largeLadder returns the fallback sizes for the beta point: the
+// requested size, then halvings while the size stays in the
+// bandwidth-dominated regime (>= 4 MB, per the paper's footnote 5).
+func largeLadder(size int64) []int64 {
+	out := []int64{size}
+	for size/2 >= 4*units.MB {
+		size /= 2
+		out = append(out, size)
+	}
+	return out
+}
+
+// measurePoint walks one ladder until a size measures successfully.
+// It returns the winning size and its robust estimate; err is non-nil
+// only when every rung failed (the last error is returned).
+func measurePoint(ctx context.Context, meter *measure.Meter, src measure.Source,
+	dir pcie.Direction, kind pcie.MemoryKind, ladder []int64, what string, h *Health,
+) (int64, measure.Result, error) {
+	var lastErr error
+	for i, size := range ladder {
+		res, err := meter.MeasureTransfer(ctx, src, dir, kind, size)
+		if err == nil {
+			if i > 0 {
+				h.note("%v %s point: fell back from %s to %s after %v",
+					dir, what, units.FormatBytes(ladder[0]), units.FormatBytes(size), lastErr)
+			}
+			h.Retries += res.Retries
+			return size, res, nil
+		}
+		h.Retries += res.Retries
+		lastErr = err
+		if ctx.Err() != nil {
+			break // cancelled: no point walking further rungs
+		}
+	}
+	return 0, measure.Result{}, lastErr
+}
+
+// CalibrateResilient derives a BusModel from src using the paper's
+// two-point scheme hardened by the measure layer and the degradation
+// ladder. It fails (errdefs.ErrCalibrationFailed) only when even the
+// conservative fallback cannot produce a plausible model, or with
+// errdefs.ErrMeasureTimeout when ctx is cancelled mid-calibration.
+func CalibrateResilient(ctx context.Context, meter *measure.Meter, src measure.Source, cfg CalibrationConfig) (BusModel, *Health, error) {
+	if err := cfg.Validate(); err != nil {
+		return BusModel{}, nil, err
+	}
+	if meter == nil || src == nil {
+		return BusModel{}, nil, errdefs.Invalidf("xfermodel: resilient calibration needs a meter and a source")
+	}
+	h := &Health{}
+	bm := BusModel{Kind: cfg.Kind}
+	for d := 0; d < pcie.NumDirections; d++ {
+		dir := pcie.Direction(d)
+
+		_, small, errS := measurePoint(ctx, meter, src, dir, cfg.Kind,
+			smallLadder(cfg.SmallSize), "small", h)
+		sizeL, large, errL := measurePoint(ctx, meter, src, dir, cfg.Kind,
+			largeLadder(cfg.LargeSize), "large", h)
+		if ctx.Err() != nil {
+			return BusModel{}, h, fmt.Errorf("%w: calibration cancelled: %v",
+				errdefs.ErrMeasureTimeout, ctx.Err())
+		}
+
+		m := Model{}
+		switch {
+		case errS == nil && errL == nil:
+			m = Model{Alpha: small.Value, Beta: large.Value / float64(sizeL)}
+		case errS == nil:
+			// Beta unmeasurable: conservative bandwidth, measured alpha.
+			m = Model{Alpha: small.Value, Beta: ConservativeModel().Beta}
+			h.Conservative[d] = true
+			h.note("%v large point unmeasurable (%v): using conservative bandwidth %s",
+				dir, errL, m)
+		case errL == nil:
+			// Alpha unmeasurable: bound it by the large measurement's
+			// per-transfer floor via the conservative default.
+			m = Model{Alpha: ConservativeModel().Alpha, Beta: large.Value / float64(sizeL)}
+			h.Conservative[d] = true
+			h.note("%v small point unmeasurable (%v): using conservative latency %s",
+				dir, errS, m)
+		default:
+			m = ConservativeModel()
+			h.Conservative[d] = true
+			h.note("%v calibration unmeasurable (small: %v; large: %v): using conservative default %s",
+				dir, errS, errL, m)
+		}
+		bm.Dir[d] = m
+		bm.CalibrationCost += small.SimTime + large.SimTime
+		bm.CalibrationTransfers += small.Samples + large.Samples
+	}
+	if !bm.Valid() {
+		return BusModel{}, h, fmt.Errorf("%w: resilient calibration produced implausible parameters",
+			errdefs.ErrCalibrationFailed)
+	}
+	return bm, h, nil
+}

@@ -29,10 +29,10 @@
 package xfermodel
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
+	"grophecy/internal/errdefs"
 	"grophecy/internal/pcie"
 	"grophecy/internal/stats"
 	"grophecy/internal/units"
@@ -46,12 +46,15 @@ type Model struct {
 	Beta float64
 }
 
-// Predict returns the modeled transfer time in seconds for size bytes.
-func (m Model) Predict(size int64) float64 {
+// Predict returns the modeled transfer time in seconds for size
+// bytes. Sizes come from workload data, so a negative size is
+// reported as errdefs.ErrInvalidInput rather than a panic (error
+// policy: see internal/errdefs).
+func (m Model) Predict(size int64) (float64, error) {
 	if size < 0 {
-		panic(fmt.Sprintf("xfermodel: negative transfer size %d", size))
+		return 0, errdefs.Invalidf("xfermodel: negative transfer size %d", size)
 	}
-	return m.Alpha + m.Beta*float64(size)
+	return m.Alpha + m.Beta*float64(size), nil
 }
 
 // Bandwidth returns the asymptotic bandwidth 1/Beta in bytes/second,
@@ -89,10 +92,11 @@ type BusModel struct {
 	CalibrationTransfers int
 }
 
-// Predict returns the modeled time for one transfer.
-func (bm BusModel) Predict(dir pcie.Direction, size int64) float64 {
+// Predict returns the modeled time for one transfer. Invalid
+// directions and sizes yield errdefs.ErrInvalidInput.
+func (bm BusModel) Predict(dir pcie.Direction, size int64) (float64, error) {
 	if !dir.Valid() {
-		panic(fmt.Sprintf("xfermodel: invalid direction %d", dir))
+		return 0, errdefs.Invalidf("xfermodel: invalid direction %d", dir)
 	}
 	return bm.Dir[dir].Predict(size)
 }
@@ -132,16 +136,16 @@ func DefaultCalibration() CalibrationConfig {
 // Validate reports whether the calibration settings make sense.
 func (c CalibrationConfig) Validate() error {
 	if c.Runs <= 0 {
-		return errors.New("xfermodel: calibration needs at least one run")
+		return errdefs.Invalidf("xfermodel: calibration needs at least one run")
 	}
 	if c.SmallSize <= 0 {
-		return errors.New("xfermodel: small calibration size must be positive")
+		return errdefs.Invalidf("xfermodel: small calibration size must be positive")
 	}
 	if c.LargeSize <= c.SmallSize {
-		return errors.New("xfermodel: large calibration size must exceed small size")
+		return errdefs.Invalidf("xfermodel: large calibration size must exceed small size")
 	}
 	if !c.Kind.Valid() {
-		return fmt.Errorf("xfermodel: invalid memory kind %d", c.Kind)
+		return errdefs.Invalidf("xfermodel: invalid memory kind %d", c.Kind)
 	}
 	return nil
 }
@@ -156,8 +160,14 @@ func CalibrateTwoPoint(bus *pcie.Bus, cfg CalibrationConfig) (BusModel, error) {
 	bm := BusModel{Kind: cfg.Kind}
 	for d := 0; d < pcie.NumDirections; d++ {
 		dir := pcie.Direction(d)
-		tSmall := bus.MeasureMean(dir, cfg.Kind, cfg.SmallSize, cfg.Runs)
-		tLarge := bus.MeasureMean(dir, cfg.Kind, cfg.LargeSize, cfg.Runs)
+		tSmall, err := bus.MeasureMean(dir, cfg.Kind, cfg.SmallSize, cfg.Runs)
+		if err != nil {
+			return BusModel{}, fmt.Errorf("xfermodel: %v small point: %w", dir, err)
+		}
+		tLarge, err := bus.MeasureMean(dir, cfg.Kind, cfg.LargeSize, cfg.Runs)
+		if err != nil {
+			return BusModel{}, fmt.Errorf("xfermodel: %v large point: %w", dir, err)
+		}
 		bm.Dir[d] = Model{
 			Alpha: tSmall,
 			Beta:  tLarge / float64(cfg.LargeSize),
@@ -166,7 +176,8 @@ func CalibrateTwoPoint(bus *pcie.Bus, cfg CalibrationConfig) (BusModel, error) {
 		bm.CalibrationTransfers += 2 * cfg.Runs
 	}
 	if !bm.Valid() {
-		return BusModel{}, errors.New("xfermodel: calibration produced implausible parameters")
+		return BusModel{}, fmt.Errorf("%w: two-point calibration produced implausible parameters",
+			errdefs.ErrCalibrationFailed)
 	}
 	return bm, nil
 }
@@ -185,7 +196,7 @@ func CalibrateLeastSquares(bus *pcie.Bus, cfg CalibrationConfig, sizes []int64) 
 		return BusModel{}, err
 	}
 	if len(sizes) < 2 {
-		return BusModel{}, errors.New("xfermodel: least-squares calibration needs at least two sizes")
+		return BusModel{}, errdefs.Invalidf("xfermodel: least-squares calibration needs at least two sizes")
 	}
 	bm := BusModel{Kind: cfg.Kind}
 	for d := 0; d < pcie.NumDirections; d++ {
@@ -195,9 +206,12 @@ func CalibrateLeastSquares(bus *pcie.Bus, cfg CalibrationConfig, sizes []int64) 
 		minTime := 0.0
 		for i, size := range sizes {
 			if size < 0 {
-				return BusModel{}, fmt.Errorf("xfermodel: negative sweep size %d", size)
+				return BusModel{}, errdefs.Invalidf("xfermodel: negative sweep size %d", size)
 			}
-			mean := bus.MeasureMean(dir, cfg.Kind, size, cfg.Runs)
+			mean, err := bus.MeasureMean(dir, cfg.Kind, size, cfg.Runs)
+			if err != nil {
+				return BusModel{}, fmt.Errorf("xfermodel: %v sweep point %d: %w", dir, size, err)
+			}
 			xs[i] = float64(size)
 			ys[i] = mean
 			if i == 0 || mean < minTime {
@@ -217,7 +231,8 @@ func CalibrateLeastSquares(bus *pcie.Bus, cfg CalibrationConfig, sizes []int64) 
 		bm.Dir[d] = Model{Alpha: alpha, Beta: fit.Slope}
 	}
 	if !bm.Valid() {
-		return BusModel{}, errors.New("xfermodel: least-squares calibration produced implausible parameters")
+		return BusModel{}, fmt.Errorf("%w: least-squares calibration produced implausible parameters",
+			errdefs.ErrCalibrationFailed)
 	}
 	return bm, nil
 }
@@ -225,13 +240,14 @@ func CalibrateLeastSquares(bus *pcie.Bus, cfg CalibrationConfig, sizes []int64) 
 // PowerOfTwoSizes returns all powers of two from min to max inclusive
 // (min and max are rounded to themselves; both must already be powers
 // of two). This is the sweep used by the paper's validation (1 B to
-// 512 MB, §V-A).
-func PowerOfTwoSizes(min, max int64) []int64 {
+// 512 MB, §V-A). Bounds come from CLI flags and experiment tables, so
+// invalid ones yield errdefs.ErrInvalidInput.
+func PowerOfTwoSizes(min, max int64) ([]int64, error) {
 	if min <= 0 || max < min {
-		panic("xfermodel: invalid size range")
+		return nil, errdefs.Invalidf("xfermodel: invalid size range [%d, %d]", min, max)
 	}
 	if min&(min-1) != 0 || max&(max-1) != 0 {
-		panic("xfermodel: size bounds must be powers of two")
+		return nil, errdefs.Invalidf("xfermodel: size bounds %d, %d must be powers of two", min, max)
 	}
 	var sizes []int64
 	for s := min; s <= max; s <<= 1 {
@@ -240,7 +256,7 @@ func PowerOfTwoSizes(min, max int64) []int64 {
 			break // avoid overflow on the final shift
 		}
 	}
-	return sizes
+	return sizes, nil
 }
 
 // ValidationPoint records one size/direction comparison between the
@@ -258,16 +274,22 @@ type ValidationPoint struct {
 // Validate measures every size in sizes in both directions (runs
 // transfers each, arithmetic mean) and compares against the model,
 // reproducing the paper's §V-A validation sweep.
-func Validate(bus *pcie.Bus, bm BusModel, sizes []int64, runs int) []ValidationPoint {
+func Validate(bus *pcie.Bus, bm BusModel, sizes []int64, runs int) ([]ValidationPoint, error) {
 	if runs <= 0 {
-		panic("xfermodel: Validate needs at least one run")
+		return nil, errdefs.Invalidf("xfermodel: Validate needs at least one run, got %d", runs)
 	}
 	points := make([]ValidationPoint, 0, len(sizes)*pcie.NumDirections)
 	for d := 0; d < pcie.NumDirections; d++ {
 		dir := pcie.Direction(d)
 		for _, size := range sizes {
-			measured := bus.MeasureMean(dir, bm.Kind, size, runs)
-			predicted := bm.Predict(dir, size)
+			measured, err := bus.MeasureMean(dir, bm.Kind, size, runs)
+			if err != nil {
+				return nil, err
+			}
+			predicted, err := bm.Predict(dir, size)
+			if err != nil {
+				return nil, err
+			}
 			points = append(points, ValidationPoint{
 				Dir:       dir,
 				Size:      size,
@@ -277,7 +299,7 @@ func Validate(bus *pcie.Bus, bm BusModel, sizes []int64, runs int) []ValidationP
 			})
 		}
 	}
-	return points
+	return points, nil
 }
 
 // SummarizeValidation aggregates validation points per direction,

@@ -1,10 +1,12 @@
 package xfermodel
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
 
+	"grophecy/internal/errdefs"
 	"grophecy/internal/pcie"
 	"grophecy/internal/stats"
 	"grophecy/internal/units"
@@ -22,21 +24,18 @@ func calibrated(t *testing.T) (*pcie.Bus, BusModel) {
 
 func TestModelPredictLinear(t *testing.T) {
 	m := Model{Alpha: 10e-6, Beta: 1e-9}
-	if got := m.Predict(0); got != 10e-6 {
-		t.Errorf("Predict(0) = %v", got)
+	if got, err := m.Predict(0); err != nil || got != 10e-6 {
+		t.Errorf("Predict(0) = %v, %v", got, err)
 	}
-	if got := m.Predict(1000); math.Abs(got-11e-6) > 1e-18 {
-		t.Errorf("Predict(1000) = %v, want 11us", got)
+	if got, err := m.Predict(1000); err != nil || math.Abs(got-11e-6) > 1e-18 {
+		t.Errorf("Predict(1000) = %v, %v, want 11us", got, err)
 	}
 }
 
-func TestModelPredictPanicsOnNegative(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Predict(-1) did not panic")
-		}
-	}()
-	Model{Alpha: 1, Beta: 1}.Predict(-1)
+func TestModelPredictRejectsNegative(t *testing.T) {
+	if _, err := (Model{Alpha: 1, Beta: 1}).Predict(-1); !errors.Is(err, errdefs.ErrInvalidInput) {
+		t.Fatalf("Predict(-1) err = %v, want ErrInvalidInput", err)
+	}
 }
 
 func TestModelBandwidth(t *testing.T) {
@@ -159,14 +158,11 @@ func TestCalibrateRejectsBadConfig(t *testing.T) {
 	}
 }
 
-func TestBusModelPredictPanicsOnBadDirection(t *testing.T) {
+func TestBusModelPredictRejectsBadDirection(t *testing.T) {
 	_, bm := calibrated(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("bad direction did not panic")
-		}
-	}()
-	bm.Predict(pcie.Direction(5), 100)
+	if _, err := bm.Predict(pcie.Direction(5), 100); !errors.Is(err, errdefs.ErrInvalidInput) {
+		t.Fatalf("bad direction err = %v, want ErrInvalidInput", err)
+	}
 }
 
 func TestPredictionAccuracyMatchesFig4(t *testing.T) {
@@ -175,8 +171,14 @@ func TestPredictionAccuracyMatchesFig4(t *testing.T) {
 	// 0.8%. Our simulated bus should land in the same regime: mean
 	// under 5%, max under 15%, and near-zero error above 1MB.
 	bus, bm := calibrated(t)
-	sizes := PowerOfTwoSizes(1, 512*units.MB)
-	points := Validate(bus, bm, sizes, 10)
+	sizes, err := PowerOfTwoSizes(1, 512*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Validate(bus, bm, sizes, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sums := SummarizeValidation(points)
 	for _, s := range sums {
 		if s.MeanErr > 0.05 {
@@ -197,8 +199,14 @@ func TestPredictionAccuracyMatchesFig4(t *testing.T) {
 func TestErrorLargerAtSmallSizes(t *testing.T) {
 	// Fig 4 shape: relative error decreases with size.
 	bus, bm := calibrated(t)
-	sizes := PowerOfTwoSizes(1, 512*units.MB)
-	points := Validate(bus, bm, sizes, 10)
+	sizes, err := PowerOfTwoSizes(1, 512*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Validate(bus, bm, sizes, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var small, large []float64
 	for _, p := range points {
 		if p.Size <= units.KB {
@@ -221,7 +229,10 @@ func TestLeastSquaresComparableToTwoPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sizes := PowerOfTwoSizes(1, 512*units.MB)
+	sizes, err := PowerOfTwoSizes(1, 512*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ls, err := CalibrateLeastSquares(busB, DefaultCalibration(), sizes)
 	if err != nil {
 		t.Fatal(err)
@@ -239,7 +250,10 @@ func TestLeastSquaresComparableToTwoPoint(t *testing.T) {
 }
 
 func TestPowerOfTwoSizes(t *testing.T) {
-	sizes := PowerOfTwoSizes(1, 512*units.MB)
+	sizes, err := PowerOfTwoSizes(1, 512*units.MB)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sizes) != 30 { // 2^0 .. 2^29
 		t.Fatalf("len = %d, want 30", len(sizes))
 	}
@@ -253,30 +267,22 @@ func TestPowerOfTwoSizes(t *testing.T) {
 	}
 }
 
-func TestPowerOfTwoSizesPanics(t *testing.T) {
+func TestPowerOfTwoSizesRejectsBadBounds(t *testing.T) {
 	cases := []struct{ min, max int64 }{
 		{0, 8}, {8, 4}, {3, 8}, {2, 12},
 	}
 	for _, c := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("PowerOfTwoSizes(%d,%d) did not panic", c.min, c.max)
-				}
-			}()
-			PowerOfTwoSizes(c.min, c.max)
-		}()
+		if _, err := PowerOfTwoSizes(c.min, c.max); !errors.Is(err, errdefs.ErrInvalidInput) {
+			t.Errorf("PowerOfTwoSizes(%d,%d) err = %v, want ErrInvalidInput", c.min, c.max, err)
+		}
 	}
 }
 
-func TestValidatePanicsOnZeroRuns(t *testing.T) {
+func TestValidateRejectsZeroRuns(t *testing.T) {
 	bus, bm := calibrated(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Validate with 0 runs did not panic")
-		}
-	}()
-	Validate(bus, bm, []int64{1}, 0)
+	if _, err := Validate(bus, bm, []int64{1}, 0); !errors.Is(err, errdefs.ErrInvalidInput) {
+		t.Fatalf("Validate with 0 runs err = %v, want ErrInvalidInput", err)
+	}
 }
 
 func TestSummarizeValidationEmpty(t *testing.T) {
@@ -295,7 +301,9 @@ func TestQuickPredictMonotonicInSize(t *testing.T) {
 		if x > y {
 			x, y = y, x
 		}
-		return bm.Predict(pcie.HostToDevice, x) <= bm.Predict(pcie.HostToDevice, y)
+		tx, errX := bm.Predict(pcie.HostToDevice, x)
+		ty, errY := bm.Predict(pcie.HostToDevice, y)
+		return errX == nil && errY == nil && tx <= ty
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)
@@ -309,9 +317,11 @@ func TestQuickPredictAdditivity(t *testing.T) {
 	_, bm := calibrated(t)
 	m := bm.Dir[pcie.HostToDevice]
 	prop := func(a, b uint16) bool {
-		lhs := m.Predict(int64(a)) + m.Predict(int64(b))
-		rhs := m.Predict(int64(a)+int64(b)) + m.Alpha
-		return math.Abs(lhs-rhs) < 1e-15
+		ta, errA := m.Predict(int64(a))
+		tb, errB := m.Predict(int64(b))
+		tab, errAB := m.Predict(int64(a) + int64(b))
+		return errA == nil && errB == nil && errAB == nil &&
+			math.Abs((ta+tb)-(tab+m.Alpha)) < 1e-15
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)
