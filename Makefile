@@ -2,13 +2,20 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race bench paper csv examples fuzz fmt clean
+# Minimum total statement coverage `make check` accepts. The suite
+# sits near 78%; the gate trips on real coverage regressions without
+# flaking on rounding.
+COVER_BASELINE ?= 75.0
+COVER_PROFILE  ?= out/cover.out
+
+.PHONY: all check build test vet race cover bench paper csv examples fuzz fuzz-short fmt clean
 
 all: check
 
 # The default verification gate: everything must compile, pass vet,
-# and pass the full test suite under the race detector.
-check: build vet race
+# pass the full test suite under the race detector, and keep total
+# coverage at or above COVER_BASELINE.
+check: build vet race cover
 
 race:
 	$(GO) test -race ./...
@@ -42,9 +49,25 @@ examples:
 	$(GO) run ./examples/tuningstudy
 	$(GO) run ./examples/pipeline
 
+# Coverage gate: fail when total statement coverage drops below
+# COVER_BASELINE percent.
+cover:
+	@mkdir -p $(dir $(COVER_PROFILE))
+	$(GO) test -coverprofile=$(COVER_PROFILE) ./... > /dev/null
+	@$(GO) tool cover -func=$(COVER_PROFILE) | awk -v min=$(COVER_BASELINE) '\
+		/^total:/ { sub(/%/, "", $$3); \
+			if ($$3 + 0 < min + 0) { \
+				printf "coverage %s%% below baseline %s%%\n", $$3, min; exit 1 } \
+			printf "coverage %s%% (baseline %s%%)\n", $$3, min }'
+
 # 30 seconds of parser fuzzing (seed corpus always runs under `test`).
 fuzz:
 	$(GO) test -run=xxx -fuzz=FuzzParse -fuzztime=30s ./internal/sklang/
+
+# 10 seconds per fuzz target — quick pre-commit confidence pass.
+fuzz-short:
+	$(GO) test -run=xxx -fuzz=FuzzParse -fuzztime=10s ./internal/sklang/
+	$(GO) test -run=xxx -fuzz=FuzzChromeJSON -fuzztime=10s ./internal/trace/
 
 fmt:
 	gofmt -w .

@@ -15,7 +15,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,10 +28,13 @@ import (
 	"grophecy/internal/fault"
 	"grophecy/internal/gpu"
 	"grophecy/internal/measure"
+	"grophecy/internal/metrics"
 	"grophecy/internal/pcie"
 	"grophecy/internal/perfmodel"
+	"grophecy/internal/report"
 	"grophecy/internal/sklang"
 	"grophecy/internal/timeline"
+	"grophecy/internal/trace"
 	"grophecy/internal/units"
 )
 
@@ -50,11 +52,20 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit the report as JSON instead of text")
 		verbose  = flag.Bool("v", false, "print per-kernel model and simulator diagnostics")
 		faults   = flag.String("faults", "", `fault-injection plan, e.g. "transient=0.02,outlier=0.01:8,slow=40:5:6,drift=0.001" (see docs/ROBUSTNESS.md); empty or "none" disables injection`)
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path (view in chrome://tracing or ui.perfetto.dev)")
+		showSpan = flag.Bool("spans", false, "print the simulated-time span tree after the report")
+		showMet  = flag.Bool("metrics", false, "dump pipeline metrics (Prometheus text format) after the report")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	var tracer *trace.Tracer
+	if *traceOut != "" || *showSpan {
+		tracer = trace.New("grophecy")
+		ctx = trace.With(ctx, tracer)
+	}
 
 	plan, err := fault.ParsePlan(*faults)
 	if err != nil {
@@ -80,6 +91,7 @@ func main() {
 			// A multi-phase program file: evaluate it with
 			// residency-aware planning and exit.
 			runProgramFile(ctx, *skeleton, *seed, plan)
+			flushObservability(tracer, *traceOut, *showSpan, *showMet)
 			return
 		}
 	} else {
@@ -128,10 +140,15 @@ func main() {
 		fatal(err)
 	}
 	if *asJSON {
-		printJSON(rep)
+		data, err := report.JSON(rep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		flushObservability(tracer, *traceOut, *showSpan, *showMet)
 		return
 	}
-	printReport(rep)
+	fmt.Print(report.Text(rep))
 	printResilience(machine, rep.Resilient, rep.Degradations)
 	if *verbose {
 		printDiagnostics(machine, rep)
@@ -144,6 +161,38 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(chart)
+	}
+	flushObservability(tracer, *traceOut, *showSpan, *showMet)
+}
+
+// flushObservability closes the tracer, verifies the trace tree is
+// well-formed, and emits whatever the observability flags asked for:
+// a Chrome trace_event JSON file, the span tree, the metrics dump.
+func flushObservability(tracer *trace.Tracer, traceOut string, showSpans, showMetrics bool) {
+	tracer.Close()
+	if tracer != nil {
+		if err := tracer.Check(); err != nil {
+			fatal(err)
+		}
+	}
+	if traceOut != "" {
+		data, err := tracer.ChromeJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(traceOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "grophecy: wrote trace (%s simulated) to %s\n",
+			units.FormatSeconds(tracer.Root().Interval().Duration), traceOut)
+	}
+	if showSpans {
+		fmt.Println()
+		fmt.Print(tracer.Tree())
+	}
+	if showMetrics {
+		fmt.Println()
+		fmt.Print(metrics.Default.Dump())
 	}
 }
 
@@ -182,7 +231,19 @@ func printDiagnostics(machine *core.Machine, r core.Report) {
 // measuring through the armed fault layer otherwise.
 func buildProjector(ctx context.Context, machine *core.Machine, plan fault.Plan) (*core.Projector, error) {
 	if plan.Empty() {
-		return core.NewProjector(machine)
+		// The raw calibration takes no context, so trace it from here:
+		// a zero-duration structural span whose attributes carry the
+		// calibration's simulated cost.
+		_, span := trace.Start(ctx, "xfermodel.calibrate",
+			trace.String("scheme", "raw two-point"))
+		p, err := core.NewProjector(machine)
+		if err == nil {
+			bm := p.BusModel()
+			span.SetAttr(trace.Int("transfers", int64(bm.CalibrationTransfers)))
+			span.SetAttr(trace.Float("bus_cost_s", bm.CalibrationCost))
+		}
+		span.End()
+		return p, err
 	}
 	machine.ArmFaults(plan)
 	return core.NewResilientProjector(ctx, machine, pcie.Pinned, measure.DefaultConfig())
@@ -288,110 +349,6 @@ func buildMachine(gpuName string, seed uint64) (*core.Machine, error) {
 		return nil, fmt.Errorf("unknown GPU preset %q (see -list)", gpuName)
 	}
 	return core.NewMachineWith(arch, cpumodel.XeonE5405(), pcie.DefaultConfig(), seed), nil
-}
-
-// jsonReport is the machine-readable projection: the report's raw
-// numbers plus the derived quantities a consumer would otherwise have
-// to recompute.
-type jsonReport struct {
-	core.Report
-	Derived struct {
-		MeasuredSpeedup     float64 `json:"measuredSpeedup"`
-		SpeedupFull         float64 `json:"speedupFull"`
-		SpeedupKernelOnly   float64 `json:"speedupKernelOnly"`
-		SpeedupTransferOnly float64 `json:"speedupTransferOnly"`
-		ErrFull             float64 `json:"errFull"`
-		ErrKernelOnly       float64 `json:"errKernelOnly"`
-		PercentTransfer     float64 `json:"percentTransfer"`
-	} `json:"derived"`
-}
-
-func printJSON(r core.Report) {
-	out := jsonReport{Report: r}
-	out.Derived.MeasuredSpeedup = r.MeasuredSpeedup()
-	out.Derived.SpeedupFull = r.SpeedupFull()
-	out.Derived.SpeedupKernelOnly = r.SpeedupKernelOnly()
-	out.Derived.SpeedupTransferOnly = r.SpeedupTransferOnly()
-	out.Derived.ErrFull = r.ErrFull()
-	out.Derived.ErrKernelOnly = r.ErrKernelOnly()
-	out.Derived.PercentTransfer = r.PercentTransfer()
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println(string(data))
-}
-
-func printReport(r core.Report) {
-	fmt.Printf("workload %s %s, %d iteration(s)\n\n", r.Name, r.DataSize, r.Iterations)
-
-	fmt.Println("transfer plan (data usage analysis):")
-	fmt.Print(indent(r.Plan.String()))
-	fmt.Println()
-
-	fmt.Println("kernels (best transformation per GROPHECY exploration):")
-	for _, k := range r.Kernels {
-		fmt.Printf("  %-22s %-22s predicted %10s  measured %10s\n",
-			k.Kernel, k.Variant.Name,
-			units.FormatSeconds(k.Predicted), units.FormatSeconds(k.Measured))
-	}
-	fmt.Println()
-
-	fmt.Println("transfers (pinned memory, linear PCIe model):")
-	for _, tr := range r.Transfers {
-		fmt.Printf("  %-46s predicted %10s  measured %10s\n",
-			tr.Transfer, units.FormatSeconds(tr.Predicted), units.FormatSeconds(tr.Measured))
-	}
-	fmt.Println()
-
-	fmt.Printf("totals over %d iteration(s):\n", r.Iterations)
-	fmt.Printf("  kernel time:    predicted %10s  measured %10s (err %4.1f%%)\n",
-		units.FormatSeconds(r.PredKernelTime), units.FormatSeconds(r.MeasKernelTime),
-		100*r.KernelErr())
-	fmt.Printf("  transfer time:  predicted %10s  measured %10s (err %4.1f%%)\n",
-		units.FormatSeconds(r.PredTransferTime), units.FormatSeconds(r.MeasTransferTime),
-		100*r.TransferErr())
-	fmt.Printf("  total GPU time: predicted %10s  measured %10s\n",
-		units.FormatSeconds(r.PredTotalGPU()), units.FormatSeconds(r.MeasTotalGPU()))
-	fmt.Printf("  CPU time (8-thread OpenMP baseline): %s\n", units.FormatSeconds(r.CPUTime))
-	fmt.Printf("  transfer share of GPU time: %.0f%%\n\n", 100*r.PercentTransfer())
-
-	fmt.Println("projected GPU speedup:")
-	fmt.Printf("  measured:                 %6.2fx\n", r.MeasuredSpeedup())
-	fmt.Printf("  GROPHECY++ (kernel+xfer): %6.2fx  (error %.1f%%)\n",
-		r.SpeedupFull(), 100*r.ErrFull())
-	fmt.Printf("  kernel only (GROPHECY):   %6.2fx  (error %.1f%%)\n",
-		r.SpeedupKernelOnly(), 100*r.ErrKernelOnly())
-	fmt.Printf("  transfer only:            %6.2fx  (error %.1f%%)\n",
-		r.SpeedupTransferOnly(), 100*r.ErrTransferOnly())
-
-	if r.SpeedupKernelOnly() > 1 && r.MeasuredSpeedup() < 1 {
-		fmt.Println("\nNOTE: ignoring data transfer predicts a GPU win, but the port")
-		fmt.Println("would actually be a slowdown — transfer modeling flips the verdict.")
-	}
-}
-
-func indent(s string) string {
-	var out string
-	for _, line := range splitLines(s) {
-		out += "  " + line + "\n"
-	}
-	return out
-}
-
-func splitLines(s string) []string {
-	var lines []string
-	start := 0
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			lines = append(lines, s[start:i])
-			start = i + 1
-		}
-	}
-	if start < len(s) {
-		lines = append(lines, s[start:])
-	}
-	return lines
 }
 
 func fatal(err error) {

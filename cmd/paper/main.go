@@ -8,14 +8,18 @@
 //	paper -fig 7            # Figures 2-12
 //	paper -stassuij         # the §V-B4 flip experiment
 //	paper -seed 123 -all    # a different simulated machine
+//	paper -all -trace paper.json -metrics
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"grophecy/internal/experiments"
+	"grophecy/internal/metrics"
+	"grophecy/internal/trace"
 )
 
 func main() {
@@ -32,6 +36,8 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write every table/figure as CSV into this directory")
 		all      = flag.Bool("all", false, "render every table and figure")
 		seed     = flag.Uint64("seed", experiments.DefaultSeed, "simulated machine seed")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path (experiment-level spans)")
+		showMet  = flag.Bool("metrics", false, "dump pipeline metrics (Prometheus text format) after the output")
 	)
 	flag.Parse()
 
@@ -41,179 +47,267 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The experiments API predates context propagation, so the paper
+	// command traces at experiment granularity: one structural span per
+	// table or figure (see docs/OBSERVABILITY.md).
+	tctx := context.Background()
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New("paper")
+		tctx = trace.With(tctx, tracer)
+	}
+
 	ctx, err := experiments.NewContext(*seed)
 	if err != nil {
 		fatal(err)
 	}
 
 	if *csvDir != "" {
-		files, err := ctx.WriteCSV(*csvDir)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %d CSV files to %s\n\n", len(files), *csvDir)
+		section(tctx, "csv", func() error {
+			files, err := ctx.WriteCSV(*csvDir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d CSV files to %s\n\n", len(files), *csvDir)
+			return nil
+		})
 	}
 
 	if *all || *fig == 2 {
-		rows, err := ctx.Fig2()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderFig2(rows))
-		if *charts {
-			chart, err := experiments.ChartFig2(rows)
+		section(tctx, "fig2", func() error {
+			rows, err := ctx.Fig2()
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Println(chart)
-		}
+			fmt.Println(experiments.RenderFig2(rows))
+			if *charts {
+				chart, err := experiments.ChartFig2(rows)
+				if err != nil {
+					return err
+				}
+				fmt.Println(chart)
+			}
+			return nil
+		})
 	}
 	if *all || *fig == 3 {
-		rows, err := ctx.Fig3()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderFig3(rows))
+		section(tctx, "fig3", func() error {
+			rows, err := ctx.Fig3()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFig3(rows))
+			return nil
+		})
 	}
 	if *all || *fig == 4 {
-		rows, sums, err := ctx.Fig4()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderFig4(rows, sums))
-		if *charts {
-			chart, err := experiments.ChartFig4(rows)
+		section(tctx, "fig4", func() error {
+			rows, sums, err := ctx.Fig4()
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Println(chart)
-		}
+			fmt.Println(experiments.RenderFig4(rows, sums))
+			if *charts {
+				chart, err := experiments.ChartFig4(rows)
+				if err != nil {
+					return err
+				}
+				fmt.Println(chart)
+			}
+			return nil
+		})
 	}
 	if *all || *table == 1 {
-		rows, err := ctx.Table1()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderTable1(rows))
+		section(tctx, "table1", func() error {
+			rows, err := ctx.Table1()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderTable1(rows))
+			return nil
+		})
 	}
 	if *all || *fig == 5 {
-		points, meanErr, err := ctx.Fig5()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderFig5(points, meanErr))
-		if *charts {
-			chart, err := experiments.ChartFig5(points)
+		section(tctx, "fig5", func() error {
+			points, meanErr, err := ctx.Fig5()
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Println(chart)
-		}
+			fmt.Println(experiments.RenderFig5(points, meanErr))
+			if *charts {
+				chart, err := experiments.ChartFig5(points)
+				if err != nil {
+					return err
+				}
+				fmt.Println(chart)
+			}
+			return nil
+		})
 	}
 	if *all || *fig == 6 {
-		points, err := ctx.Fig6()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderFig6(points))
+		section(tctx, "fig6", func() error {
+			points, err := ctx.Fig6()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFig6(points))
+			return nil
+		})
 	}
 	if *all || *fig == 7 {
-		renderBySize(ctx, "Figure 7", "CFD")
+		renderBySize(tctx, ctx, "Figure 7", "CFD")
 	}
 	if *all || *fig == 8 {
-		renderIters(ctx, "Figure 8", "CFD", "233K",
+		renderIters(tctx, ctx, "Figure 8", "CFD", "233K",
 			[]int{1, 2, 4, 8, 16, 32, 64}, *charts)
 	}
 	if *all || *fig == 9 {
-		renderBySize(ctx, "Figure 9", "HotSpot")
+		renderBySize(tctx, ctx, "Figure 9", "HotSpot")
 	}
 	if *all || *fig == 10 {
-		renderIters(ctx, "Figure 10", "HotSpot", "1024 x 1024",
+		renderIters(tctx, ctx, "Figure 10", "HotSpot", "1024 x 1024",
 			[]int{1, 2, 4, 8, 16, 32, 64, 128, 256}, *charts)
 	}
 	if *all || *fig == 11 {
-		renderBySize(ctx, "Figure 11", "SRAD")
+		renderBySize(tctx, ctx, "Figure 11", "SRAD")
 	}
 	if *all || *fig == 12 {
-		renderIters(ctx, "Figure 12", "SRAD", "4096 x 4096",
+		renderIters(tctx, ctx, "Figure 12", "SRAD", "4096 x 4096",
 			[]int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}, *charts)
 	}
 	if *all || *stassuij {
-		res, err := ctx.Stassuij()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderStassuij(res))
+		section(tctx, "stassuij", func() error {
+			res, err := ctx.Stassuij()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderStassuij(res))
+			return nil
+		})
 	}
 	if *all || *table == 2 {
-		res, err := ctx.Table2()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderTable2(res))
+		section(tctx, "table2", func() error {
+			res, err := ctx.Table2()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderTable2(res))
+			return nil
+		})
 	}
 	if *all || *future {
-		rows, err := ctx.FutureWork()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderFutureWork(rows))
+		section(tctx, "futurework", func() error {
+			rows, err := ctx.FutureWork()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFutureWork(rows))
+			return nil
+		})
 	}
 	if n := *robust; n > 0 || *all {
 		if n == 0 {
 			n = 8
 		}
-		res, err := experiments.Robustness(*seed, n)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderRobustness(res))
+		section(tctx, "robustness", func() error {
+			res, err := experiments.Robustness(*seed, n)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderRobustness(res))
+			return nil
+		})
 	}
 	if *all || *decision {
-		flops, iters := experiments.DefaultDecisionAxes()
-		res, err := ctx.DecisionMap(1024, flops, iters)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderDecisionMap(res))
+		section(tctx, "decisionmap", func() error {
+			flops, iters := experiments.DefaultDecisionAxes()
+			res, err := ctx.DecisionMap(1024, flops, iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderDecisionMap(res))
+			return nil
+		})
 	}
 	if *all || *busgen {
-		rows, err := experiments.BusGenerations(*seed)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(experiments.RenderBusGenerations(rows))
+		section(tctx, "busgen", func() error {
+			rows, err := experiments.BusGenerations(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderBusGenerations(rows))
+			return nil
+		})
 	}
 	if *all || *pinned {
-		rows, err := experiments.PinnedAssumption(*seed)
+		section(tctx, "pinned", func() error {
+			rows, err := experiments.PinnedAssumption(*seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderPinnedAssumption(rows))
+			return nil
+		})
+	}
+
+	if tracer != nil {
+		tracer.Close()
+		if err := tracer.Check(); err != nil {
+			fatal(err)
+		}
+		data, err := tracer.ChromeJSON()
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(experiments.RenderPinnedAssumption(rows))
-	}
-}
-
-func renderBySize(ctx *experiments.Context, title, app string) {
-	rows, err := ctx.SpeedupBySize(app)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println(experiments.RenderSpeedupBySize(title+" ("+app+")", rows))
-}
-
-func renderIters(ctx *experiments.Context, title, app, size string, iters []int, charts bool) {
-	sweep, err := ctx.IterationSweep(app, size, iters)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println(experiments.RenderIterSweep(title, sweep))
-	if charts {
-		chart, err := experiments.ChartIterSweep(title, sweep)
-		if err != nil {
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Println(chart)
+		fmt.Fprintf(os.Stderr, "paper: wrote trace to %s\n", *traceOut)
 	}
+	if *showMet {
+		fmt.Println()
+		fmt.Print(metrics.Default.Dump())
+	}
+}
+
+// section runs one experiment under a structural span. Experiment
+// spans consume no simulated time (the clock belongs to projected GPU
+// time, which the experiments aggregate internally).
+func section(tctx context.Context, name string, fn func() error) {
+	_, sp := trace.Start(tctx, name)
+	defer sp.End()
+	if err := fn(); err != nil {
+		fatal(err)
+	}
+}
+
+func renderBySize(tctx context.Context, ctx *experiments.Context, title, app string) {
+	section(tctx, "speedup-by-size "+app, func() error {
+		rows, err := ctx.SpeedupBySize(app)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSpeedupBySize(title+" ("+app+")", rows))
+		return nil
+	})
+}
+
+func renderIters(tctx context.Context, ctx *experiments.Context, title, app, size string, iters []int, charts bool) {
+	section(tctx, "iteration-sweep "+app, func() error {
+		sweep, err := ctx.IterationSweep(app, size, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderIterSweep(title, sweep))
+		if charts {
+			chart, err := experiments.ChartIterSweep(title, sweep)
+			if err != nil {
+				return err
+			}
+			fmt.Println(chart)
+		}
+		return nil
+	})
 }
 
 func fatal(err error) {

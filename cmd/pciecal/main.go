@@ -9,15 +9,19 @@
 //	pciecal -pageable        # calibrate for pageable host memory
 //	pciecal -leastsquares    # the full-regression ablation
 //	pciecal -sweep           # print the raw Figure 2 sweep as well
+//	pciecal -trace cal.json -metrics
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"grophecy/internal/experiments"
+	"grophecy/internal/metrics"
 	"grophecy/internal/pcie"
+	"grophecy/internal/trace"
 	"grophecy/internal/units"
 	"grophecy/internal/xfermodel"
 )
@@ -29,8 +33,17 @@ func main() {
 		ls       = flag.Bool("leastsquares", false, "use the least-squares ablation instead of the paper's two-point scheme")
 		sweep    = flag.Bool("sweep", false, "also print the raw transfer-time sweep (Figure 2)")
 		runs     = flag.Int("runs", 10, "transfers averaged per measurement")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path")
+		showMet  = flag.Bool("metrics", false, "dump pipeline metrics (Prometheus text format) after the output")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New("pciecal")
+		ctx = trace.With(ctx, tracer)
+	}
 
 	busCfg := pcie.DefaultConfig()
 	busCfg.Seed = *seed
@@ -44,23 +57,27 @@ func main() {
 
 	sizes, err := xfermodel.PowerOfTwoSizes(1, 512*units.MB)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pciecal:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	var model xfermodel.BusModel
+	_, calSpan := trace.Start(ctx, "xfermodel.calibrate")
 	if *ls {
 		fmt.Println("calibration: ordinary least squares over the full sweep (ablation)")
+		calSpan.SetAttr(trace.String("scheme", "least-squares"))
 		model, err = xfermodel.CalibrateLeastSquares(bus, cfg, sizes)
 	} else {
 		fmt.Printf("calibration: two-point (%s and %s, %d runs each; paper §III-C)\n",
 			units.FormatBytes(cfg.SmallSize), units.FormatBytes(cfg.LargeSize), cfg.Runs)
+		calSpan.SetAttr(trace.String("scheme", "raw two-point"))
 		model, err = xfermodel.CalibrateTwoPoint(bus, cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pciecal:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	calSpan.SetAttr(trace.Int("transfers", int64(model.CalibrationTransfers)))
+	calSpan.SetAttr(trace.Float("bus_cost_s", model.CalibrationCost))
+	calSpan.End()
 
 	fmt.Printf("host memory: %v\n", model.Kind)
 	fmt.Printf("calibration cost: %d transfers, %.2fs of bus time\n\n",
@@ -69,10 +86,12 @@ func main() {
 		fmt.Printf("%-10v %s\n", pcie.Direction(d), model.Dir[d])
 	}
 
+	_, valSpan := trace.Start(ctx, "xfermodel.validate",
+		trace.Int("sizes", int64(len(sizes))), trace.Int("runs", int64(cfg.Runs)))
 	points, err := xfermodel.Validate(bus, model, sizes, cfg.Runs)
+	valSpan.End()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pciecal:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	sums := xfermodel.SummarizeValidation(points)
 	fmt.Println("\nvalidation over 1B..512MB (Figure 4):")
@@ -91,4 +110,28 @@ func main() {
 				100*p.ErrMag, p.Dir)
 		}
 	}
+
+	if tracer != nil {
+		tracer.Close()
+		if err := tracer.Check(); err != nil {
+			fatal(err)
+		}
+		data, err := tracer.ChromeJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pciecal: wrote trace to %s\n", *traceOut)
+	}
+	if *showMet {
+		fmt.Println()
+		fmt.Print(metrics.Default.Dump())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pciecal:", err)
+	os.Exit(1)
 }

@@ -23,7 +23,18 @@ import (
 	"sort"
 	"strings"
 
+	"grophecy/internal/metrics"
 	"grophecy/internal/skeleton"
+)
+
+// Section-algebra instruments: how much BRS work an analysis does.
+var (
+	mSections = metrics.Default.MustCounter("brs_sections_built_total",
+		"sections derived from accesses")
+	mUnions = metrics.Default.MustCounter("brs_unions_total",
+		"section union operations")
+	mIntersects = metrics.Default.MustCounter("brs_intersections_total",
+		"section intersection tests")
 )
 
 // Bound is the regular section of one array dimension: the elements
@@ -151,6 +162,7 @@ func FromAccess(ac skeleton.Access, loops []skeleton.Loop) Section {
 	if err := ac.Validate(); err != nil {
 		panic(err)
 	}
+	mSections.Inc()
 	if ac.Irregular() {
 		return WholeArray(ac.Array)
 	}
@@ -290,6 +302,7 @@ func Union(a, b Section) Section {
 		panic(fmt.Sprintf("brs: union of sections of different arrays %q and %q",
 			a.Array.Name, b.Array.Name))
 	}
+	mUnions.Inc()
 	if a.Whole || b.Whole {
 		return WholeArray(a.Array)
 	}
@@ -313,6 +326,7 @@ func Intersect(a, b Section) (Section, bool) {
 		panic(fmt.Sprintf("brs: intersection of sections of different arrays %q and %q",
 			a.Array.Name, b.Array.Name))
 	}
+	mIntersects.Inc()
 	if !a.Overlaps(b) {
 		return Section{}, false
 	}

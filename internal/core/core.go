@@ -33,12 +33,23 @@ import (
 	"grophecy/internal/gpu"
 	"grophecy/internal/gpusim"
 	"grophecy/internal/measure"
+	"grophecy/internal/metrics"
 	"grophecy/internal/pcie"
 	"grophecy/internal/perfmodel"
 	"grophecy/internal/skeleton"
 	"grophecy/internal/stats"
+	"grophecy/internal/trace"
 	"grophecy/internal/transform"
 	"grophecy/internal/xfermodel"
+)
+
+// Pipeline-level instruments. Per-stage packages own their own
+// counters; these cover the orchestration layer itself.
+var (
+	mEvaluations = metrics.Default.MustCounter("core_evaluations_total",
+		"workload evaluations run through the projection pipeline")
+	mDegradations = metrics.Default.MustCounter("core_degradations_total",
+		"measurement fallbacks recorded in reports")
 )
 
 // MeasureRuns is how many runs each measurement averages (§IV-A).
@@ -360,15 +371,35 @@ func (p *Projector) Evaluate(w Workload) (Report, error) {
 // enforces it inside every measurement, degrades gracefully on
 // absorbed failures, and records every fallback in
 // Report.Degradations.
+// Tracing: when the context carries a trace.Tracer, the evaluation
+// opens an "evaluate" span whose simulated clock advances by exactly
+// the *predicted* GPU time of each kernel (all iterations) and each
+// transfer — so the span's duration equals Report.PredTotalGPU() and
+// the trace is the projected GPU timeline. Analysis, exploration, and
+// measurement appear as zero-duration child spans whose attributes
+// carry the interesting counts (candidates, samples, retries,
+// simulated measurement cost).
 func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error) {
 	if err := w.Validate(); err != nil {
 		return Report{}, err
 	}
+	mEvaluations.Inc()
+	ctx, span := trace.Start(ctx, "evaluate",
+		trace.String("workload", w.Name),
+		trace.String("size", w.DataSize),
+		trace.Int("iterations", int64(w.Seq.Iterations)))
+	defer span.End()
 
+	_, aspan := trace.Start(ctx, "datausage.analyze")
 	plan, err := datausage.Analyze(w.Seq, w.Hints)
 	if err != nil {
+		aspan.End()
 		return Report{}, err
 	}
+	aspan.SetAttr(trace.Int("uploads", int64(len(plan.Uploads))))
+	aspan.SetAttr(trace.Int("downloads", int64(len(plan.Downloads))))
+	aspan.SetAttr(trace.Int("bytes", plan.TotalBytes()))
+	aspan.End()
 
 	r := Report{
 		Name:       w.Name,
@@ -389,12 +420,15 @@ func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error)
 		if err := ctx.Err(); err != nil {
 			return Report{}, err
 		}
-		variant, proj, err := transform.Best(k, p.m.GPUArch)
+		kctx, kspan := trace.Start(ctx, "kernel "+k.Name)
+		variant, proj, err := p.projectKernel(kctx, k)
 		if err != nil {
+			kspan.End()
 			return Report{}, err
 		}
-		measured, err := p.measureKernel(ctx, k.Name, variant.Ch, proj.Time, &r.Degradations)
+		measured, err := p.measureKernel(kctx, k.Name, variant.Ch, proj.Time, &r.Degradations)
 		if err != nil {
+			kspan.End()
 			return Report{}, fmt.Errorf("core: measuring kernel %q: %w", k.Name, err)
 		}
 		r.Kernels = append(r.Kernels, KernelResult{
@@ -406,6 +440,11 @@ func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error)
 		iters := float64(w.Seq.Iterations)
 		r.PredKernelTime += proj.Time * iters
 		r.MeasKernelTime += measured * iters
+		kspan.SetAttr(trace.String("variant", variant.Name))
+		kspan.SetAttr(trace.Float("pred_per_invocation_s", proj.Time))
+		kspan.SetAttr(trace.Float("meas_per_invocation_s", measured))
+		kspan.Advance(proj.Time * iters)
+		kspan.End()
 	}
 
 	// Transfers: pinned memory, one transfer per array per direction.
@@ -417,12 +456,17 @@ func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error)
 		if tr.Dir == datausage.Download {
 			dir = pcie.DeviceToHost
 		}
+		tctx, tspan := trace.Start(ctx, "transfer "+tr.String(),
+			trace.Int("bytes", tr.Bytes()),
+			trace.String("dir", tr.Dir.String()))
 		pred, err := p.model.Predict(dir, tr.Bytes())
 		if err != nil {
+			tspan.End()
 			return Report{}, err
 		}
-		meas, err := p.measureTransfer(ctx, tr.String(), dir, tr.Bytes(), pred, &r.Degradations)
+		meas, err := p.measureTransfer(tctx, tr.String(), dir, tr.Bytes(), pred, &r.Degradations)
 		if err != nil {
+			tspan.End()
 			return Report{}, err
 		}
 		r.Transfers = append(r.Transfers, TransferResult{
@@ -432,16 +476,33 @@ func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error)
 		})
 		r.PredTransferTime += pred
 		r.MeasTransferTime += meas
+		tspan.SetAttr(trace.Float("pred_s", pred))
+		tspan.SetAttr(trace.Float("meas_s", meas))
+		tspan.Advance(pred)
+		tspan.End()
 	}
 
-	// CPU baseline: the same offloaded portion, all iterations.
-	cpuPerIter, err := p.measureCPU(ctx, w.CPU, &r.Degradations)
+	// CPU baseline: the same offloaded portion, all iterations. Off
+	// the projected GPU timeline, so its span consumes no simulated
+	// time.
+	cctx, cspan := trace.Start(ctx, "cpu.baseline")
+	cpuPerIter, err := p.measureCPU(cctx, w.CPU, &r.Degradations)
 	if err != nil {
+		cspan.End()
 		return Report{}, err
 	}
 	r.CPUTime = cpuPerIter * float64(w.Seq.Iterations)
+	cspan.SetAttr(trace.Float("per_iteration_s", cpuPerIter))
+	cspan.End()
 
+	mDegradations.Add(int64(len(r.Degradations)))
 	return r, nil
+}
+
+// projectKernel runs the transformation exploration and analytical
+// projection for one kernel.
+func (p *Projector) projectKernel(ctx context.Context, k *skeleton.Kernel) (transform.Variant, perfmodel.Projection, error) {
+	return transform.BestCtx(ctx, k, p.m.GPUArch)
 }
 
 // measureKernel measures one kernel's per-invocation time. The raw
@@ -449,6 +510,8 @@ func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error)
 // the robust protocol and, when the measurement is unrecoverable,
 // degrades to the analytical prediction with a recorded warning.
 func (p *Projector) measureKernel(ctx context.Context, name string, ch perfmodel.Characteristics, predicted float64, notes *[]string) (float64, error) {
+	ctx, span := trace.Start(ctx, "measure.kernel", trace.Int("runs", int64(p.runs)))
+	defer span.End()
 	if p.meter == nil {
 		return p.m.GPU.MeasureMean(ch, p.runs)
 	}
@@ -472,6 +535,8 @@ func (p *Projector) measureKernel(ctx context.Context, name string, ch perfmodel
 // measureTransfer measures one transfer. Degradation ladder: partial
 // robust estimate, then the calibrated model's prediction.
 func (p *Projector) measureTransfer(ctx context.Context, label string, dir pcie.Direction, size int64, predicted float64, notes *[]string) (float64, error) {
+	ctx, span := trace.Start(ctx, "measure.transfer", trace.Int("runs", int64(p.runs)))
+	defer span.End()
 	if p.meter == nil {
 		return p.m.Bus.MeasureMean(dir, p.kind, size, p.runs)
 	}
@@ -495,6 +560,8 @@ func (p *Projector) measureTransfer(ctx context.Context, label string, dir pcie.
 // measureCPU measures the per-iteration CPU baseline, degrading to
 // the noiseless model time when the measurement is unrecoverable.
 func (p *Projector) measureCPU(ctx context.Context, w cpumodel.Workload, notes *[]string) (float64, error) {
+	ctx, span := trace.Start(ctx, "measure.cpu", trace.Int("runs", int64(p.runs)))
+	defer span.End()
 	if p.meter == nil {
 		return p.m.CPU.MeasureMean(w, p.runs)
 	}

@@ -8,6 +8,7 @@ import (
 	"grophecy/internal/datausage"
 	"grophecy/internal/pcie"
 	"grophecy/internal/program"
+	"grophecy/internal/trace"
 	"grophecy/internal/transform"
 )
 
@@ -108,18 +109,28 @@ func (p *Projector) EvaluateProgramCtx(ctx context.Context, prog *program.Progra
 			rep.Degradations = append(rep.Degradations, "calibration: "+d)
 		}
 	}
+	ctx, espan := trace.Start(ctx, "evaluate.program",
+		trace.String("program", prog.Name),
+		trace.Int("phases", int64(len(prog.Phases))))
+	defer espan.End()
 	for i, ph := range prog.Phases {
 		if err := ctx.Err(); err != nil {
 			return ProgramReport{}, err
 		}
+		phctx, phspan := trace.Start(ctx, fmt.Sprintf("phase %d", i+1))
 		var pr PhaseReport
 		for _, k := range ph.Seq.Kernels {
-			variant, proj, err := transform.Best(k, p.m.GPUArch)
+			kctx, kspan := trace.Start(phctx, "kernel "+k.Name)
+			variant, proj, err := transform.BestCtx(kctx, k, p.m.GPUArch)
 			if err != nil {
+				kspan.End()
+				phspan.End()
 				return ProgramReport{}, fmt.Errorf("core: phase %d: %w", i, err)
 			}
-			measured, err := p.measureKernel(ctx, k.Name, variant.Ch, proj.Time, &rep.Degradations)
+			measured, err := p.measureKernel(kctx, k.Name, variant.Ch, proj.Time, &rep.Degradations)
 			if err != nil {
+				kspan.End()
+				phspan.End()
 				return ProgramReport{}, fmt.Errorf("core: phase %d kernel %q: %w", i, k.Name, err)
 			}
 			pr.Kernels = append(pr.Kernels, KernelResult{
@@ -129,6 +140,8 @@ func (p *Projector) EvaluateProgramCtx(ctx context.Context, prog *program.Progra
 			iters := float64(ph.Seq.Iterations)
 			pr.PredKernelTime += proj.Time * iters
 			pr.MeasKernelTime += measured * iters
+			kspan.Advance(proj.Time * iters)
+			kspan.End()
 		}
 		phasePlan := plan.Phases[i]
 		for _, tr := range append(append([]datausage.Transfer(nil),
@@ -137,12 +150,18 @@ func (p *Projector) EvaluateProgramCtx(ctx context.Context, prog *program.Progra
 			if tr.Dir == datausage.Download {
 				dir = pcie.DeviceToHost
 			}
+			tctx, tspan := trace.Start(phctx, "transfer "+tr.String(),
+				trace.Int("bytes", tr.Bytes()))
 			pred, err := p.model.Predict(dir, tr.Bytes())
 			if err != nil {
+				tspan.End()
+				phspan.End()
 				return ProgramReport{}, err
 			}
-			meas, err := p.measureTransfer(ctx, tr.String(), dir, tr.Bytes(), pred, &rep.Degradations)
+			meas, err := p.measureTransfer(tctx, tr.String(), dir, tr.Bytes(), pred, &rep.Degradations)
 			if err != nil {
+				tspan.End()
+				phspan.End()
 				return ProgramReport{}, err
 			}
 			pr.Transfers = append(pr.Transfers, TransferResult{
@@ -150,8 +169,13 @@ func (p *Projector) EvaluateProgramCtx(ctx context.Context, prog *program.Progra
 			})
 			pr.PredTransferTime += pred
 			pr.MeasTransferTime += meas
+			tspan.Advance(pred)
+			tspan.End()
 		}
 		rep.Phases = append(rep.Phases, pr)
+		phspan.SetAttr(trace.Float("pred_kernel_s", pr.PredKernelTime))
+		phspan.SetAttr(trace.Float("pred_transfer_s", pr.PredTransferTime))
+		phspan.End()
 
 		// Naive comparison: what this phase would transfer without
 		// residency tracking.

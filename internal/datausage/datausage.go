@@ -31,7 +31,18 @@ import (
 	"strings"
 
 	"grophecy/internal/brs"
+	"grophecy/internal/metrics"
 	"grophecy/internal/skeleton"
+)
+
+// Analysis instruments.
+var (
+	mAnalyses = metrics.Default.MustCounter("datausage_analyses_total",
+		"kernel-sequence data usage analyses")
+	mPlannedTransfers = metrics.Default.MustCounter("datausage_planned_transfers_total",
+		"transfers emitted across all plans")
+	mPlannedBytes = metrics.Default.MustCounter("datausage_planned_bytes_total",
+		"bytes covered by emitted transfer plans")
 )
 
 // TransferDir distinguishes uploads from downloads without dragging a
@@ -269,6 +280,9 @@ func AnalyzeOpt(seq *skeleton.Sequence, hints Hints, opts Options) (Plan, error)
 	sort.Slice(plan.Downloads, func(i, j int) bool {
 		return plan.Downloads[i].Array().Name < plan.Downloads[j].Array().Name
 	})
+	mAnalyses.Inc()
+	mPlannedTransfers.Add(int64(plan.TransferCount()))
+	mPlannedBytes.Add(plan.TotalBytes())
 	return plan, nil
 }
 

@@ -67,3 +67,7 @@ func Transientf(format string, args ...any) error {
 
 // IsTransient reports whether err is retryable.
 func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// IsMeasureTimeout reports whether err marks an exhausted measurement
+// deadline (simulated budget or cancelled context).
+func IsMeasureTimeout(err error) bool { return errors.Is(err, ErrMeasureTimeout) }

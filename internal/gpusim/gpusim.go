@@ -30,8 +30,17 @@ import (
 	"math"
 
 	"grophecy/internal/gpu"
+	"grophecy/internal/metrics"
 	"grophecy/internal/perfmodel"
 	"grophecy/internal/rng"
+)
+
+// Simulator instruments.
+var (
+	mLaunches = metrics.Default.MustCounter("gpusim_launches_total",
+		"simulated kernel launches")
+	mLaunchSeconds = metrics.Default.MustHistogram("gpusim_launch_seconds",
+		"observed simulated kernel times", metrics.TimeBuckets())
 )
 
 // LaunchVariance is how much longer the simulated driver's actual
@@ -88,7 +97,10 @@ func (s *Sim) Run(ch perfmodel.Characteristics) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return base * s.noise.LogNormalFactor(s.cfg.NoiseSigma), nil
+	t := base * s.noise.LogNormalFactor(s.cfg.NoiseSigma)
+	mLaunches.Inc()
+	mLaunchSeconds.Observe(t)
+	return t, nil
 }
 
 // MeasureMean simulates runs launches and returns the mean time,

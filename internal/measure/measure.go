@@ -31,8 +31,25 @@ import (
 	"sort"
 
 	"grophecy/internal/errdefs"
+	"grophecy/internal/metrics"
 	"grophecy/internal/pcie"
 	"grophecy/internal/rng"
+	"grophecy/internal/trace"
+)
+
+// Measurement-protocol instruments: how many observations the
+// resilient layer took, how many transient retries it absorbed, how
+// many measurements ran out of budget, and the simulated cost of each
+// measurement (observations plus backoff).
+var (
+	mSamples = metrics.Default.MustCounter("measure_samples_total",
+		"observations taken by the resilient measurement layer")
+	mRetries = metrics.Default.MustCounter("measure_retries_total",
+		"transient failures retried away")
+	mTimeouts = metrics.Default.MustCounter("measure_timeouts_total",
+		"measurements that exhausted their simulated budget or context")
+	mSimSeconds = metrics.Default.MustHistogram("measure_sim_seconds",
+		"simulated seconds consumed per measurement", metrics.TimeBuckets())
 )
 
 // Source is a transfer-measurement surface: the raw *pcie.Bus, or a
@@ -201,7 +218,32 @@ func (m *Meter) Config() Config { return m.cfg }
 // On a deadline or cancellation the partial Result gathered so far is
 // returned alongside an error wrapping errdefs.ErrMeasureTimeout, so
 // callers can degrade gracefully instead of discarding good samples.
+//
+// Every call updates the measure_* instruments and, when the context
+// carries a trace span, annotates it with the sample count, retries,
+// and simulated cost of this measurement.
 func (m *Meter) Sample(ctx context.Context, sample func() (float64, error)) (Result, error) {
+	res, err := m.sampleLoop(ctx, sample)
+	mSamples.Add(int64(res.Samples))
+	mRetries.Add(int64(res.Retries))
+	if errdefs.IsMeasureTimeout(err) {
+		mTimeouts.Inc()
+	}
+	mSimSeconds.Observe(res.SimTime)
+	if span := trace.Current(ctx); span != nil {
+		span.SetAttr(trace.Int("samples", int64(res.Samples)))
+		span.SetAttr(trace.Int("retries", int64(res.Retries)))
+		span.SetAttr(trace.Float("sim_cost_s", res.SimTime))
+		span.SetAttr(trace.Bool("converged", res.Converged))
+		if err != nil {
+			span.SetAttr(trace.String("error", err.Error()))
+		}
+	}
+	return res, err
+}
+
+// sampleLoop is the uninstrumented measurement protocol.
+func (m *Meter) sampleLoop(ctx context.Context, sample func() (float64, error)) (Result, error) {
 	var res Result
 	var samples []float64
 

@@ -1,0 +1,320 @@
+// Package metrics is the pipeline's metrics registry: named
+// counters, gauges, and fixed-bucket histograms, dumped in the
+// Prometheus text exposition style. Every instrumented package
+// registers its instruments once, at init time, against the Default
+// registry; CLIs print the dump behind a -metrics flag.
+//
+// Values are deterministic for a deterministic run: instruments only
+// count simulated quantities (candidates enumerated, retries
+// absorbed, simulated seconds observed), never wall-clock time, so a
+// given seed and fault plan reproduce the same dump.
+//
+// All types are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// nameRE is the legal instrument name shape (Prometheus-compatible).
+var nameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// instrument is the common interface of all registered metric kinds.
+type instrument interface {
+	metricName() string
+	metricHelp() string
+	metricType() string
+	// writeValues appends the sample lines (without HELP/TYPE).
+	writeValues(b *strings.Builder)
+}
+
+// Registry holds a set of uniquely named instruments.
+type Registry struct {
+	mu  sync.Mutex
+	ins map[string]instrument
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ins: make(map[string]instrument)}
+}
+
+// Default is the process-wide registry all pipeline packages
+// register against.
+var Default = NewRegistry()
+
+// register validates the name and claims it. Registering a duplicate
+// name is an error regardless of kind.
+func (r *Registry) register(in instrument) error {
+	name := in.metricName()
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("metrics: invalid name %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.ins[name]; ok {
+		return fmt.Errorf("metrics: duplicate registration of %q", name)
+	}
+	r.ins[name] = in
+	return nil
+}
+
+// Counter is a monotonically increasing integer count.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewCounter registers a counter.
+func (r *Registry) NewCounter(name, help string) (*Counter, error) {
+	c := &Counter{name: name, help: help}
+	if err := r.register(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustCounter is NewCounter, panicking on error (for init-time use).
+func (r *Registry) MustCounter(name, help string) *Counter {
+	c, err := r.NewCounter(name, help)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative increments are ignored (counters are
+// monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) metricHelp() string { return c.help }
+func (c *Counter) metricType() string { return "counter" }
+func (c *Counter) writeValues(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %d\n", c.name, c.v.Load())
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	name, help string
+	mu         sync.Mutex
+	v          float64
+}
+
+// NewGauge registers a gauge.
+func (r *Registry) NewGauge(name, help string) (*Gauge, error) {
+	g := &Gauge{name: name, help: help}
+	if err := r.register(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustGauge is NewGauge, panicking on error.
+func (r *Registry) MustGauge(name, help string) *Gauge {
+	g, err := r.NewGauge(name, help)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge value.
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) metricHelp() string { return g.help }
+func (g *Gauge) metricType() string { return "gauge" }
+func (g *Gauge) writeValues(b *strings.Builder) {
+	fmt.Fprintf(b, "%s %s\n", g.name, formatFloat(g.Value()))
+}
+
+// Histogram is a fixed-bucket histogram. Buckets are upper bounds in
+// ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    float64
+	n      int64
+}
+
+// NewHistogram registers a histogram with the given ascending bucket
+// upper bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("metrics: histogram %q needs at least one bucket", name)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("metrics: histogram %q buckets not ascending", name)
+		}
+	}
+	h := &Histogram{
+		name: name, help: help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+	if err := r.register(h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustHistogram is NewHistogram, panicking on error.
+func (r *Registry) MustHistogram(name, help string, bounds []float64) *Histogram {
+	h, err := r.NewHistogram(name, help, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// TimeBuckets is the shared bucket ladder for simulated durations in
+// seconds: decades from a microsecond to ten seconds.
+func TimeBuckets() []float64 {
+	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+}
+
+// Observe records one sample. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the
+// last entry being the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int64(nil), h.counts...)
+}
+
+func (h *Histogram) metricName() string { return h.name }
+func (h *Histogram) metricHelp() string { return h.help }
+func (h *Histogram) metricType() string { return "histogram" }
+func (h *Histogram) writeValues(b *strings.Builder) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", h.name, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", h.name, formatFloat(h.sum))
+	fmt.Fprintf(b, "%s_count %d\n", h.name, h.n)
+}
+
+// Dump renders every instrument in the Prometheus text exposition
+// style, sorted by name.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.ins))
+	for name := range r.ins {
+		names = append(names, name)
+	}
+	ins := make([]instrument, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ins = append(ins, r.ins[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, in := range ins {
+		if help := in.metricHelp(); help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", in.metricName(), help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", in.metricName(), in.metricType())
+		in.writeValues(&b)
+	}
+	return b.String()
+}
+
+// Reset zeroes every instrument's value (registrations stay). Tests
+// and repeated CLI invocations use it to start from a clean slate.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, in := range r.ins {
+		switch m := in.(type) {
+		case *Counter:
+			m.v.Store(0)
+		case *Gauge:
+			m.Set(0)
+		case *Histogram:
+			m.mu.Lock()
+			for i := range m.counts {
+				m.counts[i] = 0
+			}
+			m.sum, m.n = 0, 0
+			m.mu.Unlock()
+		}
+	}
+}
+
+// formatFloat renders floats with the shortest round-trip form, the
+// same deterministic shape everywhere in the dump.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

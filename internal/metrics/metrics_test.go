@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDuplicateRegistrationErrors(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.NewCounter("x_total", "first"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NewCounter("x_total", "again"); err == nil {
+		t.Fatal("duplicate counter registration must error")
+	}
+	// Duplicates across kinds collide too.
+	if _, err := r.NewGauge("x_total", "as gauge"); err == nil {
+		t.Fatal("cross-kind duplicate registration must error")
+	}
+	if _, err := r.NewHistogram("x_total", "as histogram", TimeBuckets()); err == nil {
+		t.Fatal("cross-kind duplicate registration must error")
+	}
+}
+
+func TestInvalidNamesAndBuckets(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.NewCounter("9starts_with_digit", ""); err == nil {
+		t.Fatal("invalid name must error")
+	}
+	if _, err := r.NewCounter("has space", ""); err == nil {
+		t.Fatal("invalid name must error")
+	}
+	if _, err := r.NewHistogram("h", "", nil); err == nil {
+		t.Fatal("empty buckets must error")
+	}
+	if _, err := r.NewHistogram("h", "", []float64{2, 1}); err == nil {
+		t.Fatal("non-ascending buckets must error")
+	}
+}
+
+func TestCounterMonotone(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("c_total", "")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.MustGauge("g", "")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+// TestHistogramCountsEqualObservations is the core invariant: the
+// per-bucket counts (including +Inf) sum to exactly the number of
+// observations, and the dump's cumulative counts end at that total.
+func TestHistogramCountsEqualObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("h_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+	obs := []float64{0.0005, 0.001, 0.005, 0.05, 0.5, 5, 50, 0.2}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	if got := h.Count(); got != int64(len(obs)) {
+		t.Fatalf("count = %d, want %d", got, len(obs))
+	}
+	var sum int64
+	for _, c := range h.BucketCounts() {
+		sum += c
+	}
+	if sum != int64(len(obs)) {
+		t.Fatalf("bucket counts sum to %d, want %d", sum, len(obs))
+	}
+	dump := r.Dump()
+	if !strings.Contains(dump, `h_seconds_bucket{le="+Inf"} 8`) {
+		t.Fatalf("+Inf cumulative bucket wrong:\n%s", dump)
+	}
+	if !strings.Contains(dump, "h_seconds_count 8") {
+		t.Fatalf("histogram count line wrong:\n%s", dump)
+	}
+	// Boundary semantics: an observation equal to a bound lands in
+	// that bucket (le = less-or-equal).
+	if got := h.BucketCounts()[0]; got != 2 { // 0.0005 and 0.001
+		t.Fatalf("first bucket = %d, want 2", got)
+	}
+}
+
+// TestConcurrentRegistrationRace registers the same name from many
+// goroutines under -race: exactly one must win.
+func TestConcurrentRegistrationRace(t *testing.T) {
+	r := NewRegistry()
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.NewCounter("contended_total", "")
+		}(i)
+	}
+	wg.Wait()
+	won := 0
+	for _, err := range errs {
+		if err == nil {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d registrations succeeded, want exactly 1", won)
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("c_total", "")
+	h := r.MustHistogram("h_seconds", "", TimeBuckets())
+	g := r.MustGauge("g", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(1e-4)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || g.Value() != 8000 {
+		t.Fatalf("lost updates: counter=%d histogram=%d gauge=%g",
+			c.Value(), h.Count(), g.Value())
+	}
+}
+
+func TestDumpSortedAndTyped(t *testing.T) {
+	r := NewRegistry()
+	r.MustCounter("zeta_total", "last")
+	r.MustGauge("alpha", "first")
+	dump := r.Dump()
+	if strings.Index(dump, "alpha") > strings.Index(dump, "zeta_total") {
+		t.Fatalf("dump not sorted by name:\n%s", dump)
+	}
+	for _, want := range []string{
+		"# HELP alpha first", "# TYPE alpha gauge",
+		"# HELP zeta_total last", "# TYPE zeta_total counter",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("c_total", "")
+	g := r.MustGauge("g", "")
+	h := r.MustHistogram("h_seconds", "", TimeBuckets())
+	c.Add(3)
+	g.Set(2)
+	h.Observe(0.5)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset must zero every instrument")
+	}
+	var sum int64
+	for _, n := range h.BucketCounts() {
+		sum += n
+	}
+	if sum != 0 {
+		t.Fatal("Reset must zero histogram buckets")
+	}
+}

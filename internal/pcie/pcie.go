@@ -33,8 +33,19 @@ import (
 	"sync"
 
 	"grophecy/internal/errdefs"
+	"grophecy/internal/metrics"
 	"grophecy/internal/rng"
 	"grophecy/internal/units"
+)
+
+// Bus instruments.
+var (
+	mTransfers = metrics.Default.MustCounter("pcie_transfers_total",
+		"simulated PCIe transfers")
+	mBytes = metrics.Default.MustCounter("pcie_bytes_total",
+		"bytes moved across the simulated bus")
+	mTransferSeconds = metrics.Default.MustHistogram("pcie_transfer_seconds",
+		"observed simulated transfer times", metrics.TimeBuckets())
 )
 
 // Direction identifies which way a transfer moves across the bus.
@@ -428,6 +439,9 @@ func (b *Bus) Transfer(dir Direction, kind MemoryKind, size int64) (float64, err
 	b.stats.Transfers++
 	b.stats.BytesMoved += size
 	b.stats.BusySecs += t
+	mTransfers.Inc()
+	mBytes.Add(size)
+	mTransferSeconds.Observe(t)
 	return t, nil
 }
 

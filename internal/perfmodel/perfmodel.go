@@ -29,7 +29,13 @@ import (
 	"math"
 
 	"grophecy/internal/gpu"
+	"grophecy/internal/metrics"
 )
+
+// mProjections counts analytical kernel projections — the unit of
+// work of the transformation exploration.
+var mProjections = metrics.Default.MustCounter("perfmodel_projections_total",
+	"analytical kernel projections computed")
 
 // Characteristics summarizes one transformed GPU kernel — the
 // quantities GROPHECY synthesizes from a code skeleton for a specific
@@ -152,6 +158,7 @@ func Project(arch gpu.Arch, ch Characteristics) (Projection, error) {
 	if err := ch.Validate(); err != nil {
 		return Projection{}, err
 	}
+	mProjections.Inc()
 	occ := arch.Occupancy(ch.BlockSize, ch.RegsPerThread, ch.SharedMemPerBlock)
 	if occ.BlocksPerSM == 0 {
 		return Projection{}, fmt.Errorf("perfmodel: %s: zero occupancy (limited by %s)",

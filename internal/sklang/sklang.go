@@ -53,17 +53,38 @@ import (
 	"os"
 
 	"grophecy/internal/core"
+	"grophecy/internal/metrics"
+)
+
+// Parser instruments.
+var (
+	mParses = metrics.Default.MustCounter("sklang_parses_total",
+		"skeleton sources parsed")
+	mParseErrors = metrics.Default.MustCounter("sklang_parse_errors_total",
+		"skeleton sources rejected by the lexer or parser")
+	mKernelsParsed = metrics.Default.MustCounter("sklang_kernels_parsed_total",
+		"kernels accepted across all parses")
 )
 
 // Parse parses skeleton source text into a workload. Errors carry
 // line:column positions.
 func Parse(src string) (core.Workload, error) {
+	mParses.Inc()
 	toks, err := lexAll(src)
 	if err != nil {
+		mParseErrors.Inc()
 		return core.Workload{}, err
 	}
 	p := &parser{toks: toks}
-	return p.parseFile()
+	w, err := p.parseFile()
+	if err != nil {
+		mParseErrors.Inc()
+		return core.Workload{}, err
+	}
+	if w.Seq != nil {
+		mKernelsParsed.Add(int64(len(w.Seq.Kernels)))
+	}
+	return w, nil
 }
 
 // ParseFile reads and parses a skeleton file.

@@ -22,9 +22,23 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"grophecy/internal/errdefs"
+	"grophecy/internal/metrics"
+)
+
+// Sweep instruments: task and failure counts plus the number of live
+// workers, so a -metrics dump shows how parallel a run actually was.
+var (
+	mTasks = metrics.Default.MustCounter("sweep_tasks_total",
+		"sweep inputs attempted")
+	mFailures = metrics.Default.MustCounter("sweep_failures_total",
+		"sweep inputs that returned an error (panics included)")
+	mWorkers = metrics.Default.MustGauge("sweep_workers",
+		"sweep worker goroutines currently running")
 )
 
 // Run maps fn over n inputs using at most workers goroutines and
@@ -65,12 +79,23 @@ func RunCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range indices {
-				results[i], errs[i] = protect(fn, i)
-			}
-		}()
+			// pprof labels make sweep workers attributable in real-CPU
+			// profiles (go test -cpuprofile, net/http/pprof).
+			labels := pprof.Labels("subsystem", "sweep", "sweep_worker", strconv.Itoa(w))
+			pprof.Do(ctx, labels, func(context.Context) {
+				mWorkers.Add(1)
+				defer mWorkers.Add(-1)
+				for i := range indices {
+					results[i], errs[i] = protect(fn, i)
+					mTasks.Inc()
+					if errs[i] != nil {
+						mFailures.Inc()
+					}
+				}
+			})
+		}(w)
 	}
 	cancelled := false
 schedule:

@@ -10,10 +10,12 @@
 package timeline
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"grophecy/internal/core"
+	"grophecy/internal/trace"
 	"grophecy/internal/units"
 )
 
@@ -44,18 +46,16 @@ func (k EventKind) String() string {
 	}
 }
 
-// Event is one timeline entry, with measured times.
+// Event is one timeline entry, with measured times. Its interval is
+// trace.Interval — the single home of simulated-time interval
+// arithmetic — so Start, Duration, and End() come from there.
 type Event struct {
 	Kind  EventKind
 	Label string
-	// Start and Duration are in seconds from the beginning of the
-	// offloaded region.
-	Start    float64
-	Duration float64
+	// Interval is the event's [Start, Start+Duration) window in
+	// seconds from the beginning of the offloaded region.
+	trace.Interval
 }
-
-// End returns the event's finish time.
-func (e Event) End() float64 { return e.Start + e.Duration }
 
 // FromReport reconstructs the sequential timeline of a report:
 // uploads in plan order, then Iterations rounds of the kernel list,
@@ -65,7 +65,8 @@ func FromReport(r core.Report) []Event {
 	var events []Event
 	t := 0.0
 	add := func(kind EventKind, label string, d float64) {
-		events = append(events, Event{Kind: kind, Label: label, Start: t, Duration: d})
+		events = append(events, Event{Kind: kind, Label: label,
+			Interval: trace.Interval{Start: t, Duration: d}})
 		t += d
 	}
 	for _, tr := range r.Transfers {
@@ -170,10 +171,12 @@ func coalesce(events []Event, maxRows int) []Event {
 		return events
 	}
 	agg := Event{
-		Kind:     Kernel,
-		Label:    fmt.Sprintf("kernels x%d", len(kernels)),
-		Start:    kernels[0].Start,
-		Duration: kernels[len(kernels)-1].End() - kernels[0].Start,
+		Kind:  Kernel,
+		Label: fmt.Sprintf("kernels x%d", len(kernels)),
+		Interval: trace.Interval{
+			Start:    kernels[0].Start,
+			Duration: kernels[len(kernels)-1].End() - kernels[0].Start,
+		},
 	}
 	out := append(append([]Event{}, ups...), agg)
 	return append(out, downs...)
@@ -204,3 +207,26 @@ func Summarize(events []Event) Summary {
 
 // Total returns the summed duration.
 func (s Summary) Total() float64 { return s.UploadTime + s.KernelTime + s.DownloadTime }
+
+// ToTrace replays a sequential timeline into a trace tree: one child
+// span per event under a "timeline" root, with the simulated clock
+// advanced so every span reproduces its event's interval exactly.
+// Gaps between events show up as unspanned root time; overlapping
+// events are an error (the paper's execution model is sequential).
+func ToTrace(events []Event) (*trace.Tracer, error) {
+	t := trace.New("timeline")
+	ctx := trace.With(context.Background(), t)
+	for _, e := range events {
+		now := t.Now()
+		if e.Start < now-1e-12*(1+now) {
+			return nil, fmt.Errorf("timeline: event %q starts at %g, before the previous event ends (%g)",
+				e.Label, e.Start, now)
+		}
+		t.Root().Advance(e.Start - now)
+		_, sp := trace.Start(ctx, e.Label, trace.String("kind", e.Kind.String()))
+		sp.Advance(e.Duration)
+		sp.End()
+	}
+	t.Close()
+	return t, nil
+}

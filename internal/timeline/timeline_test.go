@@ -7,6 +7,7 @@ import (
 
 	"grophecy/internal/bench"
 	"grophecy/internal/core"
+	"grophecy/internal/trace"
 )
 
 func hotspotReport(t *testing.T, iters int) core.Report {
@@ -129,6 +130,66 @@ func TestRenderErrors(t *testing.T) {
 	rep := hotspotReport(t, 1)
 	if _, err := Render(FromReport(rep), 5); err == nil {
 		t.Error("tiny width accepted")
+	}
+}
+
+func TestToTraceRoundTrip(t *testing.T) {
+	rep := hotspotReport(t, 3)
+	events := FromReport(rep)
+	tr, err := ToTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("replayed trace ill-formed: %v", err)
+	}
+	// Every event's interval must be reproduced exactly by its span.
+	children := tr.Root().Children()
+	if len(children) != len(events) {
+		t.Fatalf("spans = %d, want %d", len(children), len(events))
+	}
+	for i, sp := range children {
+		iv := sp.Interval()
+		if math.Abs(iv.Start-events[i].Start) > 1e-12 ||
+			math.Abs(iv.Duration-events[i].Duration) > 1e-12 {
+			t.Errorf("span %d interval [%g, %g] != event [%g, %g]",
+				i, iv.Start, iv.Duration, events[i].Start, events[i].Duration)
+		}
+		if sp.Name() != events[i].Label {
+			t.Errorf("span %d name %q != label %q", i, sp.Name(), events[i].Label)
+		}
+	}
+	// The root span covers the full measured GPU time.
+	rootDur := tr.Root().Interval().Duration
+	if math.Abs(rootDur-rep.MeasTotalGPU())/rep.MeasTotalGPU() > 1e-9 {
+		t.Errorf("root duration %v != report total %v", rootDur, rep.MeasTotalGPU())
+	}
+}
+
+func TestToTraceRejectsOverlap(t *testing.T) {
+	events := []Event{
+		{Kind: Kernel, Label: "a", Interval: trace.Interval{Start: 0, Duration: 2}},
+		{Kind: Kernel, Label: "b", Interval: trace.Interval{Start: 1, Duration: 2}},
+	}
+	if _, err := ToTrace(events); err == nil {
+		t.Error("overlapping events accepted")
+	}
+}
+
+func TestToTraceAllowsGaps(t *testing.T) {
+	events := []Event{
+		{Kind: Upload, Label: "a", Interval: trace.Interval{Start: 0, Duration: 1}},
+		{Kind: Kernel, Label: "b", Interval: trace.Interval{Start: 3, Duration: 1}},
+	}
+	tr, err := ToTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Root().Interval().Duration; math.Abs(got-4) > 1e-12 {
+		t.Errorf("root duration %v, want 4 (gap preserved)", got)
 	}
 }
 

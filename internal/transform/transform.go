@@ -17,13 +17,23 @@
 package transform
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"grophecy/internal/gpu"
+	"grophecy/internal/metrics"
 	"grophecy/internal/perfmodel"
 	"grophecy/internal/skeleton"
+	"grophecy/internal/trace"
+)
+
+var (
+	mEnumerations = metrics.Default.MustCounter("transform_enumerations_total",
+		"kernel transformation-space enumerations")
+	mVariants = metrics.Default.MustCounter("transform_variants_total",
+		"transformation variants produced across all enumerations")
 )
 
 // Variant is one explored transformation of a kernel.
@@ -83,6 +93,8 @@ func Enumerate(k *skeleton.Kernel, arch gpu.Arch) ([]Variant, error) {
 	}
 	// Deterministic order for reports.
 	sort.Slice(variants, func(i, j int) bool { return variants[i].Name < variants[j].Name })
+	mEnumerations.Inc()
+	mVariants.Add(int64(len(variants)))
 	return variants, nil
 }
 
@@ -457,10 +469,20 @@ func Stencil(k *skeleton.Kernel, arch gpu.Arch) (StencilInfo, bool) {
 // "best achievable performance and the transformations necessary to
 // reach that performance".
 func Best(k *skeleton.Kernel, arch gpu.Arch) (Variant, perfmodel.Projection, error) {
+	return BestCtx(context.Background(), k, arch)
+}
+
+// BestCtx is Best under a "transform.best" trace span (when the
+// context carries a tracer) recording how many variants the
+// exploration considered.
+func BestCtx(ctx context.Context, k *skeleton.Kernel, arch gpu.Arch) (Variant, perfmodel.Projection, error) {
+	_, span := trace.Start(ctx, "transform.best", trace.String("kernel", k.Name))
+	defer span.End()
 	variants, err := Enumerate(k, arch)
 	if err != nil {
 		return Variant{}, perfmodel.Projection{}, err
 	}
+	span.SetAttr(trace.Int("variants", int64(len(variants))))
 	chars := make([]perfmodel.Characteristics, len(variants))
 	for i, v := range variants {
 		chars[i] = v.Ch
@@ -469,5 +491,6 @@ func Best(k *skeleton.Kernel, arch gpu.Arch) (Variant, perfmodel.Projection, err
 	if err != nil {
 		return Variant{}, perfmodel.Projection{}, fmt.Errorf("transform: kernel %q: %w", k.Name, err)
 	}
+	span.SetAttr(trace.String("variant", variants[idx].Name))
 	return variants[idx], proj, nil
 }

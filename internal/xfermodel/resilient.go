@@ -28,6 +28,7 @@ import (
 	"grophecy/internal/errdefs"
 	"grophecy/internal/measure"
 	"grophecy/internal/pcie"
+	"grophecy/internal/trace"
 	"grophecy/internal/units"
 )
 
@@ -122,6 +123,8 @@ func CalibrateResilient(ctx context.Context, meter *measure.Meter, src measure.S
 	if meter == nil || src == nil {
 		return BusModel{}, nil, errdefs.Invalidf("xfermodel: resilient calibration needs a meter and a source")
 	}
+	ctx, span := trace.Start(ctx, "xfermodel.calibrate", trace.String("scheme", "resilient two-point"))
+	defer span.End()
 	h := &Health{}
 	bm := BusModel{Kind: cfg.Kind}
 	for d := 0; d < pcie.NumDirections; d++ {
@@ -167,5 +170,9 @@ func CalibrateResilient(ctx context.Context, meter *measure.Meter, src measure.S
 		return BusModel{}, h, fmt.Errorf("%w: resilient calibration produced implausible parameters",
 			errdefs.ErrCalibrationFailed)
 	}
+	span.SetAttr(trace.Int("transfers", int64(bm.CalibrationTransfers)))
+	span.SetAttr(trace.Float("bus_cost_s", bm.CalibrationCost))
+	span.SetAttr(trace.Int("degradations", int64(len(h.Degradations))))
+	mCalibrations.Inc()
 	return bm, h, nil
 }

@@ -33,9 +33,18 @@ import (
 	"math"
 
 	"grophecy/internal/errdefs"
+	"grophecy/internal/metrics"
 	"grophecy/internal/pcie"
 	"grophecy/internal/stats"
 	"grophecy/internal/units"
+)
+
+// Transfer-model instruments.
+var (
+	mPredictions = metrics.Default.MustCounter("xfermodel_predictions_total",
+		"transfer-time predictions served by calibrated models")
+	mCalibrations = metrics.Default.MustCounter("xfermodel_calibrations_total",
+		"bus calibrations performed (all schemes)")
 )
 
 // Model predicts the transfer time of one direction of the bus.
@@ -98,6 +107,7 @@ func (bm BusModel) Predict(dir pcie.Direction, size int64) (float64, error) {
 	if !dir.Valid() {
 		return 0, errdefs.Invalidf("xfermodel: invalid direction %d", dir)
 	}
+	mPredictions.Inc()
 	return bm.Dir[dir].Predict(size)
 }
 
@@ -179,6 +189,7 @@ func CalibrateTwoPoint(bus *pcie.Bus, cfg CalibrationConfig) (BusModel, error) {
 		return BusModel{}, fmt.Errorf("%w: two-point calibration produced implausible parameters",
 			errdefs.ErrCalibrationFailed)
 	}
+	mCalibrations.Inc()
 	return bm, nil
 }
 
@@ -234,6 +245,7 @@ func CalibrateLeastSquares(bus *pcie.Bus, cfg CalibrationConfig, sizes []int64) 
 		return BusModel{}, fmt.Errorf("%w: least-squares calibration produced implausible parameters",
 			errdefs.ErrCalibrationFailed)
 	}
+	mCalibrations.Inc()
 	return bm, nil
 }
 
