@@ -8,14 +8,15 @@ GO ?= go
 COVER_BASELINE ?= 75.0
 COVER_PROFILE  ?= out/cover.out
 
-.PHONY: all check build test vet race cover bench paper csv examples fuzz fuzz-short fmt clean
+.PHONY: all check build test vet race cover bench bench-json smoke paper csv examples fuzz fuzz-short fmt clean
 
 all: check
 
 # The default verification gate: everything must compile, pass vet,
-# pass the full test suite under the race detector, and keep total
-# coverage at or above COVER_BASELINE.
-check: build vet race cover
+# pass the full test suite under the race detector, keep total
+# coverage at or above COVER_BASELINE, and bring up a real grophecyd
+# end to end.
+check: build vet race cover smoke
 
 race:
 	$(GO) test -race ./...
@@ -32,6 +33,18 @@ test:
 # One testing.B benchmark per table/figure, plus library micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The same benchmark run, parsed into a machine-readable snapshot at
+# the repo root for cross-commit comparison.
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_3.json
+	@echo "wrote BENCH_3.json"
+
+# End-to-end daemon smoke test: build grophecyd, start it on an
+# ephemeral port, project a skeleton over HTTP, check the metrics
+# moved, and verify SIGTERM drains to a zero exit.
+smoke:
+	$(GO) run ./internal/tools/smoke
 
 # Regenerate every table and figure of the paper (plus extensions).
 paper:

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: grophecy
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkFig2TransferSweep-8   	     100	  11873456 ns/op	  123456 B/op	    1234 allocs/op
+BenchmarkFig4ModelError    	      50	  20000000 ns/op
+PASS
+ok  	grophecy	1.234s
+pkg: grophecy/internal/pcie
+BenchmarkTransfer-8   	 1000000	      1050 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	grophecy/internal/pcie	0.5s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "Intel(R) Xeon(R) CPU" {
+		t.Fatalf("header wrong: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Package != "grophecy" || b.Name != "Fig2TransferSweep" || b.Procs != 8 ||
+		b.Iterations != 100 || b.NsPerOp != 11873456 || b.BytesPerOp != 123456 || b.AllocsPerOp != 1234 {
+		t.Fatalf("first result wrong: %+v", b)
+	}
+	// No -N suffix: serial benchmark, procs defaults to 1; -benchmem
+	// columns absent leave the memory fields zero.
+	b = doc.Benchmarks[1]
+	if b.Name != "Fig4ModelError" || b.Procs != 1 || b.NsPerOp != 2e7 || b.BytesPerOp != 0 {
+		t.Fatalf("second result wrong: %+v", b)
+	}
+	// pkg: headers re-scope subsequent results.
+	if doc.Benchmarks[2].Package != "grophecy/internal/pcie" {
+		t.Fatalf("third result package = %q", doc.Benchmarks[2].Package)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok x 1s\n"))); err == nil {
+		t.Fatal("benchmark-free input must error")
+	}
+}
+
+func TestParseSkipsBareNameLines(t *testing.T) {
+	// -v interleaves a bare "BenchmarkX" line before the result line.
+	in := sample + "BenchmarkDangling\n"
+	doc, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range doc.Benchmarks {
+		if b.Name == "Dangling" {
+			t.Fatal("bare name line must not parse as a result")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command grophecyd is the GROPHECY++ projection daemon: a
+// long-running HTTP service that projects POSTed code skeletons and
+// exposes a live observability surface around them.
+//
+//	POST /project         skeleton source in, report JSON out
+//	                      (?iters=N, ?seed=S overrides)
+//	GET  /runs            flight recorder index (last N runs)
+//	GET  /runs/{id}       a recorded run's report JSON
+//	GET  /runs/{id}/trace a recorded run's Chrome trace_event JSON
+//	GET  /metrics         Prometheus text exposition
+//	GET  /debug/pprof/    live CPU/heap/goroutine profiles
+//	GET  /healthz         liveness
+//	GET  /readyz          readiness (after PCIe calibration)
+//	GET  /buildinfo       build + daemon provenance
+//
+// Usage:
+//
+//	grophecyd                                  # 127.0.0.1:8090
+//	grophecyd -addr :9000 -gpu "NVIDIA Tesla C2050"
+//	grophecyd -faults "transient=0.02" -log-format json
+//
+// Shutdown: SIGINT/SIGTERM drains in-flight projections for up to
+// -drain-timeout, then exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"grophecy/internal/experiments"
+	"grophecy/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks a free port)")
+		seed     = flag.Uint64("seed", experiments.DefaultSeed, "default simulated machine seed (per-request ?seed= overrides)")
+		gpuName  = flag.String("gpu", "", "GPU preset name (default: the paper's Quadro FX 5600)")
+		faults   = flag.String("faults", "", `fault-injection plan for every request, e.g. "transient=0.02" (see docs/ROBUSTNESS.md); empty disables`)
+		flightN  = flag.Int("flight", 64, "completed runs retained by the flight recorder")
+		drain    = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight projections")
+		logFmt   = flag.String("log-format", "text", obs.LogFormatUsage)
+		logLevel = flag.String("log-level", "info", obs.LogLevelUsage)
+	)
+	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFmt, lv)
+	if err != nil {
+		fatal(err)
+	}
+
+	s, err := newServer(daemonConfig{
+		Seed:      *seed,
+		GPUName:   *gpuName,
+		FaultSpec: *faults,
+		FlightCap: *flightN,
+		Logger:    logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The one stdout line: machine-readable for the smoke harness,
+	// human-readable for everyone else.
+	fmt.Printf("grophecyd: listening on http://%s\n", ln.Addr())
+	logger.Info("grophecyd listening", "addr", ln.Addr().String(),
+		"seed", *seed, "flight_capacity", *flightN)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	// Readiness flips only after the calibration probe succeeds; the
+	// surface (healthz, metrics, pprof) is already up while it runs.
+	if err := s.calibrate(ctx); err != nil {
+		logger.Error("daemon is serving but will never become ready", "err", err.Error())
+	}
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Info("signal received, draining in-flight projections",
+			"timeout", drain.String())
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("drain deadline exceeded, exiting anyway", "err", err.Error())
+			os.Exit(1)
+		}
+		logger.Info("shutdown complete")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "grophecyd:", err)
+	os.Exit(1)
+}

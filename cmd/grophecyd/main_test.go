@@ -1,0 +1,378 @@
+// End-to-end tests: a fully wired daemon handler driven over
+// httptest — the same route table a real listener serves. The
+// headline assertion is CLI parity: POSTing a skeleton returns
+// byte-for-byte the report JSON that `grophecy -skeleton -json`
+// produces at the same seed.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"grophecy/internal/core"
+	"grophecy/internal/experiments"
+	"grophecy/internal/obs"
+	"grophecy/internal/report"
+	"grophecy/internal/sklang"
+	"grophecy/internal/trace"
+)
+
+// syncWriter serializes concurrent log writes in tests.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// startDaemon wires a server at the default seed, runs the startup
+// calibration, and serves it over httptest.
+func startDaemon(t *testing.T, cfg daemonConfig) (*httptest.Server, *server, *syncWriter) {
+	t.Helper()
+	logs := &syncWriter{}
+	if cfg.Logger == nil {
+		lg, err := obs.NewLogger(logs, "json", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Logger = lg
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = experiments.DefaultSeed
+	}
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.mux)
+	t.Cleanup(srv.Close)
+	if err := s.calibrate(context.Background()); err != nil {
+		t.Fatalf("startup calibration: %v", err)
+	}
+	return srv, s, logs
+}
+
+func hotspotSource(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "skeletons", "hotspot.sk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+// cliJSON computes the report JSON exactly as the CLI does at the
+// given seed.
+func cliJSON(t *testing.T, src string, seed uint64) []byte {
+	t.Helper()
+	w, err := sklang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProjector(core.NewMachine(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Evaluate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := report.JSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestProjectMatchesCLIAndFlightRecorder(t *testing.T) {
+	srv, _, logs := startDaemon(t, daemonConfig{})
+	src := hotspotSource(t)
+
+	resp, body := post(t, srv.URL+"/project", src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /project: %d\n%s", resp.StatusCode, body)
+	}
+	want := cliJSON(t, src, experiments.DefaultSeed)
+	if !bytes.Equal(body, want) {
+		t.Fatalf("daemon report differs from CLI report at the same seed.\n--- daemon ---\n%.400s\n--- cli ---\n%.400s", body, want)
+	}
+
+	// The run is queryable from the flight recorder under its run ID.
+	runID := resp.Header.Get("X-Run-Id")
+	if runID == "" {
+		t.Fatal("response missing X-Run-Id header")
+	}
+	getBody := func(path string) []byte {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, r.StatusCode)
+		}
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if got := getBody("/runs/" + runID); !bytes.Equal(got, want) {
+		t.Fatalf("flight-recorded report differs from the served one")
+	}
+
+	var idx struct {
+		Retained int `json:"retained"`
+		Runs     []struct {
+			ID       string `json:"id"`
+			Workload string `json:"workload"`
+			HasTrace bool   `json:"hasTrace"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(getBody("/runs"), &idx); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Retained != 1 || idx.Runs[0].ID != runID || !idx.Runs[0].HasTrace {
+		t.Fatalf("unexpected /runs index: %+v", idx)
+	}
+
+	// The run's Chrome trace: parseable, non-empty, and its root span
+	// covers exactly the predicted total GPU time.
+	var ct trace.ChromeTrace
+	if err := json.Unmarshal(getBody("/runs/"+runID+"/trace"), &ct); err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.TraceEvents) < 3 {
+		t.Fatalf("trace export suspiciously small: %d events", len(ct.TraceEvents))
+	}
+	var rep struct {
+		Derived struct {
+			SpeedupFull float64 `json:"speedupFull"`
+		} `json:"derived"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Derived.SpeedupFull <= 0 {
+		t.Fatalf("speedupFull %v not positive", rep.Derived.SpeedupFull)
+	}
+
+	// Every request log line carries the run ID and a phase.
+	for i, line := range strings.Split(strings.TrimSpace(logs.String()), "\n") {
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			t.Fatalf("log line %d is not JSON: %v", i, err)
+		}
+		if doc[obs.FieldPhase] == nil {
+			t.Errorf("log line %d has no phase: %s", i, line)
+		}
+		if doc["msg"] != "PCIe calibration succeeded, serving" && doc[obs.FieldRun] == nil {
+			t.Errorf("projection log line %d has no run ID: %s", i, line)
+		}
+	}
+}
+
+func TestConcurrentProjectionsAreIdentical(t *testing.T) {
+	srv, _, _ := startDaemon(t, daemonConfig{})
+	src := hotspotSource(t)
+	want := cliJSON(t, src, experiments.DefaultSeed)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/project", "text/plain", strings.NewReader(src))
+			if err != nil {
+				errs <- err
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %.200s", resp.StatusCode, body)
+				return
+			}
+			if !bytes.Equal(body, want) {
+				errs <- fmt.Errorf("concurrent response diverged from the CLI report")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestProjectOverrides(t *testing.T) {
+	srv, _, _ := startDaemon(t, daemonConfig{})
+	src := hotspotSource(t)
+
+	resp, body := post(t, srv.URL+"/project?iters=8&seed=7", src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST with overrides: %d\n%s", resp.StatusCode, body)
+	}
+	w, err := sklang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProjector(core.NewMachine(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Evaluate(w.WithIterations(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := report.JSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("override response differs from equivalent CLI run")
+	}
+}
+
+func TestProjectRejectsBadInput(t *testing.T) {
+	srv, _, _ := startDaemon(t, daemonConfig{})
+
+	// metrics.Default is shared by every test in the package, so
+	// assert on deltas, not absolute counts.
+	baseReq := metricValue(t, srv.URL, "grophecyd_requests_total")
+	baseErr := metricValue(t, srv.URL, "grophecyd_request_errors_total")
+
+	resp, _ := post(t, srv.URL+"/project", "this is not a skeleton")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: %d, want 400", resp.StatusCode)
+	}
+
+	prog, err := os.ReadFile(filepath.Join("..", "..", "skeletons", "pipeline.sk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = post(t, srv.URL+"/project", string(prog))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("program file: %d, want 422", resp.StatusCode)
+	}
+
+	resp, _ = post(t, srv.URL+"/project?iters=0", hotspotSource(t))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("iters=0: %d, want 400", resp.StatusCode)
+	}
+
+	// Failed requests move the metrics too.
+	if d := metricValue(t, srv.URL, "grophecyd_requests_total") - baseReq; d != 3 {
+		t.Errorf("grophecyd_requests_total moved by %v, want 3", d)
+	}
+	if d := metricValue(t, srv.URL, "grophecyd_request_errors_total") - baseErr; d != 3 {
+		t.Errorf("grophecyd_request_errors_total moved by %v, want 3", d)
+	}
+}
+
+// metricValue fetches /metrics and returns the value of the named
+// un-labeled sample.
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	r, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	dump, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(dump), "\n") {
+		var v float64
+		if _, err := fmt.Sscanf(line, name+" %g", &v); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("sample %q not found in /metrics dump:\n%s", name, grepLines(string(dump), "grophecyd_"))
+	return 0
+}
+
+func TestReadinessLifecycle(t *testing.T) {
+	logs := &syncWriter{}
+	lg, err := obs.NewLogger(logs, "text", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(daemonConfig{Seed: experiments.DefaultSeed, Logger: lg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.mux)
+	defer srv.Close()
+
+	r, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before calibration: %d, want 503", r.StatusCode)
+	}
+	if err := s.calibrate(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after calibration: %d, want 200", r.StatusCode)
+	}
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

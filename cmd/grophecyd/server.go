@@ -1,0 +1,280 @@
+// The daemon's HTTP application layer: the projection endpoint, the
+// per-request machinery around it (run IDs, tracing, flight
+// recording, request metrics), and the startup calibration probe that
+// flips readiness. Split from main.go so the end-to-end tests can
+// drive a fully wired handler through httptest without a process or
+// a real listener.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"grophecy/internal/core"
+	"grophecy/internal/cpumodel"
+	"grophecy/internal/errdefs"
+	"grophecy/internal/fault"
+	"grophecy/internal/flight"
+	"grophecy/internal/gpu"
+	"grophecy/internal/measure"
+	"grophecy/internal/metrics"
+	"grophecy/internal/obs"
+	"grophecy/internal/pcie"
+	"grophecy/internal/report"
+	"grophecy/internal/sklang"
+	"grophecy/internal/trace"
+)
+
+// Request-level instruments. Unlike every other instrument in the
+// repository these observe *wall-clock* service latency — grophecyd
+// is a live daemon and its request metrics are operational, not
+// modeled; the projection results themselves stay deterministic.
+var (
+	mRequests = metrics.Default.MustCounter("grophecyd_requests_total",
+		"projection requests received (any outcome)")
+	mRequestErrors = metrics.Default.MustCounter("grophecyd_request_errors_total",
+		"projection requests that returned a non-2xx status")
+	mRequestSeconds = metrics.Default.MustHistogram("grophecyd_request_seconds",
+		"wall-clock projection request latency in seconds", metrics.TimeBuckets())
+	mInflight = metrics.Default.MustGauge("grophecyd_inflight",
+		"projection requests currently in flight")
+)
+
+// maxSkeletonBytes bounds a POSTed skeleton source.
+const maxSkeletonBytes = 1 << 20
+
+// daemonConfig is everything a server needs, flag-shaped.
+type daemonConfig struct {
+	Seed      uint64
+	GPUName   string // empty: the paper's Quadro FX 5600
+	FaultSpec string // fault plan string; empty or "none" disables
+	FlightCap int
+	Logger    *slog.Logger
+}
+
+// server is one wired daemon instance.
+type server struct {
+	cfg      daemonConfig
+	plan     fault.Plan
+	gpuArch  gpu.Arch
+	recorder *flight.Recorder
+	ready    *obs.Readiness
+	mux      *http.ServeMux
+}
+
+// newServer validates cfg and wires the full route table.
+func newServer(cfg daemonConfig) (*server, error) {
+	plan, err := fault.ParsePlan(cfg.FaultSpec)
+	if err != nil {
+		return nil, err
+	}
+	arch := gpu.QuadroFX5600()
+	if cfg.GPUName != "" {
+		var ok bool
+		arch, ok = gpu.PresetByName(cfg.GPUName)
+		if !ok {
+			return nil, fmt.Errorf("grophecyd: unknown GPU preset %q", cfg.GPUName)
+		}
+	}
+	if cfg.FlightCap <= 0 {
+		cfg.FlightCap = 64
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &server{
+		cfg:      cfg,
+		plan:     plan,
+		gpuArch:  arch,
+		recorder: flight.MustNew(cfg.FlightCap),
+		ready:    &obs.Readiness{},
+		mux:      http.NewServeMux(),
+	}
+	obs.Mount(s.mux, obs.ServerConfig{
+		Ready: s.ready,
+		BuildExtra: map[string]string{
+			"seed":            strconv.FormatUint(cfg.Seed, 10),
+			"gpu":             arch.Name,
+			"faults":          plan.String(),
+			"flight_capacity": strconv.Itoa(cfg.FlightCap),
+		},
+	})
+	s.recorder.Mount(s.mux)
+	s.mux.HandleFunc("POST /project", s.handleProject)
+	return s, nil
+}
+
+// newMachine builds one fresh simulated machine. Every request gets
+// its own so that (a) concurrent projections never share mutable
+// simulator state and (b) a given seed always produces the identical
+// report the CLI produces — the noise streams start from the same
+// origin on every request.
+func (s *server) newMachine(seed uint64) *core.Machine {
+	m := core.NewMachineWith(s.gpuArch, cpumodel.XeonE5405(), pcie.DefaultConfig(), seed)
+	if !s.plan.Empty() {
+		m.ArmFaults(s.plan)
+	}
+	return m
+}
+
+// newProjector calibrates on the machine: the paper's raw pipeline
+// for an empty fault plan, the resilient pipeline otherwise.
+func (s *server) newProjector(ctx context.Context, m *core.Machine) (*core.Projector, error) {
+	if s.plan.Empty() {
+		return core.NewProjector(m)
+	}
+	return core.NewResilientProjector(ctx, m, pcie.Pinned, measure.DefaultConfig())
+}
+
+// calibrate is the startup probe: it calibrates a machine at the
+// configured seed and flips readiness, carrying any degradation into
+// the readiness detail instead of hiding it.
+func (s *server) calibrate(ctx context.Context) error {
+	ctx = obs.WithLogger(ctx, s.cfg.Logger)
+	ctx = obs.WithPhase(ctx, "calibrate")
+	p, err := s.newProjector(ctx, s.newMachine(s.cfg.Seed))
+	if err != nil {
+		obs.Log(ctx).Error("startup PCIe calibration failed; staying not-ready", "err", err.Error())
+		return err
+	}
+	if h := p.Health(); h != nil && h.Degraded() {
+		detail := strings.Join(h.Degradations, "; ")
+		s.ready.SetReady(true, detail)
+		obs.Log(ctx).Warn("ready with degraded PCIe calibration",
+			"degradations", len(h.Degradations), "detail", detail)
+		return nil
+	}
+	s.ready.SetReady(false, "")
+	bm := p.BusModel()
+	obs.Log(ctx).Info("PCIe calibration succeeded, serving",
+		"transfers", bm.CalibrationTransfers,
+		"bus_cost_s", fmt.Sprintf("%.3g", bm.CalibrationCost))
+	return nil
+}
+
+// httpStatus maps a pipeline error to a response status.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, errdefs.ErrInvalidInput):
+		return http.StatusBadRequest
+	case errors.Is(err, errdefs.ErrMeasureTimeout):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleProject serves POST /project: body is a single-workload
+// skeleton source (.sk); optional query parameters `iters` (override
+// the iteration count) and `seed` (override the machine seed). The
+// response is the same report JSON the CLI's -json flag prints, and
+// the completed run — report, trace, error — lands in the flight
+// recorder under the X-Run-ID response header.
+func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	mRequests.Inc()
+	mInflight.Add(1)
+	defer mInflight.Add(-1)
+	defer func() { mRequestSeconds.Observe(time.Since(start).Seconds()) }()
+
+	runID := obs.NewRunID()
+	w.Header().Set("X-Run-Id", runID)
+	ctx := obs.WithLogger(req.Context(), s.cfg.Logger)
+	ctx = obs.WithRun(ctx, runID)
+	lg := obs.Log(obs.WithPhase(ctx, "serve"))
+
+	fail := func(status int, err error) {
+		mRequestErrors.Inc()
+		lg.Error("projection request failed", "status", status, "err", err.Error(),
+			"duration_ms", float64(time.Since(start).Microseconds())/1e3)
+		http.Error(w, err.Error(), status)
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxSkeletonBytes))
+	if err != nil {
+		fail(http.StatusBadRequest, fmt.Errorf("reading skeleton body: %w", err))
+		return
+	}
+	src := string(body)
+	wl, err := sklang.Parse(src)
+	if errors.Is(err, sklang.ErrNotWorkload) {
+		fail(http.StatusUnprocessableEntity,
+			errors.New("multi-phase program files are not supported; POST a single-workload skeleton"))
+		return
+	}
+	if err != nil {
+		fail(http.StatusBadRequest, err)
+		return
+	}
+
+	seed := s.cfg.Seed
+	if qs := req.URL.Query().Get("seed"); qs != "" {
+		seed, err = strconv.ParseUint(qs, 10, 64)
+		if err != nil {
+			fail(http.StatusBadRequest, fmt.Errorf("bad seed %q: %w", qs, err))
+			return
+		}
+	}
+	if qi := req.URL.Query().Get("iters"); qi != "" {
+		n, err := strconv.Atoi(qi)
+		if err != nil || n < 1 {
+			fail(http.StatusBadRequest, fmt.Errorf("bad iteration count %q", qi))
+			return
+		}
+		wl = wl.WithIterations(n)
+	}
+
+	ctx = obs.WithWorkload(ctx, wl.Name)
+	tracer := trace.New("grophecyd")
+	ctx = trace.With(ctx, tracer)
+
+	entry := flight.Entry{
+		ID:       runID,
+		Workload: wl.Name,
+		DataSize: wl.DataSize,
+		Source:   src,
+		Seed:     seed,
+		Start:    start,
+	}
+	rep, err := s.project(ctx, seed, wl)
+	tracer.Close()
+	entry.Trace = tracer
+	entry.Duration = time.Since(start)
+	if err != nil {
+		entry.Err = err.Error()
+		s.recorder.Add(entry)
+		fail(httpStatus(err), err)
+		return
+	}
+	entry.Report = rep
+	s.recorder.Add(entry)
+
+	data, err := report.JSON(rep)
+	if err != nil {
+		fail(http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+	lg.Info("projection request served",
+		"workload", wl.Name, "seed", seed,
+		"speedup_full", fmt.Sprintf("%.3g", rep.SpeedupFull()),
+		"degradations", len(rep.Degradations),
+		"duration_ms", float64(time.Since(start).Microseconds())/1e3)
+}
+
+// project runs one full calibrate-and-evaluate on a fresh machine.
+func (s *server) project(ctx context.Context, seed uint64, wl core.Workload) (core.Report, error) {
+	p, err := s.newProjector(ctx, s.newMachine(seed))
+	if err != nil {
+		return core.Report{}, err
+	}
+	return p.EvaluateCtx(ctx, wl)
+}

@@ -19,6 +19,7 @@ import (
 
 	"grophecy/internal/experiments"
 	"grophecy/internal/metrics"
+	"grophecy/internal/obs"
 	"grophecy/internal/trace"
 )
 
@@ -38,6 +39,8 @@ func main() {
 		seed     = flag.Uint64("seed", experiments.DefaultSeed, "simulated machine seed")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path (experiment-level spans)")
 		showMet  = flag.Bool("metrics", false, "dump pipeline metrics (Prometheus text format) after the output")
+		logFmt   = flag.String("log-format", "text", obs.LogFormatUsage)
+		logLevel = flag.String("log-level", "warn", obs.LogLevelUsage)
 	)
 	flag.Parse()
 
@@ -50,7 +53,10 @@ func main() {
 	// The experiments API predates context propagation, so the paper
 	// command traces at experiment granularity: one structural span per
 	// table or figure (see docs/OBSERVABILITY.md).
-	tctx := context.Background()
+	tctx, err := obs.Setup(context.Background(), os.Stderr, *logFmt, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
 	var tracer *trace.Tracer
 	if *traceOut != "" {
 		tracer = trace.New("paper")

@@ -34,6 +34,7 @@ import (
 	"grophecy/internal/gpusim"
 	"grophecy/internal/measure"
 	"grophecy/internal/metrics"
+	"grophecy/internal/obs"
 	"grophecy/internal/pcie"
 	"grophecy/internal/perfmodel"
 	"grophecy/internal/skeleton"
@@ -384,6 +385,12 @@ func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error)
 		return Report{}, err
 	}
 	mEvaluations.Inc()
+	ctx = obs.WithWorkload(ctx, w.Name)
+	lg := obs.Log(obs.WithPhase(ctx, "evaluate"))
+	lg.Info("projection started",
+		"size", w.DataSize,
+		"iterations", w.Seq.Iterations,
+		"resilient", p.meter != nil)
 	ctx, span := trace.Start(ctx, "evaluate",
 		trace.String("workload", w.Name),
 		trace.String("size", w.DataSize),
@@ -420,7 +427,8 @@ func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error)
 		if err := ctx.Err(); err != nil {
 			return Report{}, err
 		}
-		kctx, kspan := trace.Start(ctx, "kernel "+k.Name)
+		kctx := obs.WithPhase(ctx, "kernel")
+		kctx, kspan := trace.Start(kctx, "kernel "+k.Name)
 		variant, proj, err := p.projectKernel(kctx, k)
 		if err != nil {
 			kspan.End()
@@ -456,7 +464,8 @@ func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error)
 		if tr.Dir == datausage.Download {
 			dir = pcie.DeviceToHost
 		}
-		tctx, tspan := trace.Start(ctx, "transfer "+tr.String(),
+		tctx := obs.WithPhase(ctx, "transfer")
+		tctx, tspan := trace.Start(tctx, "transfer "+tr.String(),
 			trace.Int("bytes", tr.Bytes()),
 			trace.String("dir", tr.Dir.String()))
 		pred, err := p.model.Predict(dir, tr.Bytes())
@@ -485,7 +494,8 @@ func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error)
 	// CPU baseline: the same offloaded portion, all iterations. Off
 	// the projected GPU timeline, so its span consumes no simulated
 	// time.
-	cctx, cspan := trace.Start(ctx, "cpu.baseline")
+	cctx := obs.WithPhase(ctx, "cpu")
+	cctx, cspan := trace.Start(cctx, "cpu.baseline")
 	cpuPerIter, err := p.measureCPU(cctx, w.CPU, &r.Degradations)
 	if err != nil {
 		cspan.End()
@@ -496,6 +506,11 @@ func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error)
 	cspan.End()
 
 	mDegradations.Add(int64(len(r.Degradations)))
+	lg.Info("projection finished",
+		"speedup_full", fmt.Sprintf("%.3g", r.SpeedupFull()),
+		"measured_speedup", fmt.Sprintf("%.3g", r.MeasuredSpeedup()),
+		"pred_total_gpu_s", fmt.Sprintf("%.3g", r.PredTotalGPU()),
+		"degradations", len(r.Degradations))
 	return r, nil
 }
 
@@ -520,11 +535,15 @@ func (p *Projector) measureKernel(ctx context.Context, name string, ch perfmodel
 		if res.Samples > 0 && degradable(ctx, err) {
 			*notes = append(*notes, fmt.Sprintf(
 				"kernel %s: measurement cut short (%d samples kept): %v", name, res.Samples, err))
+			obs.Log(ctx).Warn("kernel measurement cut short, keeping partial estimate",
+				"kernel", name, "samples", res.Samples, "retries", res.Retries, "err", err.Error())
 			return res.Value, nil
 		}
 		if degradable(ctx, err) {
 			*notes = append(*notes, fmt.Sprintf(
 				"kernel %s: measurement unrecoverable, using analytical prediction: %v", name, err))
+			obs.Log(ctx).Warn("kernel measurement unrecoverable, using analytical prediction",
+				"kernel", name, "retries", res.Retries, "err", err.Error())
 			return predicted, nil
 		}
 		return 0, err
@@ -545,11 +564,15 @@ func (p *Projector) measureTransfer(ctx context.Context, label string, dir pcie.
 		if res.Samples > 0 && degradable(ctx, err) {
 			*notes = append(*notes, fmt.Sprintf(
 				"transfer %s: measurement cut short (%d samples kept): %v", label, res.Samples, err))
+			obs.Log(ctx).Warn("transfer measurement cut short, keeping partial estimate",
+				"transfer", label, "samples", res.Samples, "retries", res.Retries, "err", err.Error())
 			return res.Value, nil
 		}
 		if degradable(ctx, err) {
 			*notes = append(*notes, fmt.Sprintf(
 				"transfer %s: measurement unrecoverable, using model prediction: %v", label, err))
+			obs.Log(ctx).Warn("transfer measurement unrecoverable, using model prediction",
+				"transfer", label, "retries", res.Retries, "err", err.Error())
 			return predicted, nil
 		}
 		return 0, err
@@ -570,6 +593,8 @@ func (p *Projector) measureCPU(ctx context.Context, w cpumodel.Workload, notes *
 		if res.Samples > 0 && degradable(ctx, err) {
 			*notes = append(*notes, fmt.Sprintf(
 				"CPU baseline: measurement cut short (%d samples kept): %v", res.Samples, err))
+			obs.Log(ctx).Warn("CPU baseline measurement cut short, keeping partial estimate",
+				"samples", res.Samples, "retries", res.Retries, "err", err.Error())
 			return res.Value, nil
 		}
 		if degradable(ctx, err) {
@@ -579,6 +604,8 @@ func (p *Projector) measureCPU(ctx context.Context, w cpumodel.Workload, notes *
 			}
 			*notes = append(*notes, fmt.Sprintf(
 				"CPU baseline: measurement unrecoverable, using noiseless model time: %v", err))
+			obs.Log(ctx).Warn("CPU baseline measurement unrecoverable, using noiseless model time",
+				"retries", res.Retries, "err", err.Error())
 			return base, nil
 		}
 		return 0, err

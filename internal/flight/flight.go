@@ -1,0 +1,116 @@
+// Package flight is the projection daemon's flight recorder: a
+// bounded, concurrency-safe ring buffer of the last N completed
+// projection runs, kept for postmortem inspection. A failed or slow
+// projection can be pulled back out — report, span tree, error — via
+// the HTTP handlers in http.go without re-running it.
+//
+// The recorder holds completed runs only; an entry is added exactly
+// once, after its run finishes (successfully or not), so readers
+// never observe a half-filled entry.
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"grophecy/internal/core"
+	"grophecy/internal/trace"
+)
+
+// Entry is one completed projection run.
+type Entry struct {
+	// ID is the run ID ("run-7") stamped on the run's log lines.
+	ID string
+	// Workload and DataSize identify what was projected.
+	Workload string
+	DataSize string
+	// Source is the skeleton source text as submitted.
+	Source string
+	// Seed is the simulated machine seed the run used.
+	Seed uint64
+	// Report is the projection result; zero-valued when Err is set.
+	Report core.Report
+	// Err is the run's error, empty on success.
+	Err string
+	// Trace is the run's span tree (nil when tracing was off).
+	Trace *trace.Tracer
+	// Start and Duration are wall-clock service times — operational
+	// bookkeeping, not modeled results.
+	Start    time.Time
+	Duration time.Duration
+}
+
+// Recorder is the bounded ring. The zero value is unusable; call New.
+type Recorder struct {
+	mu      sync.Mutex
+	cap     int
+	entries []Entry          // oldest first
+	byID    map[string]Entry // same entries, keyed by run ID
+	evicted int64
+}
+
+// New returns a recorder keeping the last capacity completed runs.
+func New(capacity int) (*Recorder, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("flight: capacity %d below 1", capacity)
+	}
+	return &Recorder{cap: capacity, byID: make(map[string]Entry)}, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(capacity int) *Recorder {
+	r, err := New(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Add records one completed run, evicting the oldest entry when the
+// ring is full. An entry with a duplicate ID replaces the stored one
+// in the index but still occupies a ring slot; the daemon's
+// process-unique run IDs never collide.
+func (r *Recorder) Add(e Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) == r.cap {
+		delete(r.byID, r.entries[0].ID)
+		r.entries = append(r.entries[:0], r.entries[1:]...)
+		r.evicted++
+	}
+	r.entries = append(r.entries, e)
+	r.byID[e.ID] = e
+}
+
+// Get returns the entry with the given run ID.
+func (r *Recorder) Get(id string) (Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byID[id]
+	return e, ok
+}
+
+// Entries returns a copy of the retained runs, oldest first.
+func (r *Recorder) Entries() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Entry(nil), r.entries...)
+}
+
+// Len returns the number of retained runs.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Evicted returns how many runs have been evicted since startup.
+func (r *Recorder) Evicted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
+}
+
+// Capacity returns the ring capacity.
+func (r *Recorder) Capacity() int { return r.cap }

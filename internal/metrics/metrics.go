@@ -257,10 +257,10 @@ func (h *Histogram) writeValues(b *strings.Builder) {
 	var cum int64
 	for i, bound := range h.bounds {
 		cum += h.counts[i]
-		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", h.name, formatFloat(bound), cum)
+		fmt.Fprintf(b, "%s_bucket{%s} %d\n", h.name, labelPair("le", formatFloat(bound)), cum)
 	}
 	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(b, "%s_bucket{%s} %d\n", h.name, labelPair("le", "+Inf"), cum)
 	fmt.Fprintf(b, "%s_sum %s\n", h.name, formatFloat(h.sum))
 	fmt.Fprintf(b, "%s_count %d\n", h.name, h.n)
 }
@@ -317,4 +317,18 @@ func (r *Registry) Reset() {
 // same deterministic shape everywhere in the dump.
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelEscaper applies the text exposition format's label-value
+// escaping: backslash, double quote, and newline. Note this is NOT
+// Go's %q — %q would additionally escape non-ASCII and produce
+// Go-style forms Prometheus parsers reject.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// labelPair renders one name="value" label pair. Every label in a
+// dump goes through here so the quoting is uniform (the +Inf bucket
+// used to be hand-written with a different style from the finite
+// ones).
+func labelPair(name, value string) string {
+	return name + `="` + labelEscaper.Replace(value) + `"`
 }

@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -160,6 +162,79 @@ func TestDumpSortedAndTyped(t *testing.T) {
 	} {
 		if !strings.Contains(dump, want) {
 			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// Line shapes of the text exposition format. Label values allow any
+// byte except a raw `"` or newline; escapes (\\, \", \n) are the only
+// backslash sequences.
+var (
+	helpLineRE   = regexp.MustCompile(`^# HELP [a-zA-Z_][a-zA-Z0-9_]* .+$`)
+	typeLineRE   = regexp.MustCompile(`^# TYPE [a-zA-Z_][a-zA-Z0-9_]* (counter|gauge|histogram)$`)
+	sampleLineRE = regexp.MustCompile(
+		`^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\[\\"n]|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\[\\"n]|[^"\\])*")*\})? -?([0-9.e+-]+|NaN|Inf)$`)
+)
+
+// TestDumpParsesLineByLine feeds every dump line through the format's
+// grammar. This is the regression test for the old histogram encoding,
+// where the finite buckets were quoted with Go's %q but the +Inf
+// bucket was hand-written — two quoting styles in one exposition.
+func TestDumpParsesLineByLine(t *testing.T) {
+	r := NewRegistry()
+	r.MustCounter("jobs_total", "jobs processed")
+	g := r.MustGauge("depth", "queue depth")
+	g.Set(-2.5)
+	h := r.MustHistogram("latency_seconds", "request latency", TimeBuckets())
+	h.Observe(3e-4)
+	h.Observe(42) // +Inf bucket
+
+	dump := r.Dump()
+	sawInf := false
+	for i, line := range strings.Split(strings.TrimSuffix(dump, "\n"), "\n") {
+		var ok bool
+		switch {
+		case strings.HasPrefix(line, "# HELP"):
+			ok = helpLineRE.MatchString(line)
+		case strings.HasPrefix(line, "# TYPE"):
+			ok = typeLineRE.MatchString(line)
+		default:
+			ok = sampleLineRE.MatchString(line)
+		}
+		if !ok {
+			t.Errorf("dump line %d does not parse: %q", i+1, line)
+		}
+		if strings.Contains(line, "+Inf") {
+			sawInf = true
+			if want := `latency_seconds_bucket{le="+Inf"} 2`; line != want {
+				t.Errorf("+Inf bucket line = %q, want %q", line, want)
+			}
+		}
+	}
+	if !sawInf {
+		t.Fatalf("dump has no +Inf bucket line:\n%s", dump)
+	}
+
+	// Finite buckets use the exact same quoting as +Inf.
+	for _, bound := range TimeBuckets() {
+		want := fmt.Sprintf(`latency_seconds_bucket{le="%s"}`, formatFloat(bound))
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing uniformly quoted bucket %q", want)
+		}
+	}
+}
+
+// TestLabelPairEscaping pins the escaping rules for label values.
+func TestLabelPairEscaping(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{`plain`, `l="plain"`},
+		{`+Inf`, `l="+Inf"`},
+		{`say "hi"`, `l="say \"hi\""`},
+		{`back\slash`, `l="back\\slash"`},
+		{"two\nlines", `l="two\nlines"`},
+	} {
+		if got := labelPair("l", tc.in); got != tc.want {
+			t.Errorf("labelPair(l, %q) = %s, want %s", tc.in, got, tc.want)
 		}
 	}
 }

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func stampedCtx(lg *slog.Logger) context.Context {
+	ctx := WithLogger(context.Background(), lg)
+	ctx = WithRun(ctx, "run-42")
+	ctx = WithWorkload(ctx, "HotSpot")
+	return WithPhase(ctx, "kernel")
+}
+
+func TestNewLoggerRejectsUnknownFormat(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "yaml", slog.LevelInfo); err == nil {
+		t.Fatal("expected an error for format yaml")
+	}
+}
+
+func TestTextLinesCarryStamps(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "text", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := stampedCtx(lg)
+
+	Log(ctx).Info("measuring", "samples", 10)      // plain call
+	Log(ctx).WarnContext(ctx, "degraded", "n", 1)  // *Context call
+	lg.InfoContext(ctx, "direct handler stamping") // bypassing Log()
+
+	for i, line := range nonEmptyLines(buf.String()) {
+		for _, want := range []string{"run=run-42", "workload=HotSpot", "phase=kernel"} {
+			if !strings.Contains(line, want) {
+				t.Errorf("line %d missing %q: %s", i, want, line)
+			}
+		}
+		if c := strings.Count(line, "run=run-42"); c != 1 {
+			t.Errorf("line %d stamps run %d times: %s", i, c, line)
+		}
+	}
+}
+
+func TestJSONLinesCarryStamps(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := stampedCtx(lg)
+	Log(ctx).Info("projection started")
+	Log(ctx).WarnContext(ctx, "projection degraded")
+
+	for i, line := range nonEmptyLines(buf.String()) {
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if doc[FieldRun] != "run-42" || doc[FieldWorkload] != "HotSpot" || doc[FieldPhase] != "kernel" {
+			t.Errorf("line %d missing stamps: %s", i, line)
+		}
+	}
+}
+
+func TestExplicitAttrWinsOverContext(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "text", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := stampedCtx(lg)
+	Log(ctx).Info("override", FieldPhase, "custom")
+	line := buf.String()
+	if !strings.Contains(line, "phase=custom") {
+		t.Fatalf("explicit phase lost: %s", line)
+	}
+	if strings.Contains(line, "phase=kernel") {
+		t.Fatalf("context phase duplicated beside explicit one: %s", line)
+	}
+}
+
+func TestLogWithoutLoggerIsSilent(t *testing.T) {
+	// Must not panic, must not emit.
+	Log(context.Background()).Info("into the void")
+	Log(context.Background()).Error("still nothing")
+}
+
+func TestPhaseNarrowing(t *testing.T) {
+	ctx := WithPhase(context.Background(), "evaluate")
+	inner := WithPhase(ctx, "kernel")
+	if Phase(ctx) != "evaluate" || Phase(inner) != "kernel" {
+		t.Fatalf("phase narrowing broken: outer %q inner %q", Phase(ctx), Phase(inner))
+	}
+}
+
+func TestNewRunIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRunID()
+		if seen[id] {
+			t.Fatalf("duplicate run ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}

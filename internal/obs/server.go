@@ -1,0 +1,137 @@
+// The HTTP observability surface mounted by grophecyd: Prometheus
+// metrics, net/http/pprof, liveness/readiness, and build provenance.
+// It is deliberately a plain *http.ServeMux so the daemon can mount
+// its own application routes beside it.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"grophecy/internal/metrics"
+)
+
+// Readiness is the daemon's readiness latch: not ready until PCIe
+// calibration has succeeded, with degraded calibrations visible
+// rather than hidden. Safe for concurrent use.
+type Readiness struct {
+	mu       sync.Mutex
+	ready    bool
+	degraded bool
+	detail   string
+}
+
+// SetReady marks the surface ready. detail explains a degraded
+// calibration (empty for a clean one).
+func (r *Readiness) SetReady(degraded bool, detail string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ready, r.degraded, r.detail = true, degraded, detail
+}
+
+// State returns the current readiness.
+func (r *Readiness) State() (ready, degraded bool, detail string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ready, r.degraded, r.detail
+}
+
+// ServerConfig configures Mount.
+type ServerConfig struct {
+	// Registry backs GET /metrics; nil means metrics.Default.
+	Registry *metrics.Registry
+	// Ready backs GET /readyz; nil means always ready.
+	Ready *Readiness
+	// BuildExtra is merged into GET /buildinfo under "config" —
+	// daemon-level provenance like the seed and GPU preset.
+	BuildExtra map[string]string
+}
+
+// Mount attaches the observability endpoints to mux:
+//
+//	GET /metrics      Prometheus text exposition of the registry
+//	GET /debug/pprof/ net/http/pprof index, profiles, symbolization
+//	GET /healthz      liveness (200 as long as the process serves)
+//	GET /readyz       readiness (503 until calibration succeeded)
+//	GET /buildinfo    module, Go version, VCS info, daemon config
+func Mount(mux *http.ServeMux, cfg ServerConfig) {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.Default
+	}
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, reg.Dump())
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cfg.Ready == nil {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		ready, degraded, detail := cfg.Ready.State()
+		switch {
+		case !ready:
+			http.Error(w, "not ready: PCIe calibration pending", http.StatusServiceUnavailable)
+		case degraded:
+			fmt.Fprintf(w, "ok (degraded: %s)\n", detail)
+		default:
+			fmt.Fprintln(w, "ok")
+		}
+	})
+
+	mux.HandleFunc("GET /buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(buildInfo(cfg.BuildExtra))
+	})
+}
+
+// buildInfo assembles the /buildinfo document from the binary's
+// embedded build metadata.
+func buildInfo(extra map[string]string) map[string]any {
+	doc := map[string]any{
+		"goVersion": runtime.Version(),
+		"goos":      runtime.GOOS,
+		"goarch":    runtime.GOARCH,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		doc["module"] = bi.Main.Path
+		if bi.Main.Version != "" {
+			doc["version"] = bi.Main.Version
+		}
+		settings := map[string]string{}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs", "vcs.revision", "vcs.time", "vcs.modified", "CGO_ENABLED":
+				settings[s.Key] = s.Value
+			}
+		}
+		if len(settings) > 0 {
+			doc["build"] = settings
+		}
+	}
+	if len(extra) > 0 {
+		doc["config"] = extra
+	}
+	return doc
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"grophecy/internal/metrics"
+)
+
+func testSurface(t *testing.T, ready *Readiness) *httptest.Server {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	reg.MustCounter("obs_test_hits_total", "test counter").Add(3)
+	mux := http.NewServeMux()
+	Mount(mux, ServerConfig{
+		Registry:   reg,
+		Ready:      ready,
+		BuildExtra: map[string]string{"seed": "42"},
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testSurface(t, nil)
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", code)
+	}
+	if !strings.Contains(body, "obs_test_hits_total 3") {
+		t.Fatalf("metrics dump missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE obs_test_hits_total counter") {
+		t.Fatalf("metrics dump missing TYPE line:\n%s", body)
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	ready := &Readiness{}
+	srv := testSurface(t, ready)
+
+	if code, _ := get(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /readyz before calibration: %d, want 503", code)
+	}
+
+	ready.SetReady(true, "CPU-to-GPU conservative fallback")
+	code, body := get(t, srv.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /readyz after calibration: %d", code)
+	}
+	if !strings.Contains(body, "degraded") || !strings.Contains(body, "conservative fallback") {
+		t.Fatalf("degraded calibration invisible in readiness: %q", body)
+	}
+
+	ready.SetReady(false, "")
+	if _, body := get(t, srv.URL+"/readyz"); strings.TrimSpace(body) != "ok" {
+		t.Fatalf("clean readiness body: %q", body)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	srv := testSurface(t, nil)
+	code, body := get(t, srv.URL+"/buildinfo")
+	if code != http.StatusOK {
+		t.Fatalf("GET /buildinfo: %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("buildinfo not JSON: %v\n%s", err, body)
+	}
+	if doc["goVersion"] == "" {
+		t.Fatal("buildinfo missing goVersion")
+	}
+	cfg, _ := doc["config"].(map[string]any)
+	if cfg["seed"] != "42" {
+		t.Fatalf("buildinfo missing daemon config: %v", doc)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	srv := testSurface(t, nil)
+	code, body := get(t, srv.URL+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index unexpected body:\n%.200s", body)
+	}
+}

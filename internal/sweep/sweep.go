@@ -28,6 +28,7 @@ import (
 
 	"grophecy/internal/errdefs"
 	"grophecy/internal/metrics"
+	"grophecy/internal/obs"
 )
 
 // Sweep instruments: task and failure counts plus the number of live
@@ -82,16 +83,20 @@ func RunCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error
 		go func(w int) {
 			defer wg.Done()
 			// pprof labels make sweep workers attributable in real-CPU
-			// profiles (go test -cpuprofile, net/http/pprof).
+			// profiles: `go test -cpuprofile`, or — against a live
+			// daemon — the /debug/pprof/profile endpoint grophecyd
+			// serves (see docs/OBSERVABILITY.md).
 			labels := pprof.Labels("subsystem", "sweep", "sweep_worker", strconv.Itoa(w))
 			pprof.Do(ctx, labels, func(context.Context) {
 				mWorkers.Add(1)
 				defer mWorkers.Add(-1)
+				lg := obs.Log(obs.WithPhase(ctx, "sweep"))
 				for i := range indices {
 					results[i], errs[i] = protect(fn, i)
 					mTasks.Inc()
 					if errs[i] != nil {
 						mFailures.Inc()
+						lg.Warn("sweep input failed", "input", i, "err", errs[i].Error())
 					}
 				}
 			})

@@ -1,0 +1,194 @@
+// Command smoke is the end-to-end smoke test `make smoke` runs: it
+// builds the real grophecyd binary, starts it on an ephemeral port,
+// drives one projection through the HTTP surface, checks the request
+// metrics moved, and verifies the daemon drains cleanly on SIGTERM.
+// Unlike the httptest suite this exercises the actual process
+// lifecycle — flag parsing, the listener, signal handling, exit code.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke: OK")
+}
+
+func run() error {
+	root, err := repoRoot()
+	if err != nil {
+		return err
+	}
+
+	dir, err := os.MkdirTemp("", "grophecyd-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "grophecyd")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/grophecyd")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		return fmt.Errorf("building grophecyd: %v\n%s", err, out)
+	}
+
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-log-format", "json")
+	daemon.Dir = root
+	daemon.Stderr = os.Stderr
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := daemon.Start(); err != nil {
+		return err
+	}
+	// Whatever happens below, don't leave the daemon running.
+	defer daemon.Process.Kill()
+
+	base, err := listenURL(stdout)
+	if err != nil {
+		return err
+	}
+	fmt.Println("smoke: daemon up at", base)
+
+	if err := waitReady(base, 10*time.Second); err != nil {
+		return err
+	}
+
+	src, err := os.ReadFile(filepath.Join(root, "skeletons", "hotspot.sk"))
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/project", "text/plain", strings.NewReader(string(src)))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /project: status %d\n%s", resp.StatusCode, body)
+	}
+	var rep struct {
+		Derived struct {
+			SpeedupFull float64 `json:"speedupFull"`
+		} `json:"derived"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return fmt.Errorf("report is not JSON: %v", err)
+	}
+	if rep.Derived.SpeedupFull <= 0 {
+		return fmt.Errorf("speedupFull = %v, want > 0", rep.Derived.SpeedupFull)
+	}
+	fmt.Printf("smoke: projected hotspot.sk, speedup %.2fx (run %s)\n",
+		rep.Derived.SpeedupFull, resp.Header.Get("X-Run-Id"))
+
+	metricsResp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	dump, err := io.ReadAll(metricsResp.Body)
+	metricsResp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(dump), "grophecyd_requests_total 1") {
+		return fmt.Errorf("/metrics missing grophecyd_requests_total 1")
+	}
+
+	// Clean shutdown: SIGTERM must drain and exit 0.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		return errors.New("daemon did not exit within 15s of SIGTERM")
+	}
+	fmt.Println("smoke: daemon drained and exited 0")
+	return nil
+}
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// listenURL reads the daemon's one stdout line
+// ("grophecyd: listening on http://HOST:PORT") and returns the URL.
+func listenURL(stdout io.Reader) (string, error) {
+	sc := bufio.NewScanner(stdout)
+	linec := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		if sc.Scan() {
+			linec <- sc.Text()
+			return
+		}
+		errc <- fmt.Errorf("daemon exited before announcing its address (%v)", sc.Err())
+	}()
+	select {
+	case line := <-linec:
+		i := strings.Index(line, "http://")
+		if i < 0 {
+			return "", fmt.Errorf("unexpected announce line %q", line)
+		}
+		return strings.TrimSpace(line[i:]), nil
+	case err := <-errc:
+		return "", err
+	case <-time.After(10 * time.Second):
+		return "", errors.New("daemon did not announce its address within 10s")
+	}
+}
+
+// waitReady polls /readyz until the calibration probe has flipped it.
+func waitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon not ready within %v", timeout)
+}

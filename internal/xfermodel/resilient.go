@@ -27,6 +27,7 @@ import (
 
 	"grophecy/internal/errdefs"
 	"grophecy/internal/measure"
+	"grophecy/internal/obs"
 	"grophecy/internal/pcie"
 	"grophecy/internal/trace"
 	"grophecy/internal/units"
@@ -98,6 +99,12 @@ func measurePoint(ctx context.Context, meter *measure.Meter, src measure.Source,
 			if i > 0 {
 				h.note("%v %s point: fell back from %s to %s after %v",
 					dir, what, units.FormatBytes(ladder[0]), units.FormatBytes(size), lastErr)
+				obs.Log(ctx).Warn("calibration point fell back to another size",
+					"dir", dir.String(), "point", what,
+					"requested", units.FormatBytes(ladder[0]),
+					"used", units.FormatBytes(size),
+					"attempts", i+1, "retries", h.Retries+res.Retries,
+					"err", lastErr.Error())
 			}
 			h.Retries += res.Retries
 			return size, res, nil
@@ -107,6 +114,12 @@ func measurePoint(ctx context.Context, meter *measure.Meter, src measure.Source,
 		if ctx.Err() != nil {
 			break // cancelled: no point walking further rungs
 		}
+	}
+	if ctx.Err() == nil { // cancellation is propagation, not degradation
+		obs.Log(ctx).Warn("calibration point unmeasurable at every ladder size",
+			"dir", dir.String(), "point", what,
+			"attempts", len(ladder), "retries", h.Retries,
+			"err", lastErr.Error())
 	}
 	return 0, measure.Result{}, lastErr
 }
@@ -123,6 +136,7 @@ func CalibrateResilient(ctx context.Context, meter *measure.Meter, src measure.S
 	if meter == nil || src == nil {
 		return BusModel{}, nil, errdefs.Invalidf("xfermodel: resilient calibration needs a meter and a source")
 	}
+	ctx = obs.WithPhase(ctx, "calibrate")
 	ctx, span := trace.Start(ctx, "xfermodel.calibrate", trace.String("scheme", "resilient two-point"))
 	defer span.End()
 	h := &Health{}
@@ -149,6 +163,8 @@ func CalibrateResilient(ctx context.Context, meter *measure.Meter, src measure.S
 			h.Conservative[d] = true
 			h.note("%v large point unmeasurable (%v): using conservative bandwidth %s",
 				dir, errL, m)
+			obs.Log(ctx).Warn("calibration degraded to conservative bandwidth",
+				"dir", dir.String(), "retries", h.Retries, "model", m.String(), "err", errL.Error())
 		case errL == nil:
 			// Alpha unmeasurable: bound it by the large measurement's
 			// per-transfer floor via the conservative default.
@@ -156,11 +172,16 @@ func CalibrateResilient(ctx context.Context, meter *measure.Meter, src measure.S
 			h.Conservative[d] = true
 			h.note("%v small point unmeasurable (%v): using conservative latency %s",
 				dir, errS, m)
+			obs.Log(ctx).Warn("calibration degraded to conservative latency",
+				"dir", dir.String(), "retries", h.Retries, "model", m.String(), "err", errS.Error())
 		default:
 			m = ConservativeModel()
 			h.Conservative[d] = true
 			h.note("%v calibration unmeasurable (small: %v; large: %v): using conservative default %s",
 				dir, errS, errL, m)
+			obs.Log(ctx).Warn("calibration degraded to the conservative default model",
+				"dir", dir.String(), "retries", h.Retries, "model", m.String(),
+				"small_err", errS.Error(), "large_err", errL.Error())
 		}
 		bm.Dir[d] = m
 		bm.CalibrationCost += small.SimTime + large.SimTime
