@@ -35,10 +35,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The same benchmark run, parsed into a machine-readable snapshot at
-# the repo root for cross-commit comparison.
+# the repo root for cross-commit comparison. Bump BENCH when a change
+# is expected to move the numbers: `make bench-json BENCH=BENCH_5.json`.
+BENCH ?= BENCH_4.json
 bench-json:
-	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > BENCH_3.json
-	@echo "wrote BENCH_3.json"
+	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > $(BENCH)
+	@echo "wrote $(BENCH)"
 
 # End-to-end daemon smoke test: build grophecyd, start it on an
 # ephemeral port, project a skeleton over HTTP, check the metrics

@@ -9,7 +9,8 @@
 //	grophecy -list
 //	grophecy -app HotSpot -size "1024 x 1024"
 //	grophecy -app CFD -size 233K -iters 8
-//	grophecy -app SRAD -size "2048 x 2048" -gpu "NVIDIA Tesla C2050"
+//	grophecy -app SRAD -size "2048 x 2048" -target c2050-pcie3
+//	grophecy -app HotSpot -size "1024 x 1024" -matrix
 //	grophecy -app HotSpot -size "1024 x 1024" -faults "transient=0.02,outlier=0.01:8"
 package main
 
@@ -23,7 +24,6 @@ import (
 
 	"grophecy/internal/bench"
 	"grophecy/internal/core"
-	"grophecy/internal/cpumodel"
 	"grophecy/internal/experiments"
 	"grophecy/internal/fault"
 	"grophecy/internal/gpu"
@@ -34,6 +34,8 @@ import (
 	"grophecy/internal/perfmodel"
 	"grophecy/internal/report"
 	"grophecy/internal/sklang"
+	"grophecy/internal/sweep"
+	"grophecy/internal/target"
 	"grophecy/internal/timeline"
 	"grophecy/internal/trace"
 	"grophecy/internal/units"
@@ -46,8 +48,10 @@ func main() {
 		size     = flag.String("size", "", "data size label (see -list)")
 		iters    = flag.Int("iters", 1, "iteration count")
 		seed     = flag.Uint64("seed", experiments.DefaultSeed, "simulated machine seed")
-		gpuName  = flag.String("gpu", "", "GPU preset name (default: the paper's Quadro FX 5600)")
-		list     = flag.Bool("list", false, "list available workloads and GPU presets")
+		tgtName  = flag.String("target", "", "hardware target registry name (see -list; default: "+target.DefaultName+")")
+		gpuName  = flag.String("gpu", "", "GPU preset name on the paper's CPU and bus (mutually exclusive with -target)")
+		matrix   = flag.Bool("matrix", false, "project the workload on every registered target and print a comparison table")
+		list     = flag.Bool("list", false, "list available workloads, GPU presets, and hardware targets")
 		export   = flag.String("export", "", "write the selected workload as a skeleton file to this path and exit")
 		showTime = flag.Bool("timeline", false, "render the measured execution timeline as a Gantt chart")
 		asJSON   = flag.Bool("json", false, "emit the report as JSON instead of text")
@@ -125,10 +129,25 @@ func main() {
 		return
 	}
 
-	machine, err := buildMachine(*gpuName, *seed)
+	tgt, err := resolveTarget(*tgtName, *gpuName)
 	if err != nil {
 		fatal(err)
 	}
+
+	if *matrix {
+		if !plan.Empty() {
+			fatal(fmt.Errorf("-matrix and -faults are mutually exclusive (the comparison sweeps clean pipelines)"))
+		}
+		out, err := runMatrix(ctx, w, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		flushObservability(tracer, *traceOut, *showSpan, *showMet)
+		return
+	}
+
+	machine := tgt.Machine(*seed)
 	projector, err := buildProjector(ctx, machine, plan)
 	if err != nil {
 		fatal(err)
@@ -325,6 +344,14 @@ func printList() {
 	for _, a := range gpu.Presets() {
 		fmt.Printf("  %q\n", a.Name)
 	}
+	fmt.Println("\nhardware targets:")
+	for _, t := range target.Default.List() {
+		name := t.Name
+		if name == target.DefaultName {
+			name += " (default)"
+		}
+		fmt.Printf("  -target %-24s %s\n", name, t.String())
+	}
 }
 
 func findWorkload(app, size string) (core.Workload, error) {
@@ -348,15 +375,39 @@ func findWorkload(app, size string) (core.Workload, error) {
 	return *match, nil
 }
 
-func buildMachine(gpuName string, seed uint64) (*core.Machine, error) {
-	if gpuName == "" {
-		return core.NewMachine(seed), nil
+// resolveTarget maps the -target / -gpu flags to a registered
+// hardware target; with neither set it returns the paper's node.
+func resolveTarget(tgtName, gpuName string) (target.Target, error) {
+	if tgtName != "" && gpuName != "" {
+		return target.Target{}, fmt.Errorf("-target and -gpu are mutually exclusive")
 	}
-	arch, ok := gpu.PresetByName(gpuName)
-	if !ok {
-		return nil, fmt.Errorf("unknown GPU preset %q (see -list)", gpuName)
+	if gpuName != "" {
+		return target.ForGPU(gpuName)
 	}
-	return core.NewMachineWith(arch, cpumodel.XeonE5405(), pcie.DefaultConfig(), seed), nil
+	return target.Lookup(tgtName)
+}
+
+// runMatrix projects the workload on every registered target in
+// parallel — each sweep worker owns its own simulated machine — and
+// renders the cross-target comparison table.
+func runMatrix(ctx context.Context, w core.Workload, seed uint64) (string, error) {
+	targets := target.Default.List()
+	rows, err := sweep.RunCtx(ctx, len(targets), 0, func(i int) (report.MatrixRow, error) {
+		tgt := targets[i]
+		p, err := core.NewProjector(tgt.Machine(seed))
+		if err != nil {
+			return report.MatrixRow{}, fmt.Errorf("target %s: %w", tgt.Name, err)
+		}
+		rep, err := p.EvaluateCtx(ctx, w)
+		if err != nil {
+			return report.MatrixRow{}, fmt.Errorf("target %s: %w", tgt.Name, err)
+		}
+		return report.MatrixRow{Target: tgt.Name, Hardware: tgt.String(), Report: rep}, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return report.Matrix(w.Name, rows), nil
 }
 
 func fatal(err error) {

@@ -3,7 +3,8 @@
 // exposes a live observability surface around them.
 //
 //	POST /project         skeleton source in, report JSON out
-//	                      (?iters=N, ?seed=S overrides)
+//	                      (?iters=N, ?seed=S, ?target=NAME overrides)
+//	GET  /targets         registered hardware targets
 //	GET  /runs            flight recorder index (last N runs)
 //	GET  /runs/{id}       a recorded run's report JSON
 //	GET  /runs/{id}/trace a recorded run's Chrome trace_event JSON
@@ -16,7 +17,7 @@
 // Usage:
 //
 //	grophecyd                                  # 127.0.0.1:8090
-//	grophecyd -addr :9000 -gpu "NVIDIA Tesla C2050"
+//	grophecyd -addr :9000 -target c2050-pcie3
 //	grophecyd -faults "transient=0.02" -log-format json
 //
 // Shutdown: SIGINT/SIGTERM drains in-flight projections for up to
@@ -37,13 +38,15 @@ import (
 
 	"grophecy/internal/experiments"
 	"grophecy/internal/obs"
+	"grophecy/internal/target"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks a free port)")
 		seed     = flag.Uint64("seed", experiments.DefaultSeed, "default simulated machine seed (per-request ?seed= overrides)")
-		gpuName  = flag.String("gpu", "", "GPU preset name (default: the paper's Quadro FX 5600)")
+		tgtName  = flag.String("target", "", "hardware target registry name (see GET /targets; default: "+target.DefaultName+")")
+		gpuName  = flag.String("gpu", "", "GPU preset name on the paper's CPU and bus (mutually exclusive with -target)")
 		faults   = flag.String("faults", "", `fault-injection plan for every request, e.g. "transient=0.02" (see docs/ROBUSTNESS.md); empty disables`)
 		flightN  = flag.Int("flight", 64, "completed runs retained by the flight recorder")
 		drain    = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight projections")
@@ -62,11 +65,12 @@ func main() {
 	}
 
 	s, err := newServer(daemonConfig{
-		Seed:      *seed,
-		GPUName:   *gpuName,
-		FaultSpec: *faults,
-		FlightCap: *flightN,
-		Logger:    logger,
+		Seed:       *seed,
+		TargetName: *tgtName,
+		GPUName:    *gpuName,
+		FaultSpec:  *faults,
+		FlightCap:  *flightN,
+		Logger:     logger,
 	})
 	if err != nil {
 		fatal(err)

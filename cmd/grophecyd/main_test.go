@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -20,10 +21,12 @@ import (
 	"testing"
 
 	"grophecy/internal/core"
+	"grophecy/internal/errdefs"
 	"grophecy/internal/experiments"
 	"grophecy/internal/obs"
 	"grophecy/internal/report"
 	"grophecy/internal/sklang"
+	"grophecy/internal/target"
 	"grophecy/internal/trace"
 )
 
@@ -310,6 +313,156 @@ func TestProjectRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestProjectRejectsMalformedQuery: every malformed query parameter
+// is a 400 carrying a JSON error body — never a 500, never plain
+// text — and an unknown target's message lists what is registered.
+func TestProjectRejectsMalformedQuery(t *testing.T) {
+	srv, _, _ := startDaemon(t, daemonConfig{})
+	src := hotspotSource(t)
+
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"seed not a number", "?seed=banana"},
+		{"seed negative", "?seed=-1"},
+		{"iters not a number", "?iters=x"},
+		{"iters zero", "?iters=0"},
+		{"iters negative", "?iters=-3"},
+		{"unknown target", "?target=h100-pcie5"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, srv.URL+"/project"+tc.query, src)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400\n%s", resp.StatusCode, body)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("error Content-Type %q, want application/json", ct)
+			}
+			var e struct {
+				Error  string `json:"error"`
+				Status int    `json:"status"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("error body is not JSON: %v\n%s", err, body)
+			}
+			if e.Error == "" || e.Status != http.StatusBadRequest {
+				t.Fatalf("error body %+v, want message and status 400", e)
+			}
+			if tc.query == "?target=h100-pcie5" &&
+				!strings.Contains(e.Error, target.DefaultName) {
+				t.Fatalf("unknown-target message does not list registered names: %q", e.Error)
+			}
+		})
+	}
+}
+
+// TestTargetsEndpoint: GET /targets lists the registry with the
+// daemon's default flagged.
+func TestTargetsEndpoint(t *testing.T) {
+	srv, _, _ := startDaemon(t, daemonConfig{})
+	r, err := http.Get(srv.URL + "/targets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET /targets: %d", r.StatusCode)
+	}
+	var out struct {
+		Default string `json:"default"`
+		Targets []struct {
+			Name    string `json:"name"`
+			GPU     string `json:"gpu"`
+			CPU     string `json:"cpu"`
+			Bus     string `json:"bus"`
+			Default bool   `json:"default"`
+		} `json:"targets"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Default != target.DefaultName {
+		t.Fatalf("default target %q, want %q", out.Default, target.DefaultName)
+	}
+	want := target.Default.Names()
+	if len(out.Targets) != len(want) {
+		t.Fatalf("%d targets listed, registry has %d", len(out.Targets), len(want))
+	}
+	flagged := 0
+	for i, row := range out.Targets {
+		if row.Name != want[i] {
+			t.Errorf("row %d is %q, want %q (name order)", i, row.Name, want[i])
+		}
+		if row.GPU == "" || row.CPU == "" || row.Bus == "" {
+			t.Errorf("row %q missing component names: %+v", row.Name, row)
+		}
+		if row.Default {
+			flagged++
+		}
+	}
+	if flagged != 1 {
+		t.Errorf("%d rows flagged default, want exactly 1", flagged)
+	}
+}
+
+// TestProjectTargetOverride: ?target= projects on that hardware and
+// matches a fresh CLI-style run on the same target — through the
+// calibration cache, which must report hits on the repeat request.
+func TestProjectTargetOverride(t *testing.T) {
+	srv, s, _ := startDaemon(t, daemonConfig{})
+	src := hotspotSource(t)
+
+	const name = "c2050-pcie3"
+	tgt, err := target.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sklang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProjector(tgt.Machine(experiments.DefaultSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Evaluate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := report.JSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, srv.URL+"/project?target="+name, src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST ?target=%s: %d\n%s", name, resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("daemon report on non-default target differs from fresh calibration")
+	}
+	if body2 := cliJSON(t, src, experiments.DefaultSeed); bytes.Equal(body, body2) {
+		t.Fatal("non-default target produced the default target's report")
+	}
+
+	// The repeat request reuses the cached calibration and still
+	// produces identical bytes.
+	hitsBefore := s.pool.Hits()
+	resp, body = post(t, srv.URL+"/project?target="+name, src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat POST: %d", resp.StatusCode)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("cached projection differs from the fresh one")
+	}
+	if s.pool.Hits() <= hitsBefore {
+		t.Fatalf("repeat same-target request did not hit the calibration cache (hits %d -> %d)",
+			hitsBefore, s.pool.Hits())
+	}
+}
+
 // metricValue fetches /metrics and returns the value of the named
 // un-labeled sample.
 func metricValue(t *testing.T, base, name string) float64 {
@@ -375,4 +528,103 @@ func grepLines(s, substr string) string {
 		}
 	}
 	return strings.Join(out, "\n")
+}
+
+// TestNewServerRejectsBadConfig: flag-level misconfiguration fails at
+// construction, not at request time.
+func TestNewServerRejectsBadConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  daemonConfig
+	}{
+		{"target and gpu together", daemonConfig{TargetName: "c2050-pcie3", GPUName: "NVIDIA Tesla C2050"}},
+		{"unknown target", daemonConfig{TargetName: "h100-pcie5"}},
+		{"unknown gpu", daemonConfig{GPUName: "NVIDIA H100"}},
+		{"bad fault spec", daemonConfig{FaultSpec: "asdf=notanumber"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := newServer(tc.cfg); err == nil {
+				t.Fatal("newServer accepted a bad config")
+			}
+		})
+	}
+}
+
+// TestDaemonLegacyGPUFlag: -gpu resolves to the registered target
+// pairing that GPU with the paper's CPU and bus.
+func TestDaemonLegacyGPUFlag(t *testing.T) {
+	srv, s, _ := startDaemon(t, daemonConfig{GPUName: "NVIDIA Tesla C2050"})
+	if s.tgt.Name != "c2050-pcie1" {
+		t.Fatalf("daemon target %q, want c2050-pcie1", s.tgt.Name)
+	}
+	src := hotspotSource(t)
+	resp, body := post(t, srv.URL+"/project", src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /project: %d\n%s", resp.StatusCode, body)
+	}
+
+	tgt, err := target.Lookup("c2050-pcie1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sklang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProjector(tgt.Machine(experiments.DefaultSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Evaluate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := report.JSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("-gpu daemon report differs from the equivalent target's CLI report")
+	}
+}
+
+// TestDaemonWithFaults: an armed fault plan serves through the
+// resilient per-request pipeline, bypassing the calibration cache.
+func TestDaemonWithFaults(t *testing.T) {
+	srv, s, _ := startDaemon(t, daemonConfig{FaultSpec: "transient=0.02"})
+	missesBefore := s.pool.Misses()
+	resp, body := post(t, srv.URL+"/project", hotspotSource(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /project with faults: %d\n%s", resp.StatusCode, body)
+	}
+	var rep struct {
+		Resilient bool `json:"resilient"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Resilient {
+		t.Fatal("fault-armed daemon served a non-resilient report")
+	}
+	if s.pool.Misses() != missesBefore {
+		t.Fatal("fault-armed request went through the calibration cache")
+	}
+}
+
+// TestHTTPStatusMapping pins the error taxonomy → status code map.
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{errdefs.Invalidf("nope"), http.StatusBadRequest},
+		{fmt.Errorf("wrapped: %w", errdefs.ErrMeasureTimeout), http.StatusGatewayTimeout},
+		{errors.New("anything else"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got := httpStatus(tc.err); got != tc.want {
+			t.Errorf("httpStatus(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
 }

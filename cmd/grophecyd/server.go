@@ -1,6 +1,7 @@
 // The daemon's HTTP application layer: the projection endpoint, the
 // per-request machinery around it (run IDs, tracing, flight
-// recording, request metrics), and the startup calibration probe that
+// recording, request metrics), the hardware-target surface
+// (?target=, GET /targets), and the startup calibration probe that
 // flips readiness. Split from main.go so the end-to-end tests can
 // drive a fully wired handler through httptest without a process or
 // a real listener.
@@ -8,6 +9,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -18,17 +20,17 @@ import (
 	"time"
 
 	"grophecy/internal/core"
-	"grophecy/internal/cpumodel"
+	"grophecy/internal/engine"
 	"grophecy/internal/errdefs"
 	"grophecy/internal/fault"
 	"grophecy/internal/flight"
-	"grophecy/internal/gpu"
 	"grophecy/internal/measure"
 	"grophecy/internal/metrics"
 	"grophecy/internal/obs"
 	"grophecy/internal/pcie"
 	"grophecy/internal/report"
 	"grophecy/internal/sklang"
+	"grophecy/internal/target"
 	"grophecy/internal/trace"
 )
 
@@ -52,18 +54,20 @@ const maxSkeletonBytes = 1 << 20
 
 // daemonConfig is everything a server needs, flag-shaped.
 type daemonConfig struct {
-	Seed      uint64
-	GPUName   string // empty: the paper's Quadro FX 5600
-	FaultSpec string // fault plan string; empty or "none" disables
-	FlightCap int
-	Logger    *slog.Logger
+	Seed       uint64
+	TargetName string // registry name; empty: target.DefaultName
+	GPUName    string // legacy -gpu flag; empty: the target's GPU
+	FaultSpec  string // fault plan string; empty or "none" disables
+	FlightCap  int
+	Logger     *slog.Logger
 }
 
 // server is one wired daemon instance.
 type server struct {
 	cfg      daemonConfig
 	plan     fault.Plan
-	gpuArch  gpu.Arch
+	tgt      target.Target
+	pool     *engine.Pool
 	recorder *flight.Recorder
 	ready    *obs.Readiness
 	mux      *http.ServeMux
@@ -75,13 +79,17 @@ func newServer(cfg daemonConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	arch := gpu.QuadroFX5600()
+	if cfg.TargetName != "" && cfg.GPUName != "" {
+		return nil, fmt.Errorf("grophecyd: -target and -gpu are mutually exclusive")
+	}
+	var tgt target.Target
 	if cfg.GPUName != "" {
-		var ok bool
-		arch, ok = gpu.PresetByName(cfg.GPUName)
-		if !ok {
-			return nil, fmt.Errorf("grophecyd: unknown GPU preset %q", cfg.GPUName)
-		}
+		tgt, err = target.ForGPU(cfg.GPUName)
+	} else {
+		tgt, err = target.Lookup(cfg.TargetName)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if cfg.FlightCap <= 0 {
 		cfg.FlightCap = 64
@@ -92,7 +100,8 @@ func newServer(cfg daemonConfig) (*server, error) {
 	s := &server{
 		cfg:      cfg,
 		plan:     plan,
-		gpuArch:  arch,
+		tgt:      tgt,
+		pool:     engine.NewPool(0),
 		recorder: flight.MustNew(cfg.FlightCap),
 		ready:    &obs.Readiness{},
 		mux:      http.NewServeMux(),
@@ -101,45 +110,42 @@ func newServer(cfg daemonConfig) (*server, error) {
 		Ready: s.ready,
 		BuildExtra: map[string]string{
 			"seed":            strconv.FormatUint(cfg.Seed, 10),
-			"gpu":             arch.Name,
+			"target":          tgt.Name,
+			"gpu":             tgt.GPU.Name,
+			"cpu":             tgt.CPU.Name,
+			"bus":             tgt.BusName,
 			"faults":          plan.String(),
 			"flight_capacity": strconv.Itoa(cfg.FlightCap),
 		},
 	})
 	s.recorder.Mount(s.mux)
 	s.mux.HandleFunc("POST /project", s.handleProject)
+	s.mux.HandleFunc("GET /targets", s.handleTargets)
 	return s, nil
 }
 
-// newMachine builds one fresh simulated machine. Every request gets
-// its own so that (a) concurrent projections never share mutable
-// simulator state and (b) a given seed always produces the identical
-// report the CLI produces — the noise streams start from the same
-// origin on every request.
-func (s *server) newMachine(seed uint64) *core.Machine {
-	m := core.NewMachineWith(s.gpuArch, cpumodel.XeonE5405(), pcie.DefaultConfig(), seed)
-	if !s.plan.Empty() {
-		m.ArmFaults(s.plan)
-	}
-	return m
-}
-
-// newProjector calibrates on the machine: the paper's raw pipeline
-// for an empty fault plan, the resilient pipeline otherwise.
-func (s *server) newProjector(ctx context.Context, m *core.Machine) (*core.Projector, error) {
+// newProjector returns a ready projector for one request: from the
+// calibration cache for the clean pipeline — concurrent requests to
+// the same (target, seed) share one calibration — or a per-request
+// resilient calibration through the armed fault layer otherwise
+// (fault streams are stateful, so resilient runs are never shared).
+func (s *server) newProjector(ctx context.Context, tgt target.Target, seed uint64) (*core.Projector, error) {
 	if s.plan.Empty() {
-		return core.NewProjector(m)
+		return s.pool.Projector(ctx, tgt, seed, pcie.Pinned)
 	}
+	m := tgt.Machine(seed)
+	m.ArmFaults(s.plan)
 	return core.NewResilientProjector(ctx, m, pcie.Pinned, measure.DefaultConfig())
 }
 
-// calibrate is the startup probe: it calibrates a machine at the
-// configured seed and flips readiness, carrying any degradation into
-// the readiness detail instead of hiding it.
+// calibrate is the startup probe: it calibrates the configured target
+// at the configured seed (warming the cache for the daemon's default
+// key) and flips readiness, carrying any degradation into the
+// readiness detail instead of hiding it.
 func (s *server) calibrate(ctx context.Context) error {
 	ctx = obs.WithLogger(ctx, s.cfg.Logger)
 	ctx = obs.WithPhase(ctx, "calibrate")
-	p, err := s.newProjector(ctx, s.newMachine(s.cfg.Seed))
+	p, err := s.newProjector(ctx, s.tgt, s.cfg.Seed)
 	if err != nil {
 		obs.Log(ctx).Error("startup PCIe calibration failed; staying not-ready", "err", err.Error())
 		return err
@@ -154,6 +160,7 @@ func (s *server) calibrate(ctx context.Context) error {
 	s.ready.SetReady(false, "")
 	bm := p.BusModel()
 	obs.Log(ctx).Info("PCIe calibration succeeded, serving",
+		"target", s.tgt.Name,
 		"transfers", bm.CalibrationTransfers,
 		"bus_cost_s", fmt.Sprintf("%.3g", bm.CalibrationCost))
 	return nil
@@ -171,12 +178,59 @@ func httpStatus(err error) int {
 	}
 }
 
+// writeError emits the daemon's error shape: a JSON body carrying the
+// message and status, so clients never have to scrape plain text.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":  err.Error(),
+		"status": status,
+	})
+}
+
+// targetJSON is one row of the GET /targets response.
+type targetJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	GPU         string `json:"gpu"`
+	CPU         string `json:"cpu"`
+	Bus         string `json:"bus"`
+	Default     bool   `json:"default,omitempty"`
+}
+
+// handleTargets serves GET /targets: the registered hardware targets,
+// in name order, with the daemon's configured default flagged.
+func (s *server) handleTargets(w http.ResponseWriter, req *http.Request) {
+	list := target.Default.List()
+	out := struct {
+		Default string       `json:"default"`
+		Targets []targetJSON `json:"targets"`
+	}{Default: s.tgt.Name, Targets: make([]targetJSON, 0, len(list))}
+	for _, t := range list {
+		out.Targets = append(out.Targets, targetJSON{
+			Name:        t.Name,
+			Description: t.Description,
+			GPU:         t.GPU.Name,
+			CPU:         t.CPU.Name,
+			Bus:         t.BusName,
+			Default:     t.Name == s.tgt.Name,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
 // handleProject serves POST /project: body is a single-workload
 // skeleton source (.sk); optional query parameters `iters` (override
-// the iteration count) and `seed` (override the machine seed). The
-// response is the same report JSON the CLI's -json flag prints, and
-// the completed run — report, trace, error — lands in the flight
-// recorder under the X-Run-ID response header.
+// the iteration count), `seed` (override the machine seed), and
+// `target` (project onto a registered hardware target instead of the
+// daemon's default). The response is the same report JSON the CLI's
+// -json flag prints, and the completed run — report, trace, error —
+// lands in the flight recorder under the X-Run-ID response header.
+// Errors are JSON: {"error": "...", "status": N}.
 func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 	start := time.Now()
 	mRequests.Inc()
@@ -194,7 +248,7 @@ func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 		mRequestErrors.Inc()
 		lg.Error("projection request failed", "status", status, "err", err.Error(),
 			"duration_ms", float64(time.Since(start).Microseconds())/1e3)
-		http.Error(w, err.Error(), status)
+		writeError(w, status, err)
 	}
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxSkeletonBytes))
@@ -230,6 +284,15 @@ func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 		}
 		wl = wl.WithIterations(n)
 	}
+	tgt := s.tgt
+	if qt := req.URL.Query().Get("target"); qt != "" {
+		tgt, err = target.Lookup(qt)
+		if err != nil {
+			// target.Lookup's message lists the registered names.
+			fail(http.StatusBadRequest, err)
+			return
+		}
+	}
 
 	ctx = obs.WithWorkload(ctx, wl.Name)
 	tracer := trace.New("grophecyd")
@@ -243,7 +306,7 @@ func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 		Seed:     seed,
 		Start:    start,
 	}
-	rep, err := s.project(ctx, seed, wl)
+	rep, err := s.project(ctx, tgt, seed, wl)
 	tracer.Close()
 	entry.Trace = tracer
 	entry.Duration = time.Since(start)
@@ -264,15 +327,17 @@ func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
 	lg.Info("projection request served",
-		"workload", wl.Name, "seed", seed,
+		"workload", wl.Name, "seed", seed, "target", tgt.Name,
 		"speedup_full", fmt.Sprintf("%.3g", rep.SpeedupFull()),
+		"cache_hits", s.pool.Hits(), "cache_misses", s.pool.Misses(),
 		"degradations", len(rep.Degradations),
 		"duration_ms", float64(time.Since(start).Microseconds())/1e3)
 }
 
-// project runs one full calibrate-and-evaluate on a fresh machine.
-func (s *server) project(ctx context.Context, seed uint64, wl core.Workload) (core.Report, error) {
-	p, err := s.newProjector(ctx, s.newMachine(seed))
+// project runs one full evaluation on a machine private to this
+// request, calibrated through the cache when the pipeline is clean.
+func (s *server) project(ctx context.Context, tgt target.Target, seed uint64, wl core.Workload) (core.Report, error) {
+	p, err := s.newProjector(ctx, tgt, seed)
 	if err != nil {
 		return core.Report{}, err
 	}

@@ -8,6 +8,7 @@
 //	paper -fig 7            # Figures 2-12
 //	paper -stassuij         # the §V-B4 flip experiment
 //	paper -seed 123 -all    # a different simulated machine
+//	paper -target c2050-pcie3 -table 2   # the evaluation on other hardware
 //	paper -all -trace paper.json -metrics
 package main
 
@@ -20,6 +21,7 @@ import (
 	"grophecy/internal/experiments"
 	"grophecy/internal/metrics"
 	"grophecy/internal/obs"
+	"grophecy/internal/target"
 	"grophecy/internal/trace"
 )
 
@@ -37,6 +39,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write every table/figure as CSV into this directory")
 		all      = flag.Bool("all", false, "render every table and figure")
 		seed     = flag.Uint64("seed", experiments.DefaultSeed, "simulated machine seed")
+		tgtName  = flag.String("target", "", "hardware target registry name (default: the paper's node, "+target.DefaultName+")")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path (experiment-level spans)")
 		showMet  = flag.Bool("metrics", false, "dump pipeline metrics (Prometheus text format) after the output")
 		logFmt   = flag.String("log-format", "text", obs.LogFormatUsage)
@@ -63,9 +66,16 @@ func main() {
 		tctx = trace.With(tctx, tracer)
 	}
 
-	ctx, err := experiments.NewContext(*seed)
+	tgt, err := target.Lookup(*tgtName)
 	if err != nil {
 		fatal(err)
+	}
+	ctx, err := experiments.NewContextOn(tgt.Machine(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	if tgt.Name != target.DefaultName {
+		fmt.Printf("(evaluation on non-paper hardware: %s)\n\n", tgt)
 	}
 
 	if *csvDir != "" {

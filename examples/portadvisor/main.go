@@ -19,9 +19,8 @@ import (
 
 	"grophecy/internal/bench"
 	"grophecy/internal/core"
-	"grophecy/internal/cpumodel"
 	"grophecy/internal/gpu"
-	"grophecy/internal/pcie"
+	"grophecy/internal/target"
 )
 
 // worthIt is the decision threshold: the paper (footnote 7) notes a
@@ -55,8 +54,11 @@ func main() {
 	for _, w := range workloads {
 		fmt.Printf("%-10s", w.Name)
 		for _, arch := range gpu.Presets() {
-			machine := core.NewMachineWith(arch, cpumodel.XeonE5405(), pcie.DefaultConfig(), 7)
-			projector, err := core.NewProjector(machine)
+			tgt, err := target.ForGPU(arch.Name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			projector, err := core.NewProjector(tgt.Machine(7))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -290,6 +290,23 @@ func NewProjectorWith(m *Machine, kind pcie.MemoryKind) (*Projector, error) {
 	return &Projector{m: m, model: model, kind: kind, runs: MeasureRuns}, nil
 }
 
+// NewCalibratedProjector wires a projector around an already
+// calibrated transfer model, skipping the calibration transfers
+// entirely. The caller is responsible for the machine's bus noise
+// stream being positioned where a fresh calibration would have left
+// it (pcie.Bus.SetNoiseState); the calibration cache in
+// internal/engine owns that bookkeeping. Reports are then
+// bit-identical to NewProjectorWith followed by the same evaluation.
+func NewCalibratedProjector(m *Machine, model xfermodel.BusModel, kind pcie.MemoryKind) (*Projector, error) {
+	if m == nil {
+		return nil, errdefs.Invalidf("core: NewCalibratedProjector with nil machine")
+	}
+	if !kind.Valid() {
+		return nil, errdefs.Invalidf("core: invalid memory kind %d", kind)
+	}
+	return &Projector{m: m, model: model, kind: kind, runs: MeasureRuns}, nil
+}
+
 // NewResilientProjector calibrates through the resilient measurement
 // layer and returns a projector whose every measurement retries
 // transients, enforces deadlines, and estimates robustly. If the
@@ -372,146 +389,19 @@ func (p *Projector) Evaluate(w Workload) (Report, error) {
 // enforces it inside every measurement, degrades gracefully on
 // absorbed failures, and records every fallback in
 // Report.Degradations.
-// Tracing: when the context carries a trace.Tracer, the evaluation
-// opens an "evaluate" span whose simulated clock advances by exactly
-// the *predicted* GPU time of each kernel (all iterations) and each
-// transfer — so the span's duration equals Report.PredTotalGPU() and
-// the trace is the projected GPU timeline. Analysis, exploration, and
-// measurement appear as zero-duration child spans whose attributes
-// carry the interesting counts (candidates, samples, retries,
-// simulated measurement cost).
+//
+// The evaluation runs through the staged engine (see engine.go):
+// datausage → kernels → transfers → cpu → assemble, composed by
+// DefaultEngine. Tracing: when the context carries a trace.Tracer,
+// the evaluation opens an "evaluate" span whose simulated clock
+// advances by exactly the *predicted* GPU time of each kernel (all
+// iterations) and each transfer — so the span's duration equals
+// Report.PredTotalGPU() and the trace is the projected GPU timeline.
+// Analysis, exploration, and measurement appear as zero-duration
+// child spans whose attributes carry the interesting counts
+// (candidates, samples, retries, simulated measurement cost).
 func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error) {
-	if err := w.Validate(); err != nil {
-		return Report{}, err
-	}
-	mEvaluations.Inc()
-	ctx = obs.WithWorkload(ctx, w.Name)
-	lg := obs.Log(obs.WithPhase(ctx, "evaluate"))
-	lg.Info("projection started",
-		"size", w.DataSize,
-		"iterations", w.Seq.Iterations,
-		"resilient", p.meter != nil)
-	ctx, span := trace.Start(ctx, "evaluate",
-		trace.String("workload", w.Name),
-		trace.String("size", w.DataSize),
-		trace.Int("iterations", int64(w.Seq.Iterations)))
-	defer span.End()
-
-	_, aspan := trace.Start(ctx, "datausage.analyze")
-	plan, err := datausage.Analyze(w.Seq, w.Hints)
-	if err != nil {
-		aspan.End()
-		return Report{}, err
-	}
-	aspan.SetAttr(trace.Int("uploads", int64(len(plan.Uploads))))
-	aspan.SetAttr(trace.Int("downloads", int64(len(plan.Downloads))))
-	aspan.SetAttr(trace.Int("bytes", plan.TotalBytes()))
-	aspan.End()
-
-	r := Report{
-		Name:       w.Name,
-		DataSize:   w.DataSize,
-		Iterations: w.Seq.Iterations,
-		Plan:       plan,
-		Resilient:  p.meter != nil,
-	}
-	if p.health != nil {
-		for _, d := range p.health.Degradations {
-			r.Degradations = append(r.Degradations, "calibration: "+d)
-		}
-	}
-
-	// Kernels: project best variant, then "measure" the hand-coded
-	// equivalent.
-	for _, k := range w.Seq.Kernels {
-		if err := ctx.Err(); err != nil {
-			return Report{}, err
-		}
-		kctx := obs.WithPhase(ctx, "kernel")
-		kctx, kspan := trace.Start(kctx, "kernel "+k.Name)
-		variant, proj, err := p.projectKernel(kctx, k)
-		if err != nil {
-			kspan.End()
-			return Report{}, err
-		}
-		measured, err := p.measureKernel(kctx, k.Name, variant.Ch, proj.Time, &r.Degradations)
-		if err != nil {
-			kspan.End()
-			return Report{}, fmt.Errorf("core: measuring kernel %q: %w", k.Name, err)
-		}
-		r.Kernels = append(r.Kernels, KernelResult{
-			Kernel:    k.Name,
-			Variant:   variant,
-			Predicted: proj.Time,
-			Measured:  measured,
-		})
-		iters := float64(w.Seq.Iterations)
-		r.PredKernelTime += proj.Time * iters
-		r.MeasKernelTime += measured * iters
-		kspan.SetAttr(trace.String("variant", variant.Name))
-		kspan.SetAttr(trace.Float("pred_per_invocation_s", proj.Time))
-		kspan.SetAttr(trace.Float("meas_per_invocation_s", measured))
-		kspan.Advance(proj.Time * iters)
-		kspan.End()
-	}
-
-	// Transfers: pinned memory, one transfer per array per direction.
-	for _, tr := range append(append([]datausage.Transfer(nil), plan.Uploads...), plan.Downloads...) {
-		if err := ctx.Err(); err != nil {
-			return Report{}, err
-		}
-		dir := pcie.HostToDevice
-		if tr.Dir == datausage.Download {
-			dir = pcie.DeviceToHost
-		}
-		tctx := obs.WithPhase(ctx, "transfer")
-		tctx, tspan := trace.Start(tctx, "transfer "+tr.String(),
-			trace.Int("bytes", tr.Bytes()),
-			trace.String("dir", tr.Dir.String()))
-		pred, err := p.model.Predict(dir, tr.Bytes())
-		if err != nil {
-			tspan.End()
-			return Report{}, err
-		}
-		meas, err := p.measureTransfer(tctx, tr.String(), dir, tr.Bytes(), pred, &r.Degradations)
-		if err != nil {
-			tspan.End()
-			return Report{}, err
-		}
-		r.Transfers = append(r.Transfers, TransferResult{
-			Transfer:  tr,
-			Predicted: pred,
-			Measured:  meas,
-		})
-		r.PredTransferTime += pred
-		r.MeasTransferTime += meas
-		tspan.SetAttr(trace.Float("pred_s", pred))
-		tspan.SetAttr(trace.Float("meas_s", meas))
-		tspan.Advance(pred)
-		tspan.End()
-	}
-
-	// CPU baseline: the same offloaded portion, all iterations. Off
-	// the projected GPU timeline, so its span consumes no simulated
-	// time.
-	cctx := obs.WithPhase(ctx, "cpu")
-	cctx, cspan := trace.Start(cctx, "cpu.baseline")
-	cpuPerIter, err := p.measureCPU(cctx, w.CPU, &r.Degradations)
-	if err != nil {
-		cspan.End()
-		return Report{}, err
-	}
-	r.CPUTime = cpuPerIter * float64(w.Seq.Iterations)
-	cspan.SetAttr(trace.Float("per_iteration_s", cpuPerIter))
-	cspan.End()
-
-	mDegradations.Add(int64(len(r.Degradations)))
-	lg.Info("projection finished",
-		"speedup_full", fmt.Sprintf("%.3g", r.SpeedupFull()),
-		"measured_speedup", fmt.Sprintf("%.3g", r.MeasuredSpeedup()),
-		"pred_total_gpu_s", fmt.Sprintf("%.3g", r.PredTotalGPU()),
-		"degradations", len(r.Degradations))
-	return r, nil
+	return DefaultEngine().Evaluate(ctx, p, w)
 }
 
 // projectKernel runs the transformation exploration and analytical

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"grophecy/internal/errdefs"
+)
+
+func TestStageNames(t *testing.T) {
+	want := []string{"datausage", "kernels", "transfers", "cpu", "assemble"}
+	got := DefaultEngine().StageNames()
+	if len(got) != len(want) {
+		t.Fatalf("StageNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stage %d is %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+type fakeStage struct{ name string }
+
+func (s fakeStage) Name() string                          { return s.name }
+func (s fakeStage) Run(context.Context, *EvalState) error { return nil }
+
+func TestNewEngineRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		stages []Stage
+	}{
+		{"no stages", nil},
+		{"nil stage", []Stage{fakeStage{"a"}, nil}},
+		{"unnamed stage", []Stage{fakeStage{""}}},
+		{"duplicate names", []Stage{fakeStage{"a"}, fakeStage{"a"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewEngine(tc.stages...); !errors.Is(err, errdefs.ErrInvalidInput) {
+				t.Fatalf("NewEngine(%s): err = %v, want ErrInvalidInput", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestNewEngineAccepts(t *testing.T) {
+	e, err := NewEngine(DefaultStages()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil {
+		t.Fatal("nil engine")
+	}
+}

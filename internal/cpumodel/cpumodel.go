@@ -98,6 +98,43 @@ func XeonE5405() Arch {
 	}
 }
 
+// XeonX5650 returns a newer-generation CPU node for cross-target
+// studies: a hyper-threaded hex-core Westmere-EP running 12 OpenMP
+// threads at 2.66 GHz, with triple-channel DDR3 instead of an FSB —
+// roughly 4x the sustained bandwidth of the E5405 node and much
+// cheaper irregular access. Projections against this node answer the
+// §V-C question "would the GPU still win against a better CPU?".
+func XeonX5650() Arch {
+	return Arch{
+		Name:                 "Intel Xeon X5650 (12 threads)",
+		HardwareThreads:      12,
+		Clock:                2.66e9,
+		VectorFlopsPerCycle:  4,
+		ScalarFlopsPerCycle:  1,
+		TranscendentalCycles: 24,
+		MemBandwidth:         21.0e9,
+		ParallelEfficiency:   0.78,
+		ForkJoinOverhead:     6e-6,
+		RampElements:         12000,
+		IrregularBWFactor:    0.55,
+	}
+}
+
+// Presets returns all built-in CPU architectures.
+func Presets() []Arch {
+	return []Arch{XeonE5405(), XeonX5650()}
+}
+
+// PresetByName returns the preset with the given name, or false.
+func PresetByName(name string) (Arch, bool) {
+	for _, a := range Presets() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Arch{}, false
+}
+
 // Workload describes the CPU-side execution of one offloaded region
 // for a single iteration.
 type Workload struct {

@@ -26,6 +26,61 @@ func TestXeonE5405Valid(t *testing.T) {
 	}
 }
 
+func TestXeonX5650Valid(t *testing.T) {
+	if err := XeonX5650().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) < 2 {
+		t.Fatalf("Presets() returned %d architectures, want >= 2", len(ps))
+	}
+	seen := make(map[string]bool)
+	for _, a := range ps {
+		if err := a.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", a.Name, err)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate preset name %q", a.Name)
+		}
+		seen[a.Name] = true
+		got, ok := PresetByName(a.Name)
+		if !ok || got.Name != a.Name {
+			t.Errorf("PresetByName(%q) = %v, %v", a.Name, got.Name, ok)
+		}
+	}
+	if _, ok := PresetByName("no such CPU"); ok {
+		t.Error("PresetByName accepted an unknown name")
+	}
+}
+
+// TestX5650BeatsE5405 pins the reason the second preset exists: the
+// newer node is strictly faster on both compute- and memory-bound
+// work, so cross-target projections vary on the CPU axis.
+func TestX5650BeatsE5405(t *testing.T) {
+	old := New(XeonE5405(), Config{})
+	newer := New(XeonX5650(), Config{})
+	for _, w := range []Workload{
+		{Name: "compute", Elements: 1 << 20, FlopsPerElem: 500, Regions: 1},
+		{Name: "stream", Elements: 1 << 22, FlopsPerElem: 1, BytesPerElem: 12, Vectorizable: true, Regions: 1},
+		stencil(1 << 18),
+	} {
+		to, err := old.BaseTime(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn, err := newer.BaseTime(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tn >= to {
+			t.Errorf("%s: X5650 (%v) not faster than E5405 (%v)", w.Name, tn, to)
+		}
+	}
+}
+
 func TestValidateRejectsBadArch(t *testing.T) {
 	mutations := []func(*Arch){
 		func(a *Arch) { a.Name = "" },

@@ -1,0 +1,191 @@
+// Package engine provides the serving-side projector pool: a
+// concurrency-safe calibration cache keyed by (target, memory kind,
+// seed).
+//
+// The paper's pipeline calibrates the PCIe transfer model by timing
+// real transfers ("automatically invoked by GROPHECY++ when run on a
+// new system", §III-C). That is the right behaviour once per machine
+// — and exactly the wrong behaviour once per request: a daemon that
+// recalibrates on every POST pays 2×Runs simulated transfers of pure
+// overhead per projection. The Pool runs the calibration once per
+// key, shares the in-flight calibration among concurrent requests
+// (singleflight), and hands every caller a fresh machine whose bus
+// noise stream is fast-forwarded past the calibration draws — so a
+// cached projection is bit-identical to a calibrate-then-project one,
+// while repeat requests skip the calibration transfers entirely.
+//
+// Only the clean (non-resilient, fault-free) pipeline is cacheable:
+// resilient calibration depends on the fault plan and the measurement
+// context, so grophecyd falls back to per-request calibration when
+// fault injection is armed.
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"grophecy/internal/core"
+	"grophecy/internal/metrics"
+	"grophecy/internal/pcie"
+	"grophecy/internal/target"
+	"grophecy/internal/xfermodel"
+)
+
+// Cache instruments. Hits count requests served from a completed or
+// in-flight calibration; misses count calibrations actually run.
+var (
+	mHits = metrics.Default.MustCounter("engine_cache_hits_total",
+		"projector requests served from the calibration cache")
+	mMisses = metrics.Default.MustCounter("engine_cache_misses_total",
+		"projector requests that ran a fresh calibration")
+	mEntries = metrics.Default.MustGauge("engine_cache_entries",
+		"calibrations currently cached")
+)
+
+// Key identifies one cached calibration.
+type Key struct {
+	// Target is the registry name of the hardware target.
+	Target string
+	// Kind is the host memory kind the model was calibrated for.
+	Kind pcie.MemoryKind
+	// Seed is the machine seed; the bus noise stream derives from it,
+	// so calibrations at different seeds observe different transfers.
+	Seed uint64
+}
+
+// calibration is what one flight produces: the fitted model plus the
+// bus noise state right after the calibration transfers.
+type calibration struct {
+	model    xfermodel.BusModel
+	busState uint64
+}
+
+// flight is one singleflight slot: the first goroutine for a key
+// calibrates and closes ready; everyone else waits on it.
+type flight struct {
+	ready chan struct{}
+	cal   calibration
+	err   error
+}
+
+// DefaultMaxEntries bounds the cache when NewPool is given no limit.
+const DefaultMaxEntries = 256
+
+// Pool is the calibration cache. The zero value is not usable; use
+// NewPool.
+type Pool struct {
+	max int
+
+	mu      sync.Mutex
+	flights map[Key]*flight
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewPool returns an empty pool retaining at most max calibrations
+// (DefaultMaxEntries if max <= 0).
+func NewPool(max int) *Pool {
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	return &Pool{max: max, flights: make(map[Key]*flight)}
+}
+
+// Hits returns how many projector requests this pool served without
+// running a calibration.
+func (p *Pool) Hits() int64 { return p.hits.Load() }
+
+// Misses returns how many calibrations this pool ran.
+func (p *Pool) Misses() int64 { return p.misses.Load() }
+
+// Len returns the number of cached calibrations.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.flights)
+}
+
+// Projector returns a ready projector for the target at the given
+// seed and memory kind, on a fresh machine private to the caller.
+// The first call for a key calibrates; concurrent calls for the same
+// key share that one calibration; later calls reuse it without
+// touching the bus. Either way the returned projector produces
+// reports bit-identical to core.NewProjectorWith on a fresh machine.
+func (p *Pool) Projector(ctx context.Context, tgt target.Target, seed uint64, kind pcie.MemoryKind) (*core.Projector, error) {
+	key := Key{Target: tgt.Name, Kind: kind, Seed: seed}
+
+	p.mu.Lock()
+	f, ok := p.flights[key]
+	if !ok {
+		f = &flight{ready: make(chan struct{})}
+		if len(p.flights) >= p.max {
+			// Bounded cache: drop an arbitrary entry. Calibrations are
+			// cheap to redo; unbounded growth across adversarial seeds
+			// is the real risk.
+			for k := range p.flights {
+				delete(p.flights, k)
+				break
+			}
+		}
+		p.flights[key] = f
+		mEntries.Set(float64(len(p.flights)))
+	}
+	p.mu.Unlock()
+
+	if ok {
+		// Cache hit — completed or in flight; wait without holding the
+		// lock so unrelated keys proceed.
+		select {
+		case <-f.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if f.err != nil {
+			return nil, f.err
+		}
+		p.hits.Add(1)
+		mHits.Inc()
+		return p.build(tgt, seed, kind, f.cal)
+	}
+
+	// Cache miss — this goroutine owns the calibration flight.
+	p.misses.Add(1)
+	mMisses.Inc()
+	f.cal, f.err = calibrate(tgt, seed, kind)
+	if f.err != nil {
+		// Failed flights are not cached: a later request retries.
+		p.mu.Lock()
+		if p.flights[key] == f {
+			delete(p.flights, key)
+			mEntries.Set(float64(len(p.flights)))
+		}
+		p.mu.Unlock()
+	}
+	close(f.ready)
+	if f.err != nil {
+		return nil, f.err
+	}
+	return p.build(tgt, seed, kind, f.cal)
+}
+
+// calibrate runs the real two-point calibration on a throwaway
+// machine and captures the model plus the bus state it left behind.
+func calibrate(tgt target.Target, seed uint64, kind pcie.MemoryKind) (calibration, error) {
+	m := tgt.Machine(seed)
+	proj, err := core.NewProjectorWith(m, kind)
+	if err != nil {
+		return calibration{}, err
+	}
+	return calibration{model: proj.BusModel(), busState: m.Bus.NoiseState()}, nil
+}
+
+// build assembles a caller-private machine positioned exactly where a
+// fresh calibration would have left it, and wires the cached model
+// around it.
+func (p *Pool) build(tgt target.Target, seed uint64, kind pcie.MemoryKind, cal calibration) (*core.Projector, error) {
+	m := tgt.Machine(seed)
+	m.Bus.SetNoiseState(cal.busState)
+	return core.NewCalibratedProjector(m, cal.model, kind)
+}

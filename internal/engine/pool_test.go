@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"grophecy/internal/bench"
+	"grophecy/internal/core"
+	"grophecy/internal/pcie"
+	"grophecy/internal/report"
+	"grophecy/internal/target"
+)
+
+const seed = 20130520
+
+func workload(t *testing.T) core.Workload {
+	t.Helper()
+	ws, err := bench.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if w.Name == "HotSpot" {
+			return w
+		}
+	}
+	return ws[0]
+}
+
+func freshJSON(t *testing.T, tgt target.Target, w core.Workload) []byte {
+	t.Helper()
+	p, err := core.NewProjector(tgt.Machine(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Evaluate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := report.JSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func pooledJSON(t *testing.T, pool *Pool, tgt target.Target, w core.Workload) []byte {
+	t.Helper()
+	p, err := pool.Projector(context.Background(), tgt, seed, pcie.Pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Evaluate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := report.JSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestPoolBitIdenticalToFreshCalibration is the cache's contract:
+// first (miss) and second (hit) pooled projections both reproduce the
+// calibrate-every-time report byte for byte, on default and
+// non-default targets.
+func TestPoolBitIdenticalToFreshCalibration(t *testing.T) {
+	w := workload(t)
+	for _, name := range []string{target.DefaultName, "c2050-pcie3", "c1060-pcie2-x5650"} {
+		t.Run(name, func(t *testing.T) {
+			tgt, err := target.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := freshJSON(t, tgt, w)
+			pool := NewPool(0)
+			miss := pooledJSON(t, pool, tgt, w)
+			hit := pooledJSON(t, pool, tgt, w)
+			if !bytes.Equal(miss, want) {
+				t.Error("miss-path report differs from fresh calibration")
+			}
+			if !bytes.Equal(hit, want) {
+				t.Error("hit-path report differs from fresh calibration")
+			}
+			if pool.Misses() != 1 || pool.Hits() != 1 {
+				t.Errorf("misses=%d hits=%d, want 1 and 1", pool.Misses(), pool.Hits())
+			}
+		})
+	}
+}
+
+// TestPoolSingleflight: concurrent requests to one key share a single
+// calibration and all see identical reports.
+func TestPoolSingleflight(t *testing.T) {
+	w := workload(t)
+	tgt, err := target.Lookup(target.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := freshJSON(t, tgt, w)
+	pool := NewPool(0)
+
+	const clients = 8
+	out := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := pool.Projector(context.Background(), tgt, seed, pcie.Pinned)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rep, err := p.Evaluate(w)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			data, err := report.JSON(rep)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out[i] = data
+		}(i)
+	}
+	wg.Wait()
+
+	for i, data := range out {
+		if !bytes.Equal(data, want) {
+			t.Errorf("client %d diverged from the fresh-calibration report", i)
+		}
+	}
+	if pool.Misses() != 1 {
+		t.Errorf("misses = %d, want 1 (singleflight)", pool.Misses())
+	}
+	if pool.Hits() != clients-1 {
+		t.Errorf("hits = %d, want %d", pool.Hits(), clients-1)
+	}
+	if pool.Len() != 1 {
+		t.Errorf("cached entries = %d, want 1", pool.Len())
+	}
+}
+
+// TestPoolKeysAreDistinct: seed, target, and memory kind all key the
+// cache.
+func TestPoolKeysAreDistinct(t *testing.T) {
+	tgt, err := target.Lookup(target.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := target.Lookup("c2050-pcie3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(0)
+	ctx := context.Background()
+	calls := []func() (*core.Projector, error){
+		func() (*core.Projector, error) { return pool.Projector(ctx, tgt, 1, pcie.Pinned) },
+		func() (*core.Projector, error) { return pool.Projector(ctx, tgt, 2, pcie.Pinned) },
+		func() (*core.Projector, error) { return pool.Projector(ctx, tgt, 1, pcie.Pageable) },
+		func() (*core.Projector, error) { return pool.Projector(ctx, other, 1, pcie.Pinned) },
+	}
+	for i, call := range calls {
+		if _, err := call(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if pool.Misses() != int64(len(calls)) {
+		t.Errorf("misses = %d, want %d (all keys distinct)", pool.Misses(), len(calls))
+	}
+	if pool.Hits() != 0 {
+		t.Errorf("hits = %d, want 0", pool.Hits())
+	}
+}
+
+// TestPoolBounded: the cache never retains more than max entries.
+func TestPoolBounded(t *testing.T) {
+	tgt, err := target.Lookup(target.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(2)
+	ctx := context.Background()
+	for s := uint64(1); s <= 5; s++ {
+		if _, err := pool.Projector(ctx, tgt, s, pcie.Pinned); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.Len() > 2 {
+		t.Errorf("cache holds %d entries, cap is 2", pool.Len())
+	}
+	if pool.Misses() != 5 {
+		t.Errorf("misses = %d, want 5", pool.Misses())
+	}
+}

@@ -6,9 +6,8 @@ import (
 
 	"grophecy/internal/bench"
 	"grophecy/internal/core"
-	"grophecy/internal/cpumodel"
-	"grophecy/internal/gpu"
 	"grophecy/internal/pcie"
+	"grophecy/internal/target"
 )
 
 // Bus-generation study: the paper's vector-addition argument (§II-B)
@@ -38,8 +37,13 @@ func BusGenerations(seed uint64) ([]BusGenRow, error) {
 		rows[i] = BusGenRow{App: w.Name, DataSize: w.DataSize}
 	}
 	for g, gen := range pcie.Generations() {
-		m := core.NewMachineWith(gpu.QuadroFX5600(), cpumodel.XeonE5405(), gen.Cfg, seed)
-		p, err := core.NewProjector(m)
+		// The paper's GPU/CPU on each bus generation — exactly the
+		// registered fx5600-pcie<N> targets.
+		tgt, err := target.Lookup(fmt.Sprintf("fx5600-pcie%d", g+1))
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.NewProjector(tgt.Machine(seed))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", gen.Name, err)
 		}

@@ -38,7 +38,14 @@ type Context struct {
 // NewContext builds a machine from the seed and calibrates the
 // transfer model on it.
 func NewContext(seed uint64) (*Context, error) {
-	m := core.NewMachine(seed)
+	return NewContextOn(core.NewMachine(seed))
+}
+
+// NewContextOn calibrates the transfer model on an already-built
+// machine, so callers can point the evaluation at any hardware
+// target (`paper -target` resolves the name and passes the target's
+// machine here).
+func NewContextOn(m *core.Machine) (*Context, error) {
 	p, err := core.NewProjector(m)
 	if err != nil {
 		return nil, err

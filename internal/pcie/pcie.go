@@ -344,6 +344,25 @@ func NewBus(cfg Config) *Bus {
 // Config returns the bus configuration.
 func (b *Bus) Config() Config { return b.cfg }
 
+// NoiseState returns the bus's noise-stream state. The calibration
+// cache (internal/engine) snapshots it right after calibrating so a
+// fresh bus can be fast-forwarded past the calibration draws with
+// SetNoiseState, making cached-calibration evaluations bit-identical
+// to calibrate-then-evaluate ones.
+func (b *Bus) NoiseState() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.noise.State()
+}
+
+// SetNoiseState restores a noise-stream state captured with
+// NoiseState on a bus with the same configuration.
+func (b *Bus) SetNoiseState(state uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.noise.SetState(state)
+}
+
 // Stats returns a snapshot of the usage counters.
 func (b *Bus) Stats() Stats {
 	b.mu.Lock()

@@ -1,0 +1,66 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"grophecy/internal/core"
+	"grophecy/internal/units"
+)
+
+// MatrixRow is one hardware target's projection outcome in a
+// cross-target comparison.
+type MatrixRow struct {
+	// Target is the registry name ("c2050-pcie3").
+	Target string
+	// Hardware is the component summary (GPU + CPU + bus).
+	Hardware string
+	// Report is the full projection on that target.
+	Report core.Report
+}
+
+// Matrix renders a cross-target comparison for one workload: per
+// registered target, the projected speedup with and without data
+// transfer modeling, the transfer share of GPU time, and whether
+// transfer modeling flips the port verdict — the paper's §V-C
+// sensitivity question as a table.
+func Matrix(workload string, rows []MatrixRow) string {
+	var b strings.Builder
+	if len(rows) == 0 {
+		return "no targets\n"
+	}
+	r0 := rows[0].Report
+	fmt.Fprintf(&b, "cross-target projection: %s %s, %d iteration(s)\n\n",
+		workload, r0.DataSize, r0.Iterations)
+
+	nameW := len("target")
+	for _, row := range rows {
+		if len(row.Target) > nameW {
+			nameW = len(row.Target)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %9s  %11s  %9s  %8s  %s\n",
+		nameW, "target", "full", "kernel-only", "xfer", "gpu time", "verdict")
+	for _, row := range rows {
+		r := row.Report
+		verdict := "port"
+		switch {
+		case r.SpeedupKernelOnly() > 1 && r.SpeedupFull() < 1:
+			verdict = "flipped by transfers"
+		case r.SpeedupFull() < 1:
+			verdict = "keep on CPU"
+		}
+		fmt.Fprintf(&b, "%-*s  %8.2fx  %10.2fx  %7.0f%%  %8s  %s\n",
+			nameW, row.Target,
+			r.SpeedupFull(), r.SpeedupKernelOnly(),
+			100*r.PercentTransfer(), units.FormatSeconds(r.PredTotalGPU()),
+			verdict)
+	}
+
+	b.WriteString("\nhardware:\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "  %-*s  %s\n", nameW, row.Target, row.Hardware)
+	}
+	b.WriteString("\nfull = kernel + transfer modeling; kernel-only reproduces plain\nGROPHECY; xfer = transfer share of predicted GPU time.\n")
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"grophecy/internal/core"
+)
+
+func row(name string, predKernel, predXfer, cpu float64) MatrixRow {
+	return MatrixRow{
+		Target:   name,
+		Hardware: "GPU + CPU + bus",
+		Report: core.Report{
+			Name: "HotSpot", DataSize: "1024 x 1024", Iterations: 1,
+			PredKernelTime: predKernel, PredTransferTime: predXfer,
+			MeasKernelTime: predKernel, MeasTransferTime: predXfer,
+			CPUTime: cpu,
+		},
+	}
+}
+
+func TestMatrixVerdicts(t *testing.T) {
+	out := Matrix("HotSpot", []MatrixRow{
+		row("fast-bus", 1, 1, 10),   // full 5.00x: port
+		row("slow-bus", 1, 20, 10),  // kernel-only 10x, full 0.48x: flipped
+		row("weak-gpu", 20, 20, 10), // kernel-only 0.5x too: keep on CPU
+	})
+	for _, want := range []string{
+		"cross-target projection: HotSpot 1024 x 1024, 1 iteration(s)",
+		"fast-bus", "slow-bus", "weak-gpu",
+		"flipped by transfers",
+		"keep on CPU",
+		"GPU + CPU + bus",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "port"); n != 1 {
+		t.Errorf("%d plain port verdicts, want 1:\n%s", n, out)
+	}
+}
+
+func TestMatrixEmpty(t *testing.T) {
+	if out := Matrix("HotSpot", nil); out != "no targets\n" {
+		t.Errorf("empty matrix rendered %q", out)
+	}
+}

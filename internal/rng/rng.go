@@ -23,6 +23,16 @@ func New(seed uint64) *Stream {
 	return &Stream{state: seed}
 }
 
+// State returns the stream's current internal state. Together with
+// SetState it lets a caller snapshot a stream at a known point (e.g.
+// right after transfer-model calibration) and later fast-forward a
+// freshly seeded stream to that exact point, reproducing the draw
+// sequence bit for bit without replaying the draws.
+func (s *Stream) State() uint64 { return s.state }
+
+// SetState restores a state previously captured with State.
+func (s *Stream) SetState(state uint64) { s.state = state }
+
 // Uint64 returns the next 64 uniformly random bits.
 func (s *Stream) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

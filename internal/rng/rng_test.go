@@ -199,3 +199,20 @@ func TestQuickDeterminismProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStateRoundTrip(t *testing.T) {
+	a := New(42)
+	for i := 0; i < 57; i++ {
+		a.Uint64()
+	}
+	// A fresh stream fast-forwarded to a's snapshot must continue with
+	// exactly a's sequence — the property the calibration cache
+	// (internal/engine) relies on.
+	b := New(999)
+	b.SetState(a.State())
+	for i := 0; i < 1000; i++ {
+		if got, want := b.Uint64(), a.Uint64(); got != want {
+			t.Fatalf("restored stream diverged at draw %d: %d != %d", i, got, want)
+		}
+	}
+}

@@ -1,9 +1,12 @@
 // Command smoke is the end-to-end smoke test `make smoke` runs: it
 // builds the real grophecyd binary, starts it on an ephemeral port,
-// drives one projection through the HTTP surface, checks the request
-// metrics moved, and verifies the daemon drains cleanly on SIGTERM.
-// Unlike the httptest suite this exercises the actual process
-// lifecycle — flag parsing, the listener, signal handling, exit code.
+// drives projections through the HTTP surface — including the target
+// registry (GET /targets, ?target=) and the calibration cache (repeat
+// same-target requests must hit, not recalibrate) — checks the
+// request metrics moved, and verifies the daemon drains cleanly on
+// SIGTERM. Unlike the httptest suite this exercises the actual
+// process lifecycle — flag parsing, the listener, signal handling,
+// exit code.
 package main
 
 import (
@@ -75,44 +78,77 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(base+"/project", "text/plain", strings.NewReader(string(src)))
+	speedup, runID, err := project(base+"/project", string(src))
 	if err != nil {
 		return err
 	}
-	body, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST /project: status %d\n%s", resp.StatusCode, body)
-	}
-	var rep struct {
-		Derived struct {
-			SpeedupFull float64 `json:"speedupFull"`
-		} `json:"derived"`
-	}
-	if err := json.Unmarshal(body, &rep); err != nil {
-		return fmt.Errorf("report is not JSON: %v", err)
-	}
-	if rep.Derived.SpeedupFull <= 0 {
-		return fmt.Errorf("speedupFull = %v, want > 0", rep.Derived.SpeedupFull)
-	}
-	fmt.Printf("smoke: projected hotspot.sk, speedup %.2fx (run %s)\n",
-		rep.Derived.SpeedupFull, resp.Header.Get("X-Run-Id"))
+	fmt.Printf("smoke: projected hotspot.sk, speedup %.2fx (run %s)\n", speedup, runID)
 
-	metricsResp, err := http.Get(base + "/metrics")
+	// The target registry surface: /targets lists registered hardware,
+	// and ?target= projects on a non-default node.
+	tgtResp, err := http.Get(base + "/targets")
 	if err != nil {
 		return err
 	}
-	dump, err := io.ReadAll(metricsResp.Body)
-	metricsResp.Body.Close()
+	tgtBody, err := io.ReadAll(tgtResp.Body)
+	tgtResp.Body.Close()
 	if err != nil {
 		return err
 	}
-	if !strings.Contains(string(dump), "grophecyd_requests_total 1") {
-		return fmt.Errorf("/metrics missing grophecyd_requests_total 1")
+	var targets struct {
+		Default string `json:"default"`
+		Targets []struct {
+			Name string `json:"name"`
+		} `json:"targets"`
 	}
+	if err := json.Unmarshal(tgtBody, &targets); err != nil {
+		return fmt.Errorf("GET /targets is not JSON: %v", err)
+	}
+	if len(targets.Targets) < 2 {
+		return fmt.Errorf("GET /targets lists %d targets, want at least 2", len(targets.Targets))
+	}
+	var other string
+	for _, t := range targets.Targets {
+		if t.Name != targets.Default {
+			other = t.Name
+			break
+		}
+	}
+	fmt.Printf("smoke: %d targets registered (default %s), projecting on %s\n",
+		len(targets.Targets), targets.Default, other)
+
+	otherSpeedup, _, err := project(base+"/project?target="+other, string(src))
+	if err != nil {
+		return fmt.Errorf("non-default target %s: %w", other, err)
+	}
+	if otherSpeedup == speedup {
+		return fmt.Errorf("target %s projected the same speedup as the default node (%.4fx)",
+			other, speedup)
+	}
+	// The repeat request must reuse the cached calibration.
+	if _, _, err := project(base+"/project?target="+other, string(src)); err != nil {
+		return err
+	}
+
+	dump, err := metricsDump(base)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(dump, "grophecyd_requests_total 3") {
+		return fmt.Errorf("/metrics missing grophecyd_requests_total 3")
+	}
+	hits, err := metricValue(dump, "engine_cache_hits_total")
+	if err != nil {
+		return err
+	}
+	misses, err := metricValue(dump, "engine_cache_misses_total")
+	if err != nil {
+		return err
+	}
+	if hits < 1 {
+		return fmt.Errorf("engine_cache_hits_total = %g, want >= 1 (repeat same-target requests must skip recalibration)", hits)
+	}
+	fmt.Printf("smoke: calibration cache reused (%g hits, %g misses)\n", hits, misses)
 
 	// Clean shutdown: SIGTERM must drain and exit 0.
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
@@ -130,6 +166,60 @@ func run() error {
 	}
 	fmt.Println("smoke: daemon drained and exited 0")
 	return nil
+}
+
+// project POSTs a skeleton and returns the projected full speedup
+// plus the run ID.
+func project(url, src string) (float64, string, error) {
+	resp, err := http.Post(url, "text/plain", strings.NewReader(src))
+	if err != nil {
+		return 0, "", err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", fmt.Errorf("POST %s: status %d\n%s", url, resp.StatusCode, body)
+	}
+	var rep struct {
+		Derived struct {
+			SpeedupFull float64 `json:"speedupFull"`
+		} `json:"derived"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return 0, "", fmt.Errorf("report is not JSON: %v", err)
+	}
+	if rep.Derived.SpeedupFull <= 0 {
+		return 0, "", fmt.Errorf("speedupFull = %v, want > 0", rep.Derived.SpeedupFull)
+	}
+	return rep.Derived.SpeedupFull, resp.Header.Get("X-Run-Id"), nil
+}
+
+// metricsDump fetches the /metrics text exposition.
+func metricsDump(base string) (string, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	dump, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	return string(dump), nil
+}
+
+// metricValue extracts an un-labeled sample's value from a dump.
+func metricValue(dump, name string) (float64, error) {
+	for _, line := range strings.Split(dump, "\n") {
+		var v float64
+		if _, err := fmt.Sscanf(line, name+" %g", &v); err == nil {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("sample %q not found in /metrics dump", name)
 }
 
 // repoRoot walks up from the working directory to the go.mod.
