@@ -1,0 +1,182 @@
+// Admission control for the projection endpoints: a bounded worker
+// pool with a FIFO wait queue in front of every projection-shaped
+// request (/project and /batch). At most maxInflight requests run
+// concurrently; up to maxQueue more wait in arrival order for up to
+// queueWait; everything beyond that is shed immediately with 429 +
+// Retry-After. The observability surface (/metrics, /readyz, pprof,
+// /runs) is deliberately not admission-controlled — it must stay
+// responsive exactly when the daemon is saturated.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Shedding errors. Both map to 429; the message tells the operator
+// which knob to turn.
+var (
+	errQueueFull = errors.New("admission queue full, request shed (raise -max-queue or retry later)")
+	errQueueWait = errors.New("admission queue wait exceeded, request shed (raise -queue-wait or retry later)")
+)
+
+// isShed reports whether err is an admission-control rejection.
+func isShed(err error) bool {
+	return errors.Is(err, errQueueFull) || errors.Is(err, errQueueWait)
+}
+
+// waiter is one queued request. Its channel is closed when a slot is
+// transferred to it.
+type waiter struct {
+	granted chan struct{}
+}
+
+// admitter is the FIFO admission gate. The zero value is unusable;
+// use newAdmitter.
+type admitter struct {
+	maxInflight int
+	maxQueue    int
+	queueWait   time.Duration
+
+	// onQueueDepth and onSaturated, when non-nil, observe queue-depth
+	// changes and saturation transitions. Called with mu held — keep
+	// them cheap and non-reentrant.
+	onQueueDepth func(depth int)
+	onSaturated  func(saturated bool)
+
+	mu        sync.Mutex
+	inflight  int
+	queue     []*waiter
+	saturated bool
+}
+
+// newAdmitter returns an admission gate running at most maxInflight
+// requests with at most maxQueue waiting up to queueWait each.
+func newAdmitter(maxInflight, maxQueue int, queueWait time.Duration) *admitter {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if queueWait <= 0 {
+		queueWait = 5 * time.Second
+	}
+	return &admitter{maxInflight: maxInflight, maxQueue: maxQueue, queueWait: queueWait}
+}
+
+// acquire admits the caller or sheds it. On success the caller owns
+// one worker slot and must call release exactly once. Shed requests
+// return errQueueFull (no queue space) or errQueueWait (slot did not
+// free within queueWait); a cancelled context returns ctx.Err().
+func (a *admitter) acquire(ctx context.Context) (release func(), err error) {
+	a.mu.Lock()
+	if a.inflight < a.maxInflight && len(a.queue) == 0 {
+		a.inflight++
+		a.mu.Unlock()
+		return a.release, nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.setSaturatedLocked(true)
+		a.mu.Unlock()
+		return nil, errQueueFull
+	}
+	w := &waiter{granted: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.noteDepthLocked()
+	a.mu.Unlock()
+
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	select {
+	case <-w.granted:
+		return a.release, nil
+	case <-ctx.Done():
+		err = ctx.Err()
+	case <-timer.C:
+		err = errQueueWait
+	}
+
+	// Timed out or cancelled: leave the queue — unless a grant raced
+	// us, in which case we own a slot and must hand it back.
+	a.mu.Lock()
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			a.noteDepthLocked()
+			a.mu.Unlock()
+			return nil, err
+		}
+	}
+	a.mu.Unlock()
+	<-w.granted // the grant's close already happened or is imminent
+	a.release()
+	return nil, err
+}
+
+// release returns a worker slot: the head waiter inherits it (FIFO),
+// or the inflight count drops. Clearing below queue capacity lifts
+// saturation.
+func (a *admitter) release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.noteDepthLocked()
+		close(w.granted) // slot transferred; inflight unchanged
+	} else {
+		a.inflight--
+	}
+	if len(a.queue) < a.maxQueue || (a.maxQueue == 0 && a.inflight < a.maxInflight) {
+		a.setSaturatedLocked(false)
+	}
+}
+
+// queueDepth returns the number of requests currently waiting.
+func (a *admitter) queueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
+}
+
+// inflightCount returns the number of requests currently running.
+func (a *admitter) inflightCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// retryAfterSeconds is the Retry-After hint sent with every 429: the
+// configured queue wait rounded up to a whole second (at least 1).
+func (a *admitter) retryAfterSeconds() int {
+	s := int(a.queueWait / time.Second)
+	if a.queueWait%time.Second != 0 || s < 1 {
+		s++
+	}
+	return s
+}
+
+func (a *admitter) noteDepthLocked() {
+	if a.onQueueDepth != nil {
+		a.onQueueDepth(len(a.queue))
+	}
+}
+
+func (a *admitter) setSaturatedLocked(saturated bool) {
+	if a.saturated == saturated {
+		return
+	}
+	a.saturated = saturated
+	if a.onSaturated != nil {
+		a.onSaturated(saturated)
+	}
+}
+
+// String renders the knobs for logs and /buildinfo.
+func (a *admitter) String() string {
+	return fmt.Sprintf("inflight<=%d queue<=%d wait<=%s", a.maxInflight, a.maxQueue, a.queueWait)
+}

@@ -1,0 +1,365 @@
+// Admission-control tests: the admitter's FIFO/shedding semantics in
+// isolation, then the wired daemon under contention — queued requests
+// served in arrival order, overflow shed with 429 + Retry-After,
+// readiness tracking saturation, and every served response
+// bit-identical to its sequential baseline.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"grophecy/internal/experiments"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmitterFIFOGrantOrder: with one slot held, waiters are granted
+// strictly in arrival order as the slot is released along the chain.
+func TestAdmitterFIFOGrantOrder(t *testing.T) {
+	a := newAdmitter(1, 3, 5*time.Second)
+	hold, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 3
+	order := make(chan int, waiters)
+	releases := make(chan func(), waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			release, err := a.acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			releases <- release
+		}(i)
+		// Serialize enqueueing so arrival order is known.
+		waitFor(t, fmt.Sprintf("waiter %d queued", i), func() bool {
+			return a.queueDepth() == i+1
+		})
+	}
+
+	hold() // waiter 0 inherits the slot
+	for want := 0; want < waiters; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("grant order: got waiter %d, want %d", got, want)
+		}
+		(<-releases)() // pass the slot along the queue
+	}
+	wg.Wait()
+	if a.inflightCount() != 0 || a.queueDepth() != 0 {
+		t.Fatalf("admitter not drained: inflight=%d queue=%d", a.inflightCount(), a.queueDepth())
+	}
+}
+
+// TestAdmitterShedsWhenQueueFull: a full queue sheds instantly with
+// errQueueFull and flips saturation; draining clears it.
+func TestAdmitterShedsWhenQueueFull(t *testing.T) {
+	a := newAdmitter(1, 1, 5*time.Second)
+	var mu sync.Mutex
+	var transitions []bool
+	a.onSaturated = func(s bool) {
+		mu.Lock()
+		transitions = append(transitions, s)
+		mu.Unlock()
+	}
+
+	hold, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedDone := make(chan error, 1)
+	go func() {
+		release, err := a.acquire(context.Background())
+		if err == nil {
+			release()
+		}
+		queuedDone <- err
+	}()
+	waitFor(t, "one waiter queued", func() bool { return a.queueDepth() == 1 })
+
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("overflow acquire: err = %v, want errQueueFull", err)
+	}
+	if !isShed(errQueueFull) || !isShed(errQueueWait) {
+		t.Fatal("isShed must recognize both shedding errors")
+	}
+
+	hold()
+	if err := <-queuedDone; err != nil {
+		t.Fatalf("queued acquire after drain: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(transitions) != 2 || !transitions[0] || transitions[1] {
+		t.Fatalf("saturation transitions = %v, want [true false]", transitions)
+	}
+}
+
+// TestAdmitterQueueWaitTimeout: a queued request that never gets a
+// slot is shed with errQueueWait and leaves the queue.
+func TestAdmitterQueueWaitTimeout(t *testing.T) {
+	a := newAdmitter(1, 2, 20*time.Millisecond)
+	hold, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errQueueWait) {
+		t.Fatalf("timed-out acquire: err = %v, want errQueueWait", err)
+	}
+	if a.queueDepth() != 0 {
+		t.Fatalf("timed-out waiter still queued: depth %d", a.queueDepth())
+	}
+}
+
+// TestAdmitterContextCancelWhileQueued: cancellation surfaces ctx.Err
+// and removes the waiter.
+func TestAdmitterContextCancelWhileQueued(t *testing.T) {
+	a := newAdmitter(1, 2, 5*time.Second)
+	hold, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for a.queueDepth() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	if _, err := a.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire: err = %v, want context.Canceled", err)
+	}
+	if a.queueDepth() != 0 {
+		t.Fatalf("cancelled waiter still queued: depth %d", a.queueDepth())
+	}
+}
+
+// TestAdmitterGrantTimeoutRaceKeepsAccounting hammers the
+// grant-vs-timeout race: even when grants land just as waiters give
+// up, no slot is ever leaked or double-granted. Run under -race.
+func TestAdmitterGrantTimeoutRaceKeepsAccounting(t *testing.T) {
+	a := newAdmitter(2, 4, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.acquire(context.Background())
+			if err != nil {
+				return // shed: fine
+			}
+			time.Sleep(time.Duration(500+a.queueDepth()) * time.Microsecond)
+			release()
+		}()
+	}
+	wg.Wait()
+	waitFor(t, "admitter drained", func() bool {
+		return a.inflightCount() == 0 && a.queueDepth() == 0
+	})
+	// The pool is intact: a fresh acquire succeeds immediately.
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after stress: %v", err)
+	}
+	release()
+}
+
+// TestNewAdmitterClampsKnobs: nonsense knob values fall back to safe
+// defaults instead of wedging the gate.
+func TestNewAdmitterClampsKnobs(t *testing.T) {
+	a := newAdmitter(0, -3, 0)
+	if a.maxInflight != 1 || a.maxQueue != 0 || a.queueWait != 5*time.Second {
+		t.Fatalf("clamped admitter = %s, want inflight<=1 queue<=0 wait<=5s", a)
+	}
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("clamped admitter rejects the first request: %v", err)
+	}
+	release()
+}
+
+// TestRetryAfterSeconds pins the Retry-After rounding: whole seconds
+// stay, fractions round up, and the floor is one second.
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		wait time.Duration
+		want int
+	}{
+		{5 * time.Second, 5},
+		{1500 * time.Millisecond, 2},
+		{100 * time.Millisecond, 1},
+	} {
+		a := newAdmitter(1, 0, tc.wait)
+		if got := a.retryAfterSeconds(); got != tc.want {
+			t.Errorf("retryAfterSeconds(%s) = %d, want %d", tc.wait, got, tc.want)
+		}
+	}
+}
+
+// TestDaemonAdmissionFIFOAndShedding is the end-to-end contention
+// test: a 1-worker daemon with a 2-deep queue, requests held on the
+// test hook. Arrival order must be service order, the overflow
+// request must shed with 429 + Retry-After while /readyz reports
+// saturation, and every served response must be bit-identical to a
+// sequential baseline at the same seed.
+func TestDaemonAdmissionFIFOAndShedding(t *testing.T) {
+	srv, s, _ := startDaemon(t, daemonConfig{
+		MaxInflight: 1,
+		MaxQueue:    2,
+		QueueWait:   time.Minute,
+	})
+	s.testBlock = make(chan struct{})
+	src := hotspotSource(t)
+
+	shedBase := metricValue(t, srv.URL, "grophecyd_shed_total")
+
+	// Sequential baselines, one per seed.
+	seeds := []uint64{experiments.DefaultSeed, 101, 102}
+	want := make(map[uint64][]byte, len(seeds))
+	for _, seed := range seeds {
+		want[seed] = cliJSON(t, src, seed)
+	}
+
+	type result struct {
+		seed   uint64
+		status int
+		body   []byte
+	}
+	results := make(chan result, len(seeds))
+	var wg sync.WaitGroup
+	postSeed := func(seed uint64) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(
+				srv.URL+"/project?seed="+strconv.FormatUint(seed, 10),
+				"text/plain", strings.NewReader(src))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results <- result{seed, resp.StatusCode, body}
+		}()
+	}
+
+	// Request 1 occupies the worker slot (held on the test hook);
+	// requests 2 and 3 queue in that order.
+	postSeed(seeds[0])
+	waitFor(t, "first request admitted", func() bool { return s.admit.inflightCount() == 1 })
+	postSeed(seeds[1])
+	waitFor(t, "second request queued", func() bool { return s.admit.queueDepth() == 1 })
+	postSeed(seeds[2])
+	waitFor(t, "third request queued", func() bool { return s.admit.queueDepth() == 2 })
+
+	// Request 4 overflows: immediate 429 with a Retry-After hint.
+	resp, err := http.Post(srv.URL+"/project", "text/plain", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	overflowBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: %d, want 429\n%s", resp.StatusCode, overflowBody)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("overflow Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+
+	// Saturation is visible on /readyz while the queue is full.
+	r, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	saturatedBody, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while saturated: %d, want 503", r.StatusCode)
+	}
+	if !strings.Contains(string(saturatedBody), "saturated") {
+		t.Fatalf("/readyz saturation body = %q", saturatedBody)
+	}
+
+	// Unblock the chain: each send lets exactly one admitted request
+	// run, and its release hands the slot to the next queued waiter.
+	for range seeds {
+		s.testBlock <- struct{}{}
+	}
+	wg.Wait()
+	close(results)
+
+	got := 0
+	for res := range results {
+		got++
+		if res.status != http.StatusOK {
+			t.Fatalf("seed %d: status %d\n%s", res.seed, res.status, res.body)
+		}
+		if !bytes.Equal(res.body, want[res.seed]) {
+			t.Errorf("seed %d: contended response differs from sequential baseline", res.seed)
+		}
+	}
+	if got != len(seeds) {
+		t.Fatalf("served %d requests, want %d", got, len(seeds))
+	}
+
+	// Completion order == arrival order: the flight recorder appends
+	// entries as requests finish, and with one worker that order is
+	// total.
+	entries := s.recorder.Entries()
+	if len(entries) != len(seeds) {
+		t.Fatalf("%d flight entries, want %d", len(entries), len(seeds))
+	}
+	for i, e := range entries {
+		if e.Seed != seeds[i] {
+			t.Fatalf("completion order broke FIFO: entry %d has seed %d, want %d",
+				i, e.Seed, seeds[i])
+		}
+	}
+
+	// Queue drained: readiness recovers, the shed is counted.
+	waitFor(t, "saturation cleared", func() bool { return !s.ready.Saturated() })
+	r, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after drain: %d, want 200", r.StatusCode)
+	}
+	if d := metricValue(t, srv.URL, "grophecyd_shed_total") - shedBase; d != 1 {
+		t.Errorf("grophecyd_shed_total moved by %v, want 1", d)
+	}
+}

@@ -1,0 +1,318 @@
+// POST /batch: multi-target, multi-workload projection in one
+// request. The body is a JSON array of jobs; each job is either an
+// inline skeleton source or a named paper benchmark, optionally
+// pinned to a registered hardware target and seed. Jobs fan out over
+// internal/sweep through the shared calibration pool — concurrent
+// jobs on the same (target, seed) share one calibration — and every
+// job's report is byte-identical to the equivalent single POST
+// /project call at the same query parameters. Failures are per-job:
+// one malformed skeleton or unknown target never takes down its
+// neighbours.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"grophecy/internal/bench"
+	"grophecy/internal/core"
+	"grophecy/internal/errdefs"
+	"grophecy/internal/flight"
+	"grophecy/internal/metrics"
+	"grophecy/internal/obs"
+	"grophecy/internal/report"
+	"grophecy/internal/sklang"
+	"grophecy/internal/sweep"
+	"grophecy/internal/target"
+	"grophecy/internal/trace"
+)
+
+// Batch limits: the body cap bounds memory per request, the job cap
+// bounds fan-out per request (admission control bounds requests, not
+// jobs, so a single giant batch must not become a backdoor).
+const (
+	maxBatchBytes = 8 << 20
+	maxBatchJobs  = 256
+)
+
+var mBatchJobs = metrics.Default.MustCounter("grophecyd_batch_jobs_total",
+	"batch jobs executed (any outcome)")
+
+// batchJob is one element of the POST /batch request array. Exactly
+// one of Skeleton (inline .sk source) and Workload (a named paper
+// benchmark: CFD, HotSpot, SRAD, Stassuij) must be set; Size selects
+// the named benchmark's data set. Target and Seed default to the
+// daemon's; Iters overrides the iteration count.
+type batchJob struct {
+	Skeleton string  `json:"skeleton,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+	Size     string  `json:"size,omitempty"`
+	Target   string  `json:"target,omitempty"`
+	Seed     *uint64 `json:"seed,omitempty"`
+	Iters    int     `json:"iters,omitempty"`
+}
+
+// resolvedJob is a batchJob after validation: everything a projection
+// needs, or the error that stops it.
+type resolvedJob struct {
+	wl   core.Workload
+	tgt  target.Target
+	seed uint64
+	src  string // inline skeleton source, empty for named workloads
+	err  error
+}
+
+// jobOutcome is what one executed job produces.
+type jobOutcome struct {
+	runID  string
+	report []byte // raw report.JSON bytes; nil on failure
+	wl     string
+	tgt    string
+	seed   uint64
+	err    error
+}
+
+// resolve validates one job against the daemon's registry and
+// defaults. Resolution failures are per-job outcomes, not request
+// failures.
+func (s *server) resolve(j batchJob) resolvedJob {
+	r := resolvedJob{tgt: s.tgt, seed: s.cfg.Seed}
+	if j.Target != "" {
+		tgt, err := target.Lookup(j.Target)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		r.tgt = tgt
+	}
+	if j.Seed != nil {
+		r.seed = *j.Seed
+	}
+	switch {
+	case j.Skeleton != "" && j.Workload != "":
+		r.err = errdefs.Invalidf("batch job: skeleton and workload are mutually exclusive")
+	case j.Skeleton != "":
+		wl, err := sklang.Parse(j.Skeleton)
+		if errors.Is(err, sklang.ErrNotWorkload) {
+			err = errdefs.Invalidf("batch job: multi-phase program files are not supported")
+		}
+		r.wl, r.src, r.err = wl, j.Skeleton, err
+		if j.Size != "" && r.err == nil {
+			r.err = errdefs.Invalidf("batch job: size applies to named workloads, not inline skeletons")
+		}
+	case j.Workload != "":
+		r.wl, r.err = namedWorkload(j.Workload, j.Size)
+	default:
+		r.err = errdefs.Invalidf("batch job: one of skeleton or workload is required")
+	}
+	if r.err == nil && j.Iters != 0 {
+		if j.Iters < 1 {
+			r.err = errdefs.Invalidf("batch job: bad iteration count %d", j.Iters)
+		} else {
+			r.wl = r.wl.WithIterations(j.Iters)
+		}
+	}
+	return r
+}
+
+// namedWorkload builds one of the paper's benchmarks by name.
+func namedWorkload(name, size string) (core.Workload, error) {
+	switch name {
+	case "CFD":
+		return bench.CFD(size)
+	case "HotSpot":
+		return bench.HotSpot(size)
+	case "SRAD":
+		return bench.SRAD(size)
+	case "Stassuij":
+		if size != "" {
+			return core.Workload{}, errdefs.Invalidf("bench: Stassuij has a single data set; drop size %q", size)
+		}
+		return bench.Stassuij(), nil
+	default:
+		return core.Workload{}, errdefs.Invalidf(
+			"bench: unknown workload %q (want CFD, HotSpot, SRAD, or Stassuij)", name)
+	}
+}
+
+// handleBatch serves POST /batch. The whole batch occupies one
+// admission slot; jobs fan out on a sweep worker pool inside it.
+// The response is 200 with per-job rows as long as the batch itself
+// was well-formed; job failures carry their own error and status.
+func (s *server) handleBatch(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	ctx := obs.WithLogger(req.Context(), s.cfg.Logger)
+	lg := obs.Log(obs.WithPhase(ctx, "batch"))
+
+	fail := func(status int, err error) {
+		mRequestErrors.Inc()
+		lg.Error("batch request rejected", "status", status, "err", err.Error())
+		writeError(w, status, err)
+	}
+
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		fail(http.StatusBadRequest, fmt.Errorf("reading batch body: %w", err))
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var jobs []batchJob
+	if err := dec.Decode(&jobs); err != nil {
+		fail(http.StatusBadRequest, fmt.Errorf("batch body is not a JSON job array: %w", err))
+		return
+	}
+	if len(jobs) == 0 {
+		fail(http.StatusBadRequest, errors.New("batch body is an empty job array"))
+		return
+	}
+	if len(jobs) > maxBatchJobs {
+		fail(http.StatusBadRequest, fmt.Errorf("batch of %d jobs exceeds the %d-job cap", len(jobs), maxBatchJobs))
+		return
+	}
+
+	resolved := make([]resolvedJob, len(jobs))
+	for i, j := range jobs {
+		resolved[i] = s.resolve(j)
+	}
+
+	outcomes, errs, err := sweep.RunAllCtx(ctx, len(jobs), s.cfg.BatchWorkers,
+		func(i int) (jobOutcome, error) {
+			return s.runJob(ctx, resolved[i]), nil
+		})
+	if err != nil {
+		fail(http.StatusInternalServerError, err)
+		return
+	}
+	for i := range outcomes {
+		// A sweep-level error (worker panic, never scheduled) becomes
+		// that job's outcome.
+		if errs[i] != nil && outcomes[i].err == nil {
+			outcomes[i].err = errs[i]
+		}
+	}
+
+	succeeded := 0
+	for i := range outcomes {
+		mBatchJobs.Inc()
+		if outcomes[i].err == nil {
+			succeeded++
+		}
+	}
+	lg.Info("batch request served",
+		"jobs", len(jobs), "succeeded", succeeded, "failed", len(jobs)-succeeded,
+		"cache_hits", s.pool.Hits(), "cache_misses", s.pool.Misses(),
+		"duration_ms", float64(time.Since(start).Microseconds())/1e3)
+
+	w.Header().Set("Content-Type", "application/json")
+	writeBatchResponse(w, outcomes)
+}
+
+// runJob executes one resolved job: its own run ID, tracer, flight
+// record, and projection through the shared pool — exactly the
+// /project request lifecycle.
+func (s *server) runJob(ctx context.Context, r resolvedJob) jobOutcome {
+	out := jobOutcome{tgt: r.tgt.Name, seed: r.seed}
+	if r.err != nil {
+		out.err = r.err
+		return out
+	}
+	out.wl = r.wl.Name
+
+	start := time.Now()
+	runID := obs.NewRunID()
+	out.runID = runID
+	ctx = obs.WithRun(ctx, runID)
+	ctx = obs.WithWorkload(ctx, r.wl.Name)
+	tracer := trace.New("grophecyd")
+	ctx = trace.With(ctx, tracer)
+
+	entry := flight.Entry{
+		ID:       runID,
+		Workload: r.wl.Name,
+		DataSize: r.wl.DataSize,
+		Source:   r.src,
+		Seed:     r.seed,
+		Start:    start,
+	}
+	rep, err := s.project(ctx, r.tgt, r.seed, r.wl)
+	tracer.Close()
+	entry.Trace = tracer
+	entry.Duration = time.Since(start)
+	if err != nil {
+		entry.Err = err.Error()
+		s.recorder.Add(entry)
+		out.err = err
+		return out
+	}
+	entry.Report = rep
+	s.recorder.Add(entry)
+
+	out.report, out.err = report.JSON(rep)
+	return out
+}
+
+// batchRow is the metadata half of one response row; the report bytes
+// are spliced in verbatim so each job's report stays byte-identical
+// to the single-call response.
+type batchRow struct {
+	Index    int    `json:"index"`
+	RunID    string `json:"runId,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	Target   string `json:"target"`
+	Seed     uint64 `json:"seed"`
+	Status   int    `json:"status"`
+	Error    string `json:"error,omitempty"`
+}
+
+// writeBatchResponse hand-assembles the response document. The
+// encoding/json package re-compacts RawMessage values on Marshal,
+// which would break the byte-for-byte report contract — so the rows
+// are marshalled without their reports and the raw report.JSON bytes
+// are spliced in before each closing brace.
+func writeBatchResponse(w io.Writer, outcomes []jobOutcome) error {
+	var b bytes.Buffer
+	b.WriteString(`{"jobs":[`)
+	succeeded := 0
+	for i, out := range outcomes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		row := batchRow{
+			Index:    i,
+			RunID:    out.runID,
+			Workload: out.wl,
+			Target:   out.tgt,
+			Seed:     out.seed,
+			Status:   http.StatusOK,
+		}
+		if out.err != nil {
+			row.Status = httpStatus(out.err)
+			row.Error = out.err.Error()
+		} else {
+			succeeded++
+		}
+		meta, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		if out.report == nil {
+			b.Write(meta)
+			continue
+		}
+		b.Write(meta[:len(meta)-1]) // strip the closing brace
+		b.WriteString(`,"report":`)
+		b.Write(out.report)
+		b.WriteByte('}')
+	}
+	fmt.Fprintf(&b, `],"succeeded":%d,"failed":%d}`, succeeded, len(outcomes)-succeeded)
+	b.WriteByte('\n')
+	_, err := w.Write(b.Bytes())
+	return err
+}

@@ -4,6 +4,8 @@
 //
 //	POST /project         skeleton source in, report JSON out
 //	                      (?iters=N, ?seed=S, ?target=NAME overrides)
+//	POST /batch           JSON job array in, per-job report rows out
+//	                      (each row byte-identical to /project)
 //	GET  /targets         registered hardware targets
 //	GET  /runs            flight recorder index (last N runs)
 //	GET  /runs/{id}       a recorded run's report JSON
@@ -19,6 +21,13 @@
 //	grophecyd                                  # 127.0.0.1:8090
 //	grophecyd -addr :9000 -target c2050-pcie3
 //	grophecyd -faults "transient=0.02" -log-format json
+//	grophecyd -max-inflight 4 -max-queue 16 -queue-wait 2s
+//
+// Admission: at most -max-inflight projection requests run at once;
+// up to -max-queue more wait in FIFO order for up to -queue-wait.
+// Everything beyond that is shed with 429 + Retry-After, and /readyz
+// reports 503 while the daemon is saturated. The observability
+// surface is never admission-controlled.
 //
 // Shutdown: SIGINT/SIGTERM drains in-flight projections for up to
 // -drain-timeout, then exits 0.
@@ -49,6 +58,11 @@ func main() {
 		gpuName  = flag.String("gpu", "", "GPU preset name on the paper's CPU and bus (mutually exclusive with -target)")
 		faults   = flag.String("faults", "", `fault-injection plan for every request, e.g. "transient=0.02" (see docs/ROBUSTNESS.md); empty disables`)
 		flightN  = flag.Int("flight", 64, "completed runs retained by the flight recorder")
+		inflight = flag.Int("max-inflight", 16, "projection requests served concurrently")
+		queueCap = flag.Int("max-queue", 64, "projection requests queued beyond -max-inflight before shedding (0 disables queueing)")
+		qWait    = flag.Duration("queue-wait", 5*time.Second, "longest a queued request waits for a worker slot before being shed")
+		reqTO    = flag.Duration("request-timeout", time.Minute, "per-request projection deadline once admitted")
+		cacheN   = flag.Int("cache-entries", 0, "calibration cache entries retained (0: engine default)")
 		drain    = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight projections")
 		logFmt   = flag.String("log-format", "text", obs.LogFormatUsage)
 		logLevel = flag.String("log-level", "info", obs.LogLevelUsage)
@@ -65,12 +79,17 @@ func main() {
 	}
 
 	s, err := newServer(daemonConfig{
-		Seed:       *seed,
-		TargetName: *tgtName,
-		GPUName:    *gpuName,
-		FaultSpec:  *faults,
-		FlightCap:  *flightN,
-		Logger:     logger,
+		Seed:           *seed,
+		TargetName:     *tgtName,
+		GPUName:        *gpuName,
+		FaultSpec:      *faults,
+		FlightCap:      *flightN,
+		Logger:         logger,
+		MaxInflight:    *inflight,
+		MaxQueue:       *queueCap,
+		QueueWait:      *qWait,
+		RequestTimeout: *reqTO,
+		CacheEntries:   *cacheN,
 	})
 	if err != nil {
 		fatal(err)
@@ -89,7 +108,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Handler: s.mux}
+	srv := obs.NewHTTPServer(s.mux)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

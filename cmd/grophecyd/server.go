@@ -49,6 +49,18 @@ var (
 		"projection requests currently in flight")
 )
 
+// Admission instruments. Queue wait is wall-clock for the same reason
+// the request metrics are: admission is an operational property of
+// the live daemon, not of the simulated machine.
+var (
+	mQueueDepth = metrics.Default.MustGauge("grophecyd_queue_depth",
+		"projection requests waiting in the admission queue")
+	mQueueWait = metrics.Default.MustHistogram("grophecyd_queue_wait_seconds",
+		"wall-clock admission queue wait in seconds", metrics.WaitBuckets())
+	mShed = metrics.Default.MustCounter("grophecyd_shed_total",
+		"projection requests shed by admission control (429s)")
+)
+
 // maxSkeletonBytes bounds a POSTed skeleton source.
 const maxSkeletonBytes = 1 << 20
 
@@ -60,6 +72,24 @@ type daemonConfig struct {
 	FaultSpec  string // fault plan string; empty or "none" disables
 	FlightCap  int
 	Logger     *slog.Logger
+
+	// Admission-control knobs (see admission.go). Zero values mean:
+	// 16 concurrent requests, no wait queue, 5s queue wait. MaxQueue
+	// is the literal queue capacity — main.go's flag default is 64.
+	MaxInflight int
+	MaxQueue    int
+	QueueWait   time.Duration
+
+	// RequestTimeout bounds each admitted request's projection work;
+	// zero means one minute.
+	RequestTimeout time.Duration
+
+	// CacheEntries bounds the calibration cache; zero means
+	// engine.DefaultMaxEntries.
+	CacheEntries int
+
+	// BatchWorkers bounds per-batch fan-out; zero means GOMAXPROCS.
+	BatchWorkers int
 }
 
 // server is one wired daemon instance.
@@ -70,7 +100,13 @@ type server struct {
 	pool     *engine.Pool
 	recorder *flight.Recorder
 	ready    *obs.Readiness
+	admit    *admitter
 	mux      *http.ServeMux
+
+	// testBlock, when non-nil, is received from by every admitted
+	// request before its handler runs — tests use it to hold worker
+	// slots occupied deterministically. Nil in production.
+	testBlock chan struct{}
 }
 
 // newServer validates cfg and wires the full route table.
@@ -97,15 +133,30 @@ func newServer(cfg daemonConfig) (*server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 16
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 5 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = time.Minute
+	}
 	s := &server{
 		cfg:      cfg,
 		plan:     plan,
 		tgt:      tgt,
-		pool:     engine.NewPool(0),
+		pool:     engine.NewPool(cfg.CacheEntries),
 		recorder: flight.MustNew(cfg.FlightCap),
 		ready:    &obs.Readiness{},
+		admit:    newAdmitter(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait),
 		mux:      http.NewServeMux(),
 	}
+	s.admit.onQueueDepth = func(depth int) { mQueueDepth.Set(float64(depth)) }
+	s.admit.onSaturated = s.ready.SetSaturated
 	obs.Mount(s.mux, obs.ServerConfig{
 		Ready: s.ready,
 		BuildExtra: map[string]string{
@@ -116,12 +167,53 @@ func newServer(cfg daemonConfig) (*server, error) {
 			"bus":             tgt.BusName,
 			"faults":          plan.String(),
 			"flight_capacity": strconv.Itoa(cfg.FlightCap),
+			"admission":       s.admit.String(),
+			"request_timeout": cfg.RequestTimeout.String(),
 		},
 	})
 	s.recorder.Mount(s.mux)
-	s.mux.HandleFunc("POST /project", s.handleProject)
+	s.mux.HandleFunc("POST /project", s.admitted(s.handleProject))
+	s.mux.HandleFunc("POST /batch", s.admitted(obs.LimitBody(maxBatchBytes, s.handleBatch)))
 	s.mux.HandleFunc("GET /targets", s.handleTargets)
 	return s, nil
+}
+
+// admitted wraps a projection-shaped handler in the admission gate:
+// the request either owns a worker slot for its whole lifetime, waits
+// its turn in FIFO order, or is shed with 429 + Retry-After. Admitted
+// requests run under the daemon's request timeout; the request-level
+// instruments live here so /project and /batch are counted uniformly.
+func (s *server) admitted(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		mRequests.Inc()
+		defer func() { mRequestSeconds.Observe(time.Since(start).Seconds()) }()
+
+		release, err := s.admit.acquire(req.Context())
+		mQueueWait.Observe(time.Since(start).Seconds())
+		if err != nil {
+			mRequestErrors.Inc()
+			if isShed(err) {
+				mShed.Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(s.admit.retryAfterSeconds()))
+				writeError(w, http.StatusTooManyRequests, err)
+				return
+			}
+			// The client went away while queued.
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		defer release()
+		mInflight.Add(1)
+		defer mInflight.Add(-1)
+
+		if s.testBlock != nil {
+			<-s.testBlock
+		}
+		ctx, cancel := context.WithTimeout(req.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next(w, req.WithContext(ctx))
+	}
 }
 
 // newProjector returns a ready projector for one request: from the
@@ -172,6 +264,10 @@ func httpStatus(err error) int {
 	case errors.Is(err, errdefs.ErrInvalidInput):
 		return http.StatusBadRequest
 	case errors.Is(err, errdefs.ErrMeasureTimeout):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The per-request timeout (or the client) cut the projection
+		// short; surface it as a gateway timeout, not a daemon bug.
 		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
@@ -233,11 +329,6 @@ func (s *server) handleTargets(w http.ResponseWriter, req *http.Request) {
 // Errors are JSON: {"error": "...", "status": N}.
 func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 	start := time.Now()
-	mRequests.Inc()
-	mInflight.Add(1)
-	defer mInflight.Add(-1)
-	defer func() { mRequestSeconds.Observe(time.Since(start).Seconds()) }()
-
 	runID := obs.NewRunID()
 	w.Header().Set("X-Run-Id", runID)
 	ctx := obs.WithLogger(req.Context(), s.cfg.Logger)

@@ -14,6 +14,13 @@
 // cached projection is bit-identical to a calibrate-then-project one,
 // while repeat requests skip the calibration transfers entirely.
 //
+// Failure semantics: a panicking calibration is recovered into an
+// error wrapping errdefs.ErrPanic, the flight is always closed so
+// waiters never hang, and failed flights are never cached — a later
+// request retries the key. A calibration owner whose context is
+// cancelled aborts promptly with ctx.Err(); waiters blocked on that
+// flight re-enter the pool and one of them becomes the new owner.
+//
 // Only the clean (non-resilient, fault-free) pipeline is cacheable:
 // resilient calibration depends on the fault plan and the measurement
 // context, so grophecyd falls back to per-request calibration when
@@ -22,10 +29,14 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"grophecy/internal/core"
+	"grophecy/internal/errdefs"
 	"grophecy/internal/metrics"
 	"grophecy/internal/pcie"
 	"grophecy/internal/target"
@@ -33,7 +44,8 @@ import (
 )
 
 // Cache instruments. Hits count requests served from a completed or
-// in-flight calibration; misses count calibrations actually run.
+// in-flight calibration; misses count calibrations actually run;
+// evictions count completed entries dropped to stay under the bound.
 var (
 	mHits = metrics.Default.MustCounter("engine_cache_hits_total",
 		"projector requests served from the calibration cache")
@@ -41,6 +53,8 @@ var (
 		"projector requests that ran a fresh calibration")
 	mEntries = metrics.Default.MustGauge("engine_cache_entries",
 		"calibrations currently cached")
+	mEvictions = metrics.Default.MustCounter("engine_cache_evictions_total",
+		"completed calibrations evicted to keep the cache bounded")
 )
 
 // Key identifies one cached calibration.
@@ -67,6 +81,12 @@ type flight struct {
 	ready chan struct{}
 	cal   calibration
 	err   error
+
+	// done and lastUse are guarded by Pool.mu. done marks a completed
+	// (cached) calibration; only done flights are eviction candidates.
+	// lastUse is the pool's LRU clock tick of the most recent access.
+	done    bool
+	lastUse uint64
 }
 
 // DefaultMaxEntries bounds the cache when NewPool is given no limit.
@@ -79,9 +99,16 @@ type Pool struct {
 
 	mu      sync.Mutex
 	flights map[Key]*flight
+	clock   uint64 // LRU tick, incremented under mu on every access
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+
+	// calibrateHook, when non-nil, runs in the owner goroutine right
+	// before the calibration itself. Tests use it to hold a flight
+	// in-flight deterministically; production code never sets it.
+	calibrateHook func(Key)
 }
 
 // NewPool returns an empty pool retaining at most max calibrations
@@ -100,11 +127,21 @@ func (p *Pool) Hits() int64 { return p.hits.Load() }
 // Misses returns how many calibrations this pool ran.
 func (p *Pool) Misses() int64 { return p.misses.Load() }
 
+// Evictions returns how many completed calibrations were evicted.
+func (p *Pool) Evictions() int64 { return p.evictions.Load() }
+
 // Len returns the number of cached calibrations.
 func (p *Pool) Len() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.flights)
+}
+
+// retriable reports whether a flight error reflects the owner's
+// cancelled context rather than a property of the key: waiters retry
+// those, since their own contexts may still be live.
+func retriable(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Projector returns a ready projector for the target at the given
@@ -113,69 +150,139 @@ func (p *Pool) Len() int {
 // key share that one calibration; later calls reuse it without
 // touching the bus. Either way the returned projector produces
 // reports bit-identical to core.NewProjectorWith on a fresh machine.
+//
+// ctx bounds both the wait on an in-flight calibration and the
+// calibration this call runs itself; a cancelled owner closes the
+// flight with ctx.Err() so waiters re-enter and retry.
 func (p *Pool) Projector(ctx context.Context, tgt target.Target, seed uint64, kind pcie.MemoryKind) (*core.Projector, error) {
 	key := Key{Target: tgt.Name, Kind: kind, Seed: seed}
 
-	p.mu.Lock()
-	f, ok := p.flights[key]
-	if !ok {
-		f = &flight{ready: make(chan struct{})}
-		if len(p.flights) >= p.max {
-			// Bounded cache: drop an arbitrary entry. Calibrations are
-			// cheap to redo; unbounded growth across adversarial seeds
-			// is the real risk.
-			for k := range p.flights {
-				delete(p.flights, k)
-				break
-			}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
+
+		p.mu.Lock()
+		f, ok := p.flights[key]
+		if ok {
+			p.clock++
+			f.lastUse = p.clock
+			p.mu.Unlock()
+
+			// Cache hit — completed or in flight; wait without holding
+			// the lock so unrelated keys proceed.
+			select {
+			case <-f.ready:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if f.err != nil {
+				if retriable(f.err) {
+					// The owner was cancelled, not the calibration broken:
+					// the flight is already out of the map, so loop and
+					// either find a new owner's flight or become the owner.
+					continue
+				}
+				return nil, f.err
+			}
+			p.hits.Add(1)
+			mHits.Inc()
+			return p.build(tgt, seed, kind, f.cal)
+		}
+
+		// Cache miss — this goroutine owns the calibration flight.
+		f = &flight{ready: make(chan struct{})}
+		p.clock++
+		f.lastUse = p.clock
+		p.evictLocked()
 		p.flights[key] = f
 		mEntries.Set(float64(len(p.flights)))
-	}
-	p.mu.Unlock()
+		p.mu.Unlock()
 
-	if ok {
-		// Cache hit — completed or in flight; wait without holding the
-		// lock so unrelated keys proceed.
-		select {
-		case <-f.ready:
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+		p.misses.Add(1)
+		mMisses.Inc()
+		p.runFlight(ctx, key, f, tgt, seed, kind)
 		if f.err != nil {
 			return nil, f.err
 		}
-		p.hits.Add(1)
-		mHits.Inc()
 		return p.build(tgt, seed, kind, f.cal)
 	}
+}
 
-	// Cache miss — this goroutine owns the calibration flight.
-	p.misses.Add(1)
-	mMisses.Inc()
-	f.cal, f.err = calibrate(tgt, seed, kind)
-	if f.err != nil {
-		// Failed flights are not cached: a later request retries.
+// runFlight executes one owned calibration flight. Whatever happens —
+// success, error, panic, cancellation — the map is settled first and
+// the ready channel closed last, so waiters woken by the close can
+// never re-find a dead flight.
+func (p *Pool) runFlight(ctx context.Context, key Key, f *flight, tgt target.Target, seed uint64, kind pcie.MemoryKind) {
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = fmt.Errorf("%w: calibrating %s/%v/seed=%d: %v\n%s",
+				errdefs.ErrPanic, key.Target, key.Kind, key.Seed, r, debug.Stack())
+		}
 		p.mu.Lock()
-		if p.flights[key] == f {
-			delete(p.flights, key)
-			mEntries.Set(float64(len(p.flights)))
+		if f.err != nil {
+			// Failed flights are not cached: a later request retries.
+			if p.flights[key] == f {
+				delete(p.flights, key)
+				mEntries.Set(float64(len(p.flights)))
+			}
+		} else {
+			f.done = true
 		}
 		p.mu.Unlock()
+		close(f.ready)
+	}()
+	if p.calibrateHook != nil {
+		p.calibrateHook(key)
 	}
-	close(f.ready)
-	if f.err != nil {
-		return nil, f.err
+	f.cal, f.err = calibrate(ctx, tgt, seed, kind)
+}
+
+// evictLocked makes room for one more entry: it drops
+// least-recently-used *completed* flights until the pool is under its
+// bound. In-flight calibrations are never evicted — evicting one
+// would orphan its waiters — so the pool may transiently exceed max
+// when every entry is still calibrating. lastUse ticks are unique, so
+// the eviction order is deterministic regardless of map iteration
+// order. Callers must hold p.mu.
+func (p *Pool) evictLocked() {
+	for len(p.flights) >= p.max {
+		var (
+			victim  Key
+			victimF *flight
+		)
+		for k, f := range p.flights {
+			if !f.done {
+				continue
+			}
+			if victimF == nil || f.lastUse < victimF.lastUse {
+				victim, victimF = k, f
+			}
+		}
+		if victimF == nil {
+			return
+		}
+		delete(p.flights, victim)
+		p.evictions.Add(1)
+		mEvictions.Inc()
 	}
-	return p.build(tgt, seed, kind, f.cal)
 }
 
 // calibrate runs the real two-point calibration on a throwaway
 // machine and captures the model plus the bus state it left behind.
-func calibrate(tgt target.Target, seed uint64, kind pcie.MemoryKind) (calibration, error) {
+// The caller's context is checked before the expensive work and again
+// after it, so a cancelled request neither starts a calibration it no
+// longer wants nor caches a result it observed only partially.
+func calibrate(ctx context.Context, tgt target.Target, seed uint64, kind pcie.MemoryKind) (calibration, error) {
+	if err := ctx.Err(); err != nil {
+		return calibration{}, err
+	}
 	m := tgt.Machine(seed)
 	proj, err := core.NewProjectorWith(m, kind)
 	if err != nil {
+		return calibration{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return calibration{}, err
 	}
 	return calibration{model: proj.BusModel(), busState: m.Bus.NoiseState()}, nil

@@ -3,11 +3,17 @@ package engine
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"grophecy/internal/bench"
 	"grophecy/internal/core"
+	"grophecy/internal/cpumodel"
+	"grophecy/internal/errdefs"
+	"grophecy/internal/gpu"
 	"grophecy/internal/pcie"
 	"grophecy/internal/report"
 	"grophecy/internal/target"
@@ -196,5 +202,267 @@ func TestPoolBounded(t *testing.T) {
 	}
 	if pool.Misses() != 5 {
 		t.Errorf("misses = %d, want 5", pool.Misses())
+	}
+	if pool.Evictions() != 3 {
+		t.Errorf("evictions = %d, want 3", pool.Evictions())
+	}
+}
+
+// panickingTarget is a target whose Machine factory panics:
+// pcie.NewBus rejects the zero bus config. This models any
+// programmer-error panic escaping from the calibration path.
+func panickingTarget() target.Target {
+	return target.Target{
+		Name:    "broken-bus",
+		GPU:     gpu.QuadroFX5600(),
+		CPU:     cpumodel.XeonE5405(),
+		Bus:     pcie.Config{}, // invalid: Machine() panics in pcie.NewBus
+		BusName: "broken",
+	}
+}
+
+// TestPoolCalibrationPanicClosesFlight is the hang regression: a
+// panic inside the calibration used to leave f.ready unclosed, so
+// every later Projector call for the key blocked forever and the key
+// was poisoned. Now the panic is recovered into errdefs.ErrPanic, the
+// flight closes, and the key stays retryable.
+func TestPoolCalibrationPanicClosesFlight(t *testing.T) {
+	pool := NewPool(0)
+	bad := panickingTarget()
+
+	const clients = 6
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			_, err := pool.Projector(context.Background(), bad, seed, pcie.Pinned)
+			errs <- err
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, errdefs.ErrPanic) {
+				t.Errorf("client %d: error %v, want errdefs.ErrPanic", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("a Projector call hung on the panicked flight")
+		}
+	}
+	// The failed flight must not be cached, and a fresh call must
+	// return (another ErrPanic, not a hang).
+	if pool.Len() != 0 {
+		t.Errorf("pool retains %d entries after a panicked calibration, want 0", pool.Len())
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := pool.Projector(context.Background(), bad, seed, pcie.Pinned)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errdefs.ErrPanic) {
+			t.Errorf("retry error %v, want errdefs.ErrPanic", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("retry after a panicked calibration hung (poisoned key)")
+	}
+}
+
+// TestPoolCancelledContext: the miss path honours the caller's
+// context — a cancelled owner reports ctx.Err(), does not cache, and
+// the key stays usable for the next caller.
+func TestPoolCancelledContext(t *testing.T) {
+	tgt, err := target.Lookup(target.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := pool.Projector(ctx, tgt, seed, pcie.Pinned); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled miss returned %v, want context.Canceled", err)
+	}
+	if pool.Len() != 0 {
+		t.Fatalf("cancelled calibration was cached (%d entries)", pool.Len())
+	}
+	if _, err := pool.Projector(context.Background(), tgt, seed, pcie.Pinned); err != nil {
+		t.Fatalf("key unusable after a cancelled owner: %v", err)
+	}
+}
+
+// TestPoolWaitersRetryAfterOwnerCancelled: a waiter sharing a flight
+// whose owner gets cancelled must not inherit the owner's ctx error —
+// it re-enters the pool, becomes the new owner, and succeeds.
+func TestPoolWaitersRetryAfterOwnerCancelled(t *testing.T) {
+	tgt, err := target.Lookup(target.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(0)
+
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	first := true
+	var mu sync.Mutex
+	pool.calibrateHook = func(Key) {
+		mu.Lock()
+		blockThis := first
+		first = false
+		mu.Unlock()
+		if blockThis {
+			close(entered)
+			<-gate
+		}
+	}
+
+	ownerCtx, cancel := context.WithCancel(context.Background())
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, err := pool.Projector(ownerCtx, tgt, seed, pcie.Pinned)
+		ownerErr <- err
+	}()
+	<-entered
+
+	waiterRes := make(chan error, 1)
+	go func() {
+		_, err := pool.Projector(context.Background(), tgt, seed, pcie.Pinned)
+		waiterRes <- err
+	}()
+
+	cancel()
+	close(gate)
+
+	if err := <-ownerErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled owner returned %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-waiterRes:
+		if err != nil {
+			t.Errorf("waiter inherited the owner's cancellation: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter hung after the owner was cancelled")
+	}
+}
+
+// TestPoolNeverEvictsInflight: an in-flight calibration is never the
+// eviction victim, even when the pool is over its bound — evicting it
+// would orphan its waiters.
+func TestPoolNeverEvictsInflight(t *testing.T) {
+	tgt, err := target.Lookup(target.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(1)
+	ctx := context.Background()
+
+	// Seed a completed entry, then hold a second key in flight.
+	if _, err := pool.Projector(ctx, tgt, 1, pcie.Pinned); err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	pool.calibrateHook = func(k Key) {
+		if k.Seed == 2 {
+			close(entered)
+			<-gate
+		}
+	}
+	inflightErr := make(chan error, 1)
+	go func() {
+		_, err := pool.Projector(ctx, tgt, 2, pcie.Pinned)
+		inflightErr <- err
+	}()
+	<-entered
+	// Inserting seed 2 evicted the completed seed-1 entry (the only
+	// candidate); the pool now holds exactly the in-flight flight.
+	if got := pool.Evictions(); got != 1 {
+		t.Errorf("evictions = %d, want 1 (the completed entry)", got)
+	}
+
+	// A third key arrives while seed 2 is still calibrating: the only
+	// entry is in flight, so nothing is evictable and the pool
+	// transiently exceeds its bound instead.
+	if _, err := pool.Projector(ctx, tgt, 3, pcie.Pinned); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Evictions(); got != 1 {
+		t.Errorf("evictions = %d after over-cap insert, want still 1 (in-flight spared)", got)
+	}
+	if got := pool.Len(); got != 2 {
+		t.Errorf("pool holds %d entries, want 2 (in-flight + new)", got)
+	}
+
+	close(gate)
+	if err := <-inflightErr; err != nil {
+		t.Fatalf("in-flight calibration failed: %v", err)
+	}
+	// The spared flight completed and is served from cache.
+	hitsBefore := pool.Hits()
+	if _, err := pool.Projector(ctx, tgt, 2, pcie.Pinned); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Hits() != hitsBefore+1 {
+		t.Error("the in-flight flight was evicted: repeat request missed the cache")
+	}
+}
+
+// TestPoolEvictionIsLRUAndDeterministic: the victim is always the
+// least-recently-used completed entry, on every run.
+func TestPoolEvictionIsLRUAndDeterministic(t *testing.T) {
+	tgt, err := target.Lookup(target.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for round := 0; round < 5; round++ {
+		pool := NewPool(2)
+		// A then B fill the pool; touching A makes B the LRU entry.
+		for _, s := range []uint64{1, 2, 1} {
+			if _, err := pool.Projector(ctx, tgt, s, pcie.Pinned); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// C evicts exactly B.
+		if _, err := pool.Projector(ctx, tgt, 3, pcie.Pinned); err != nil {
+			t.Fatal(err)
+		}
+		if got := pool.Evictions(); got != 1 {
+			t.Fatalf("round %d: evictions = %d, want 1", round, got)
+		}
+		// A must still be cached (hit); B must be gone (miss).
+		hits, misses := pool.Hits(), pool.Misses()
+		if _, err := pool.Projector(ctx, tgt, 1, pcie.Pinned); err != nil {
+			t.Fatal(err)
+		}
+		if pool.Hits() != hits+1 {
+			t.Fatalf("round %d: recently-used entry A was evicted", round)
+		}
+		if _, err := pool.Projector(ctx, tgt, 2, pcie.Pinned); err != nil {
+			t.Fatal(err)
+		}
+		if pool.Misses() != misses+1 {
+			t.Fatalf("round %d: LRU entry B survived eviction", round)
+		}
+	}
+}
+
+// TestRetriable pins which errors make a waiter retry the flight: only
+// the owner's context cancellation/deadline, never real failures.
+func TestRetriable(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{context.Canceled, true},
+		{context.DeadlineExceeded, true},
+		{fmt.Errorf("calibrate: %w", context.Canceled), true},
+		{errdefs.ErrMeasureTimeout, false},
+		{errors.New("calibration failed"), false},
+		{nil, false},
+	} {
+		if got := retriable(tc.err); got != tc.want {
+			t.Errorf("retriable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
 	}
 }

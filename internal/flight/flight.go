@@ -70,17 +70,36 @@ func MustNew(capacity int) *Recorder {
 // Add records one completed run, evicting the oldest entry when the
 // ring is full. An entry with a duplicate ID replaces the stored one
 // in the index but still occupies a ring slot; the daemon's
-// process-unique run IDs never collide.
+// process-unique run IDs never collide, but the recorder stays
+// correct for callers whose IDs do.
 func (r *Recorder) Add(e Entry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.entries) == r.cap {
-		delete(r.byID, r.entries[0].ID)
+		old := r.entries[0]
 		r.entries = append(r.entries[:0], r.entries[1:]...)
 		r.evicted++
+		// Drop the index entry only when no younger ring slot carries
+		// the same ID: the index points at the newest duplicate, and
+		// deleting it here would make that still-retained run
+		// unreachable via Get.
+		if !r.idLiveLocked(old.ID) {
+			delete(r.byID, old.ID)
+		}
 	}
 	r.entries = append(r.entries, e)
 	r.byID[e.ID] = e
+}
+
+// idLiveLocked reports whether any retained ring slot carries id.
+// Callers must hold r.mu.
+func (r *Recorder) idLiveLocked(id string) bool {
+	for i := range r.entries {
+		if r.entries[i].ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Get returns the entry with the given run ID.

@@ -66,6 +66,39 @@ func TestOldestFirstEviction(t *testing.T) {
 	}
 }
 
+// TestDuplicateIDSurvivesEviction is the index regression: when slot
+// 0 is evicted, its ID must stay resolvable if a younger slot carries
+// the same ID — the old code deleted the index entry uncondition-
+// ally, orphaning the still-retained duplicate.
+func TestDuplicateIDSurvivesEviction(t *testing.T) {
+	r := MustNew(2)
+	v1 := entry(0)
+	v2 := entry(0) // same ID "run-0", distinguishable by Iterations
+	v2.Report.Iterations = 77
+	r.Add(v1)
+	r.Add(v2)
+
+	// The third Add evicts slot 0 (v1); "run-0" must still resolve to
+	// v2, which occupies the surviving slot.
+	r.Add(entry(1))
+	e, ok := r.Get("run-0")
+	if !ok {
+		t.Fatal("duplicate-ID entry became unreachable after evicting the older duplicate")
+	}
+	if e.Report.Iterations != 77 {
+		t.Fatalf("Get(run-0) returned the evicted duplicate (iterations %d, want 77)", e.Report.Iterations)
+	}
+
+	// Once the last duplicate leaves the ring, the index entry goes too.
+	r.Add(entry(2))
+	if _, ok := r.Get("run-0"); ok {
+		t.Fatal("run-0 still resolvable after every duplicate was evicted")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("retained %d entries, want 2", r.Len())
+	}
+}
+
 func TestConcurrentFillPastCapacity(t *testing.T) {
 	const (
 		writers = 8

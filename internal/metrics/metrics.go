@@ -213,6 +213,14 @@ func TimeBuckets() []float64 {
 	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
 }
 
+// WaitBuckets is the bucket ladder for wall-clock waiting times in
+// seconds (queueing, admission): a 1-5 ladder from 100 microseconds
+// to 5 seconds, finer than TimeBuckets in the millisecond range where
+// queue waits actually live.
+func WaitBuckets() []float64 {
+	return []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1, 5}
+}
+
 // Observe records one sample. NaN observations are dropped.
 func (h *Histogram) Observe(v float64) {
 	if math.IsNaN(v) {

@@ -259,3 +259,25 @@ func TestReset(t *testing.T) {
 		t.Fatal("Reset must zero histogram buckets")
 	}
 }
+
+// TestWaitBucketsAreValidHistogramBounds: the wall-clock wait ladder
+// registers cleanly (ascending, non-empty) and brackets the range
+// admission queues live in.
+func TestWaitBucketsAreValidHistogramBounds(t *testing.T) {
+	b := WaitBuckets()
+	if len(b) == 0 {
+		t.Fatal("WaitBuckets is empty")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("WaitBuckets not ascending at %d: %v", i, b)
+		}
+	}
+	r := NewRegistry()
+	if _, err := r.NewHistogram("queue_wait_seconds", "", b); err != nil {
+		t.Fatalf("WaitBuckets rejected by NewHistogram: %v", err)
+	}
+	if b[0] > 1e-3 || b[len(b)-1] < 1 {
+		t.Fatalf("WaitBuckets %v does not bracket sub-ms..seconds waits", b)
+	}
+}

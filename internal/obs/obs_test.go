@@ -118,3 +118,68 @@ func nonEmptyLines(s string) []string {
 	}
 	return out
 }
+
+// TestParseLevel pins the -log-level vocabulary, including the empty
+// default and the "warning" alias.
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug":   slog.LevelDebug,
+		"":        slog.LevelInfo,
+		"info":    slog.LevelInfo,
+		"WARN":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"error":   slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel must reject unknown levels")
+	}
+}
+
+// TestSetup covers the one-call bootstrap: a usable stamped logger on
+// good flags, an error on bad ones, and the original context back.
+func TestSetup(t *testing.T) {
+	var buf bytes.Buffer
+	ctx, err := Setup(context.Background(), &buf, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RunID(ctx) == "" {
+		t.Error("Setup did not stamp a run ID")
+	}
+	Log(ctx).Info("hello")
+	if !strings.Contains(buf.String(), "hello") || !strings.Contains(buf.String(), FieldRun+"=") {
+		t.Errorf("Setup logger output missing stamp: %q", buf.String())
+	}
+	if _, err := Setup(context.Background(), &buf, "text", "loud"); err == nil {
+		t.Error("Setup must reject an unknown level")
+	}
+	if _, err := Setup(context.Background(), &buf, "yaml", "info"); err == nil {
+		t.Error("Setup must reject an unknown format")
+	}
+	if WithLogger(context.Background(), nil) != context.Background() {
+		t.Error("WithLogger(nil) must return the context unchanged")
+	}
+}
+
+// TestStampHandlerWithAttrsAndGroup: derived loggers (With /
+// WithGroup) keep stamping context fields.
+func TestStampHandlerWithAttrsAndGroup(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "text", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := stampedCtx(lg)
+	Log(ctx).With("k", "v").WithGroup("g").Info("derived")
+	line := buf.String()
+	for _, want := range []string{"k=v", "run=run-42", "derived"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("derived-logger line missing %q: %q", want, line)
+		}
+	}
+}

@@ -12,18 +12,22 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"grophecy/internal/metrics"
 )
 
 // Readiness is the daemon's readiness latch: not ready until PCIe
 // calibration has succeeded, with degraded calibrations visible
-// rather than hidden. Safe for concurrent use.
+// rather than hidden. A saturated serving layer (admission queue
+// full) flips readiness back off so load balancers steer traffic
+// away without killing the process. Safe for concurrent use.
 type Readiness struct {
-	mu       sync.Mutex
-	ready    bool
-	degraded bool
-	detail   string
+	mu        sync.Mutex
+	ready     bool
+	degraded  bool
+	saturated bool
+	detail    string
 }
 
 // SetReady marks the surface ready. detail explains a degraded
@@ -32,6 +36,22 @@ func (r *Readiness) SetReady(degraded bool, detail string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.ready, r.degraded, r.detail = true, degraded, detail
+}
+
+// SetSaturated records whether the serving layer is shedding load.
+// While saturated, /readyz reports 503 even after a successful
+// calibration; clearing saturation restores the calibrated state.
+func (r *Readiness) SetSaturated(saturated bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.saturated = saturated
+}
+
+// Saturated reports whether the serving layer is currently shedding.
+func (r *Readiness) Saturated() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.saturated
 }
 
 // State returns the current readiness.
@@ -91,6 +111,8 @@ func Mount(mux *http.ServeMux, cfg ServerConfig) {
 		switch {
 		case !ready:
 			http.Error(w, "not ready: PCIe calibration pending", http.StatusServiceUnavailable)
+		case cfg.Ready.Saturated():
+			http.Error(w, "not ready: admission queue saturated, shedding load", http.StatusServiceUnavailable)
 		case degraded:
 			fmt.Fprintf(w, "ok (degraded: %s)\n", detail)
 		default:
@@ -104,6 +126,45 @@ func Mount(mux *http.ServeMux, cfg ServerConfig) {
 		enc.SetIndent("", "  ")
 		enc.Encode(buildInfo(cfg.BuildExtra))
 	})
+}
+
+// Hardened server defaults. A daemon exposed to real traffic must
+// not let one slow or malicious client hold a connection (and its
+// goroutine) forever: ReadHeaderTimeout caps slowloris handshakes,
+// ReadTimeout caps body dribbling, IdleTimeout reaps keep-alive
+// connections, and MaxHeaderBytes bounds header memory. There is
+// deliberately no WriteTimeout: pprof profile captures legitimately
+// stream for 30+ seconds, and projection responses are small.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 30 * time.Second
+	DefaultIdleTimeout       = 2 * time.Minute
+	DefaultMaxHeaderBytes    = 1 << 20
+)
+
+// NewHTTPServer returns an *http.Server wired with the hardened
+// defaults above. The caller still owns Serve/Shutdown.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+		MaxHeaderBytes:    DefaultMaxHeaderBytes,
+	}
+}
+
+// LimitBody caps the request body at n bytes via http.MaxBytesReader
+// before invoking next: reads past the cap fail and the connection is
+// closed, so an oversized upload cannot exhaust memory. Handlers
+// still see the usual io.EOF semantics for in-budget bodies.
+func LimitBody(n int64, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if req.Body != nil {
+			req.Body = http.MaxBytesReader(w, req.Body, n)
+		}
+		next(w, req)
+	}
 }
 
 // buildInfo assembles the /buildinfo document from the binary's

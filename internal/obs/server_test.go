@@ -109,3 +109,84 @@ func TestPprofIndex(t *testing.T) {
 		t.Fatalf("pprof index unexpected body:\n%.200s", body)
 	}
 }
+
+// TestReadinessSaturation: a saturated serving layer flips /readyz to
+// 503 even after a successful calibration, and clearing saturation
+// restores the calibrated state (including its degradation detail).
+func TestReadinessSaturation(t *testing.T) {
+	ready := &Readiness{}
+	srv := testSurface(t, ready)
+
+	ready.SetReady(false, "")
+	if code, _ := get(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("GET /readyz calibrated: %d, want 200", code)
+	}
+
+	ready.SetSaturated(true)
+	code, body := get(t, srv.URL+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /readyz saturated: %d, want 503", code)
+	}
+	if !strings.Contains(body, "saturated") {
+		t.Fatalf("saturated readiness body does not say why: %q", body)
+	}
+	if !ready.Saturated() {
+		t.Fatal("Saturated() lost the latch")
+	}
+
+	ready.SetSaturated(false)
+	if code, _ := get(t, srv.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("GET /readyz after drain: %d, want 200", code)
+	}
+}
+
+// TestNewHTTPServerHardened: the production server carries the
+// anti-slowloris timeouts and header bound.
+func TestNewHTTPServerHardened(t *testing.T) {
+	mux := http.NewServeMux()
+	srv := NewHTTPServer(mux)
+	if srv.Handler == nil {
+		t.Fatal("handler not wired")
+	}
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Fatalf("timeouts not set: header=%v read=%v idle=%v",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.IdleTimeout)
+	}
+	if srv.MaxHeaderBytes <= 0 {
+		t.Fatal("MaxHeaderBytes not bounded")
+	}
+}
+
+// TestLimitBody: oversized bodies fail inside the handler's read, and
+// in-budget bodies pass through untouched.
+func TestLimitBody(t *testing.T) {
+	handler := LimitBody(16, func(w http.ResponseWriter, req *http.Request) {
+		body, err := io.ReadAll(req.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Write(body)
+	})
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("small"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "small" {
+		t.Fatalf("in-budget body mangled: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(srv.URL, "text/plain", strings.NewReader(strings.Repeat("x", 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body: %d, want 400", resp.StatusCode)
+	}
+}

@@ -60,11 +60,58 @@ func Run[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 // before cancellation are discarded, matching Run's all-or-nothing
 // contract.
 func RunCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	results, errs, scheduled, err := runAll(ctx, n, workers, fn)
+	if err != nil {
+		return nil, err
+	}
+	joined := make([]error, 0, n+1)
+	for _, s := range scheduled {
+		if !s {
+			joined = append(joined, ctx.Err())
+			break
+		}
+	}
+	for i, err := range errs {
+		if err != nil && scheduled[i] {
+			joined = append(joined, fmt.Errorf("sweep: input %d: %w", i, err))
+		}
+	}
+	if err := errors.Join(joined...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunAllCtx is the partial-results variant serving batch endpoints:
+// it maps fn over n inputs like RunCtx but keeps every per-input
+// outcome instead of collapsing them. It returns one result and one
+// error per input — a failed (or panicked) input carries its error in
+// errs[i] while every other input's result remains usable. Inputs
+// never scheduled because ctx was cancelled carry ctx's error. The
+// final error reports only invalid arguments (n < 0), never
+// per-input failures.
+func RunAllCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, []error, error) {
+	results, errs, scheduled, err := runAll(ctx, n, workers, fn)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range errs {
+		if !scheduled[i] {
+			errs[i] = fmt.Errorf("sweep: input %d not scheduled: %w", i, ctx.Err())
+		}
+	}
+	return results, errs, nil
+}
+
+// runAll is the shared worker-pool core: it attempts every input
+// until ctx is cancelled and reports, per input, the result, the
+// error, and whether the input was scheduled at all.
+func runAll[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) (results []T, errs []error, scheduled []bool, err error) {
 	if n < 0 {
-		return nil, errdefs.Invalidf("sweep: negative input count %d", n)
+		return nil, nil, nil, errdefs.Invalidf("sweep: negative input count %d", n)
 	}
 	if n == 0 {
-		return nil, nil
+		return nil, nil, nil, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -73,8 +120,9 @@ func RunCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error
 		workers = n
 	}
 
-	results := make([]T, n)
-	errs := make([]error, n)
+	results = make([]T, n)
+	errs = make([]error, n)
+	scheduled = make([]bool, n)
 	indices := make(chan int)
 
 	var wg sync.WaitGroup
@@ -102,32 +150,18 @@ func RunCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error
 			})
 		}(w)
 	}
-	cancelled := false
 schedule:
 	for i := 0; i < n; i++ {
 		select {
 		case indices <- i:
+			scheduled[i] = true
 		case <-ctx.Done():
-			cancelled = true
 			break schedule
 		}
 	}
 	close(indices)
 	wg.Wait()
-
-	joined := make([]error, 0, n+1)
-	if cancelled {
-		joined = append(joined, ctx.Err())
-	}
-	for i, err := range errs {
-		if err != nil {
-			joined = append(joined, fmt.Errorf("sweep: input %d: %w", i, err))
-		}
-	}
-	if err := errors.Join(joined...); err != nil {
-		return nil, err
-	}
-	return results, nil
+	return results, errs, scheduled, nil
 }
 
 // protect invokes fn(i), converting a panic into an error that wraps

@@ -167,3 +167,76 @@ func TestRunCtxPreCancelled(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestRunAllCtxKeepsPartialResults: unlike RunCtx, per-input failures
+// do not discard the other inputs' results.
+func TestRunAllCtxKeepsPartialResults(t *testing.T) {
+	boom := errors.New("boom")
+	results, errs, err := RunAllCtx(context.Background(), 10, 4, func(i int) (int, error) {
+		if i%3 == 0 {
+			return 0, boom
+		}
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if i%3 == 0 {
+			if !errors.Is(errs[i], boom) {
+				t.Errorf("errs[%d] = %v, want boom", i, errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Errorf("errs[%d] = %v, want nil", i, errs[i])
+		}
+		if results[i] != i*i {
+			t.Errorf("results[%d] = %d, want %d", i, results[i], i*i)
+		}
+	}
+}
+
+// TestRunAllCtxRecoversPanics: a panicking input is its own failure,
+// not the batch's.
+func TestRunAllCtxRecoversPanics(t *testing.T) {
+	results, errs, err := RunAllCtx(context.Background(), 5, 2, func(i int) (int, error) {
+		if i == 2 {
+			panic("input 2 exploded")
+		}
+		return i + 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errs[2], errdefs.ErrPanic) {
+		t.Fatalf("errs[2] = %v, want errdefs.ErrPanic", errs[2])
+	}
+	if !strings.Contains(errs[2].Error(), "input 2 exploded") {
+		t.Errorf("panic value lost: %v", errs[2])
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if errs[i] != nil || results[i] != i+1 {
+			t.Errorf("input %d: result %d err %v, want %d and nil", i, results[i], errs[i], i+1)
+		}
+	}
+}
+
+// TestRunAllCtxCancellationMarksUnscheduled: inputs never scheduled
+// because the context died carry the context's error.
+func TestRunAllCtxCancellationMarksUnscheduled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, errs, err := RunAllCtx(ctx, 8, 2, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 || len(errs) != 8 {
+		t.Fatalf("got %d results, %d errs, want 8 each", len(results), len(errs))
+	}
+	for i, e := range errs {
+		if !errors.Is(e, context.Canceled) {
+			t.Errorf("errs[%d] = %v, want context.Canceled", i, e)
+		}
+	}
+}

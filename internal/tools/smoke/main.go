@@ -1,16 +1,19 @@
 // Command smoke is the end-to-end smoke test `make smoke` runs: it
 // builds the real grophecyd binary, starts it on an ephemeral port,
-// drives projections through the HTTP surface — including the target
-// registry (GET /targets, ?target=) and the calibration cache (repeat
-// same-target requests must hit, not recalibrate) — checks the
-// request metrics moved, and verifies the daemon drains cleanly on
-// SIGTERM. Unlike the httptest suite this exercises the actual
-// process lifecycle — flag parsing, the listener, signal handling,
-// exit code.
+// drives projections through the HTTP surface — the target registry
+// (GET /targets, ?target=), the calibration cache (repeat
+// same-target requests must hit; a 1-entry cache must evict), the
+// batch endpoint (byte-identical to /project), and admission control
+// (a held worker slot must shed concurrent requests with 429 +
+// Retry-After and flip /readyz) — checks the request metrics moved,
+// and verifies the daemon drains cleanly on SIGTERM. Unlike the
+// httptest suite this exercises the actual process lifecycle — flag
+// parsing, the listener, signal handling, exit code.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -51,7 +54,12 @@ func run() error {
 		return fmt.Errorf("building grophecyd: %v\n%s", err, out)
 	}
 
-	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-log-format", "json")
+	// A deliberately tight serving configuration: one worker slot, no
+	// wait queue (any concurrent request sheds), and a single-entry
+	// calibration cache (any second target evicts the first).
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-log-format", "json",
+		"-max-inflight", "1", "-max-queue", "0", "-queue-wait", "300ms",
+		"-cache-entries", "1")
 	daemon.Dir = root
 	daemon.Stderr = os.Stderr
 	stdout, err := daemon.StdoutPipe()
@@ -130,12 +138,35 @@ func run() error {
 		return err
 	}
 
+	// POST /batch: a mixed batch whose skeleton job must return the
+	// exact bytes a single POST /project returns.
+	singleBody, err := projectRaw(base+"/project", string(src))
+	if err != nil {
+		return err
+	}
+	if err := checkBatch(base, string(src), singleBody); err != nil {
+		return err
+	}
+	fmt.Println("smoke: /batch reports byte-identical to /project")
+
+	// Admission control: while a large batch holds the single worker
+	// slot, concurrent /project requests must shed with 429 +
+	// Retry-After and /readyz must report saturation.
+	if err := checkShedding(base, string(src)); err != nil {
+		return err
+	}
+	fmt.Println("smoke: saturated daemon shed load with 429 + Retry-After")
+
 	dump, err := metricsDump(base)
 	if err != nil {
 		return err
 	}
-	if !strings.Contains(dump, "grophecyd_requests_total 3") {
-		return fmt.Errorf("/metrics missing grophecyd_requests_total 3")
+	requests, err := metricValue(dump, "grophecyd_requests_total")
+	if err != nil {
+		return err
+	}
+	if requests < 7 {
+		return fmt.Errorf("grophecyd_requests_total = %g, want >= 7", requests)
 	}
 	hits, err := metricValue(dump, "engine_cache_hits_total")
 	if err != nil {
@@ -148,7 +179,26 @@ func run() error {
 	if hits < 1 {
 		return fmt.Errorf("engine_cache_hits_total = %g, want >= 1 (repeat same-target requests must skip recalibration)", hits)
 	}
-	fmt.Printf("smoke: calibration cache reused (%g hits, %g misses)\n", hits, misses)
+	evictions, err := metricValue(dump, "engine_cache_evictions_total")
+	if err != nil {
+		return err
+	}
+	if evictions < 1 {
+		return fmt.Errorf("engine_cache_evictions_total = %g, want >= 1 (a 1-entry cache serving 2 targets must evict)", evictions)
+	}
+	fmt.Printf("smoke: calibration cache reused (%g hits, %g misses, %g evictions)\n", hits, misses, evictions)
+	shed, err := metricValue(dump, "grophecyd_shed_total")
+	if err != nil {
+		return err
+	}
+	if shed < 1 {
+		return fmt.Errorf("grophecyd_shed_total = %g, want >= 1", shed)
+	}
+	for _, name := range []string{"grophecyd_queue_depth", "grophecyd_queue_wait_seconds_count", "grophecyd_batch_jobs_total"} {
+		if _, err := metricValue(dump, name); err != nil {
+			return err
+		}
+	}
 
 	// Clean shutdown: SIGTERM must drain and exit 0.
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
@@ -195,6 +245,176 @@ func project(url, src string) (float64, string, error) {
 		return 0, "", fmt.Errorf("speedupFull = %v, want > 0", rep.Derived.SpeedupFull)
 	}
 	return rep.Derived.SpeedupFull, resp.Header.Get("X-Run-Id"), nil
+}
+
+// projectRaw POSTs a skeleton and returns the raw response body.
+func projectRaw(url, src string) ([]byte, error) {
+	resp, err := http.Post(url, "text/plain", strings.NewReader(src))
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST %s: status %d\n%s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// checkBatch POSTs a mixed two-job batch and verifies the skeleton
+// job's report is byte-identical to the single-call body.
+func checkBatch(base, src string, want []byte) error {
+	jobs, err := json.Marshal([]map[string]any{
+		{"skeleton": src},
+		{"workload": "CFD", "size": "97K", "seed": 7},
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/batch", "application/json", bytes.NewReader(jobs))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /batch: status %d\n%.300s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Jobs []struct {
+			Status int             `json:"status"`
+			Error  string          `json:"error"`
+			Report json.RawMessage `json:"report"`
+		} `json:"jobs"`
+		Succeeded int `json:"succeeded"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("batch response is not JSON: %v", err)
+	}
+	if doc.Succeeded != 2 || len(doc.Jobs) != 2 {
+		return fmt.Errorf("batch: %d succeeded over %d rows, want 2/2\n%.300s",
+			doc.Succeeded, len(doc.Jobs), body)
+	}
+	if !bytes.Equal(doc.Jobs[0].Report, want) {
+		return errors.New("batch skeleton report is not byte-identical to POST /project")
+	}
+	return nil
+}
+
+// checkShedding occupies the daemon's single worker slot with a large
+// batch, then probes /project until a request sheds: the 429 must
+// carry Retry-After, /readyz must report saturation while the batch
+// runs, and readiness must recover once it drains.
+func checkShedding(base, src string) error {
+	const batchJobs = 192
+	jobs := make([]map[string]any, batchJobs)
+	for i := range jobs {
+		jobs[i] = map[string]any{"workload": "CFD", "size": "97K", "seed": 1000 + i}
+	}
+	body, err := json.Marshal(jobs)
+	if err != nil {
+		return err
+	}
+
+	batchDone := make(chan error, 1)
+	go func() {
+		// A probe request can occasionally win the slot first and shed
+		// the batch itself; retry until the batch is the holder.
+		for {
+			resp, err := http.Post(base+"/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				batchDone <- err
+				return
+			}
+			respBody, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				batchDone <- err
+				return
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				batchDone <- fmt.Errorf("big batch: status %d\n%.300s", resp.StatusCode, respBody)
+				return
+			}
+			var doc struct {
+				Succeeded int `json:"succeeded"`
+			}
+			if err := json.Unmarshal(respBody, &doc); err != nil {
+				batchDone <- err
+				return
+			}
+			if doc.Succeeded != batchJobs {
+				batchDone <- fmt.Errorf("big batch: %d succeeded, want %d", doc.Succeeded, batchJobs)
+				return
+			}
+			batchDone <- nil
+			return
+		}
+	}()
+
+	deadline := time.Now().Add(15 * time.Second)
+	shed := false
+	for time.Now().Before(deadline) {
+		resp, err := http.Post(base+"/project", "text/plain", strings.NewReader(src))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				return errors.New("429 response missing the Retry-After header")
+			}
+			shed = true
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("probe /project: status %d", resp.StatusCode)
+		}
+	}
+	if !shed {
+		return errors.New("no request shed while the batch held the worker slot")
+	}
+
+	// The batch is still holding the slot, so saturation is visible.
+	r, err := http.Get(base + "/readyz")
+	if err != nil {
+		return err
+	}
+	rb, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(rb), "saturated") {
+		return fmt.Errorf("/readyz while saturated: %d %q, want 503 mentioning saturation", r.StatusCode, rb)
+	}
+
+	if err := <-batchDone; err != nil {
+		return err
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(base + "/readyz")
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return errors.New("/readyz did not recover after the batch drained")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // metricsDump fetches the /metrics text exposition.
