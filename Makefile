@@ -5,10 +5,10 @@ GO ?= go
 # Minimum total statement coverage `make check` accepts. The suite
 # sits near 78%; the gate trips on real coverage regressions without
 # flaking on rounding.
-COVER_BASELINE ?= 75.0
+COVER_BASELINE ?= 78.0
 COVER_PROFILE  ?= out/cover.out
 
-.PHONY: all check build test vet race cover bench bench-json smoke paper csv examples fuzz fuzz-short fmt clean
+.PHONY: all check build test vet race cover bench bench-json smoke smoke-chaos paper csv examples fuzz fuzz-short fmt clean
 
 all: check
 
@@ -16,7 +16,7 @@ all: check
 # pass the full test suite under the race detector, keep total
 # coverage at or above COVER_BASELINE, and bring up a real grophecyd
 # end to end.
-check: build vet race cover smoke
+check: build vet race cover smoke smoke-chaos
 
 race:
 	$(GO) test -race ./...
@@ -48,6 +48,12 @@ bench-json:
 smoke:
 	$(GO) run ./internal/tools/smoke
 
+# Chaos/persistence smoke: the daemon (race detector on) under an
+# adversarial chaos plan — must stay ready, shed correctly, survive a
+# SIGKILL via the snapshot store, and quarantine corrupt snapshots.
+smoke-chaos:
+	$(GO) run ./internal/tools/smoke -chaos
+
 # Regenerate every table and figure of the paper (plus extensions).
 paper:
 	$(GO) run ./cmd/paper -all -charts
@@ -65,10 +71,12 @@ examples:
 	$(GO) run ./examples/pipeline
 
 # Coverage gate: fail when total statement coverage drops below
-# COVER_BASELINE percent.
+# COVER_BASELINE percent. internal/tools holds end-to-end harnesses
+# (`make smoke`, `make smoke-chaos`) that run as real programs in this
+# same check, so they are excluded from the unit-coverage denominator.
 cover:
 	@mkdir -p $(dir $(COVER_PROFILE))
-	$(GO) test -coverprofile=$(COVER_PROFILE) ./... > /dev/null
+	$(GO) test -coverprofile=$(COVER_PROFILE) $$($(GO) list ./... | grep -v /internal/tools/) > /dev/null
 	@$(GO) tool cover -func=$(COVER_PROFILE) | awk -v min=$(COVER_BASELINE) '\
 		/^total:/ { sub(/%/, "", $$3); \
 			if ($$3 + 0 < min + 0) { \
@@ -83,6 +91,7 @@ fuzz:
 fuzz-short:
 	$(GO) test -run=xxx -fuzz=FuzzParse -fuzztime=10s ./internal/sklang/
 	$(GO) test -run=xxx -fuzz=FuzzChromeJSON -fuzztime=10s ./internal/trace/
+	$(GO) test -run=xxx -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/store/
 
 fmt:
 	gofmt -w .

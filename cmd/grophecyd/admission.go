@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"grophecy/internal/rng"
 )
 
 // Shedding errors. Both map to 429; the message tells the operator
@@ -51,11 +53,14 @@ type admitter struct {
 	inflight  int
 	queue     []*waiter
 	saturated bool
+	jitter    *rng.Stream // guarded by mu; seeded, so tests are reproducible
 }
 
 // newAdmitter returns an admission gate running at most maxInflight
-// requests with at most maxQueue waiting up to queueWait each.
-func newAdmitter(maxInflight, maxQueue int, queueWait time.Duration) *admitter {
+// requests with at most maxQueue waiting up to queueWait each. seed
+// drives the Retry-After jitter stream; the same seed yields the same
+// jitter sequence, keeping shed responses reproducible under test.
+func newAdmitter(maxInflight, maxQueue int, queueWait time.Duration, seed uint64) *admitter {
 	if maxInflight < 1 {
 		maxInflight = 1
 	}
@@ -65,8 +70,18 @@ func newAdmitter(maxInflight, maxQueue int, queueWait time.Duration) *admitter {
 	if queueWait <= 0 {
 		queueWait = 5 * time.Second
 	}
-	return &admitter{maxInflight: maxInflight, maxQueue: maxQueue, queueWait: queueWait}
+	return &admitter{
+		maxInflight: maxInflight,
+		maxQueue:    maxQueue,
+		queueWait:   queueWait,
+		jitter:      rng.New(seed ^ admissionSurface),
+	}
 }
+
+// admissionSurface decorrelates the admission jitter stream from
+// every other consumer of the daemon seed (same idiom as the fault
+// surfaces in internal/fault).
+const admissionSurface = 0xada15510
 
 // acquire admits the caller or sheds it. On success the caller owns
 // one worker slot and must call release exactly once. Shed requests
@@ -151,13 +166,21 @@ func (a *admitter) inflightCount() int {
 }
 
 // retryAfterSeconds is the Retry-After hint sent with every 429: the
-// configured queue wait rounded up to a whole second (at least 1).
+// configured queue wait rounded up to a whole second (at least 1),
+// plus jitter in [0, base) drawn from the seeded stream. Without
+// jitter every shed client backs off by the identical interval and
+// returns in one synchronized wave that saturates the queue again;
+// jitter spreads the retry herd. The stream is seeded, so a test at a
+// fixed seed sees a fixed hint sequence.
 func (a *admitter) retryAfterSeconds() int {
-	s := int(a.queueWait / time.Second)
-	if a.queueWait%time.Second != 0 || s < 1 {
-		s++
+	base := int(a.queueWait / time.Second)
+	if a.queueWait%time.Second != 0 || base < 1 {
+		base++
 	}
-	return s
+	a.mu.Lock()
+	j := a.jitter.Intn(base)
+	a.mu.Unlock()
+	return base + j
 }
 
 func (a *admitter) noteDepthLocked() {

@@ -36,7 +36,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 // TestAdmitterFIFOGrantOrder: with one slot held, waiters are granted
 // strictly in arrival order as the slot is released along the chain.
 func TestAdmitterFIFOGrantOrder(t *testing.T) {
-	a := newAdmitter(1, 3, 5*time.Second)
+	a := newAdmitter(1, 3, 5*time.Second, 1)
 	hold, err := a.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +80,7 @@ func TestAdmitterFIFOGrantOrder(t *testing.T) {
 // TestAdmitterShedsWhenQueueFull: a full queue sheds instantly with
 // errQueueFull and flips saturation; draining clears it.
 func TestAdmitterShedsWhenQueueFull(t *testing.T) {
-	a := newAdmitter(1, 1, 5*time.Second)
+	a := newAdmitter(1, 1, 5*time.Second, 1)
 	var mu sync.Mutex
 	var transitions []bool
 	a.onSaturated = func(s bool) {
@@ -124,7 +124,7 @@ func TestAdmitterShedsWhenQueueFull(t *testing.T) {
 // TestAdmitterQueueWaitTimeout: a queued request that never gets a
 // slot is shed with errQueueWait and leaves the queue.
 func TestAdmitterQueueWaitTimeout(t *testing.T) {
-	a := newAdmitter(1, 2, 20*time.Millisecond)
+	a := newAdmitter(1, 2, 20*time.Millisecond, 1)
 	hold, err := a.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -141,7 +141,7 @@ func TestAdmitterQueueWaitTimeout(t *testing.T) {
 // TestAdmitterContextCancelWhileQueued: cancellation surfaces ctx.Err
 // and removes the waiter.
 func TestAdmitterContextCancelWhileQueued(t *testing.T) {
-	a := newAdmitter(1, 2, 5*time.Second)
+	a := newAdmitter(1, 2, 5*time.Second, 1)
 	hold, err := a.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -166,7 +166,7 @@ func TestAdmitterContextCancelWhileQueued(t *testing.T) {
 // grant-vs-timeout race: even when grants land just as waiters give
 // up, no slot is ever leaked or double-granted. Run under -race.
 func TestAdmitterGrantTimeoutRaceKeepsAccounting(t *testing.T) {
-	a := newAdmitter(2, 4, time.Millisecond)
+	a := newAdmitter(2, 4, time.Millisecond, 1)
 	var wg sync.WaitGroup
 	for i := 0; i < 64; i++ {
 		wg.Add(1)
@@ -195,7 +195,7 @@ func TestAdmitterGrantTimeoutRaceKeepsAccounting(t *testing.T) {
 // TestNewAdmitterClampsKnobs: nonsense knob values fall back to safe
 // defaults instead of wedging the gate.
 func TestNewAdmitterClampsKnobs(t *testing.T) {
-	a := newAdmitter(0, -3, 0)
+	a := newAdmitter(0, -3, 0, 1)
 	if a.maxInflight != 1 || a.maxQueue != 0 || a.queueWait != 5*time.Second {
 		t.Fatalf("clamped admitter = %s, want inflight<=1 queue<=0 wait<=5s", a)
 	}
@@ -206,21 +206,57 @@ func TestNewAdmitterClampsKnobs(t *testing.T) {
 	release()
 }
 
-// TestRetryAfterSeconds pins the Retry-After rounding: whole seconds
-// stay, fractions round up, and the floor is one second.
+// TestRetryAfterSeconds pins the Retry-After contract: the hint is
+// base + jitter with jitter in [0, base), where base is the queue
+// wait rounded up to a whole second (floor one second) — so every
+// hint lands in [base, 2*base), spreading the retry herd instead of
+// synchronizing it.
 func TestRetryAfterSeconds(t *testing.T) {
 	for _, tc := range []struct {
 		wait time.Duration
-		want int
+		base int
 	}{
 		{5 * time.Second, 5},
 		{1500 * time.Millisecond, 2},
 		{100 * time.Millisecond, 1},
 	} {
-		a := newAdmitter(1, 0, tc.wait)
-		if got := a.retryAfterSeconds(); got != tc.want {
-			t.Errorf("retryAfterSeconds(%s) = %d, want %d", tc.wait, got, tc.want)
+		a := newAdmitter(1, 0, tc.wait, 1)
+		for i := 0; i < 64; i++ {
+			if got := a.retryAfterSeconds(); got < tc.base || got >= 2*tc.base {
+				t.Errorf("retryAfterSeconds(%s) = %d, want in [%d, %d)", tc.wait, got, tc.base, 2*tc.base)
+			}
 		}
+	}
+}
+
+// TestRetryAfterJitterDeterministic: the jitter stream is seeded, so
+// two admitters at one seed emit identical hint sequences and two
+// seeds diverge — reproducible tests, desynchronized fleets.
+func TestRetryAfterJitterDeterministic(t *testing.T) {
+	sequence := func(seed uint64) []int {
+		a := newAdmitter(1, 0, 10*time.Second, seed)
+		out := make([]int, 32)
+		for i := range out {
+			out[i] = a.retryAfterSeconds()
+		}
+		return out
+	}
+	a, b := sequence(42), sequence(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := sequence(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter sequences")
 	}
 }
 

@@ -64,6 +64,13 @@ func main() {
 		reqTO    = flag.Duration("request-timeout", time.Minute, "per-request projection deadline once admitted")
 		cacheN   = flag.Int("cache-entries", 0, "calibration cache entries retained (0: engine default)")
 		drain    = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight projections")
+		snapDir  = flag.String("snapshot-dir", "", "directory for crash-safe calibration snapshots (empty disables persistence)")
+		snapInt  = flag.Duration("snapshot-interval", time.Minute, "cadence of periodic full snapshot saves")
+		chaos    = flag.String("chaos", "", `chaos-injection plan for the service path, e.g. "cal-err=0.3,seed=7" or "@plan.chaos" (see docs/ROBUSTNESS.md); empty disables`)
+		calTO    = flag.Duration("cal-timeout", 0, "per-attempt calibration watchdog deadline (0: engine default)")
+		calTries = flag.Int("cal-retries", 0, "calibration attempts per flight for transient failures (0: engine default)")
+		brThresh = flag.Int("breaker-threshold", 0, "consecutive calibration failures that open a key's circuit breaker (0: engine default)")
+		brOpen   = flag.Duration("breaker-open", 0, "how long an open circuit breaker rejects before a half-open probe (0: engine default)")
 		logFmt   = flag.String("log-format", "text", obs.LogFormatUsage)
 		logLevel = flag.String("log-level", "info", obs.LogLevelUsage)
 	)
@@ -90,6 +97,14 @@ func main() {
 		QueueWait:      *qWait,
 		RequestTimeout: *reqTO,
 		CacheEntries:   *cacheN,
+
+		SnapshotDir:      *snapDir,
+		SnapshotInterval: *snapInt,
+		ChaosSpec:        *chaos,
+		CalTimeout:       *calTO,
+		CalRetries:       *calTries,
+		BreakerThreshold: *brThresh,
+		BreakerOpenFor:   *brOpen,
 	})
 	if err != nil {
 		fatal(err)
@@ -118,6 +133,29 @@ func main() {
 		logger.Error("daemon is serving but will never become ready", "err", err.Error())
 	}
 
+	// Periodic full snapshots back up the per-calibration write-through;
+	// they also re-persist warm-started entries whose files were lost.
+	if s.store != nil {
+		interval := *snapInt
+		if interval <= 0 {
+			interval = time.Minute
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := s.saveSnapshot(); err != nil {
+						logger.Warn("periodic calibration snapshot failed", "err", err.Error())
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
@@ -132,6 +170,11 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			logger.Error("drain deadline exceeded, exiting anyway", "err", err.Error())
 			os.Exit(1)
+		}
+		// A final full snapshot after the drain: every calibration that
+		// completed during shutdown is on disk before the process exits.
+		if err := s.saveSnapshot(); err != nil {
+			logger.Error("final calibration snapshot failed", "err", err.Error())
 		}
 		logger.Info("shutdown complete")
 	}

@@ -30,6 +30,7 @@ import (
 	"grophecy/internal/pcie"
 	"grophecy/internal/report"
 	"grophecy/internal/sklang"
+	"grophecy/internal/store"
 	"grophecy/internal/target"
 	"grophecy/internal/trace"
 )
@@ -90,6 +91,29 @@ type daemonConfig struct {
 
 	// BatchWorkers bounds per-batch fan-out; zero means GOMAXPROCS.
 	BatchWorkers int
+
+	// SnapshotDir, when non-empty, enables the crash-safe calibration
+	// snapshot store (internal/store): loaded at boot to warm the
+	// cache, written through on every new calibration, and saved in
+	// full periodically and on graceful shutdown.
+	SnapshotDir string
+
+	// SnapshotInterval is the periodic full-save cadence; zero means
+	// one minute.
+	SnapshotInterval time.Duration
+
+	// ChaosSpec arms the daemon-level chaos harness (see
+	// fault.ParseChaos); empty or "none" disables. Chaos perturbs the
+	// service path — calibration latency/errors/panics, snapshot I/O —
+	// never the simulated measurements.
+	ChaosSpec string
+
+	// Calibration resilience knobs; zero values take the engine
+	// defaults (see engine.Config).
+	CalTimeout       time.Duration
+	CalRetries       int
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
 }
 
 // server is one wired daemon instance.
@@ -102,6 +126,9 @@ type server struct {
 	ready    *obs.Readiness
 	admit    *admitter
 	mux      *http.ServeMux
+	chaos    *fault.Chaos
+	store    *store.Store
+	snap     *obs.SnapshotState
 
 	// testBlock, when non-nil, is received from by every admitted
 	// request before its handler runs — tests use it to hold worker
@@ -145,20 +172,65 @@ func newServer(cfg daemonConfig) (*server, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = time.Minute
 	}
+	chaos, err := fault.ParseChaos(cfg.ChaosSpec)
+	if err != nil {
+		return nil, err
+	}
 	s := &server{
 		cfg:      cfg,
 		plan:     plan,
 		tgt:      tgt,
-		pool:     engine.NewPool(cfg.CacheEntries),
 		recorder: flight.MustNew(cfg.FlightCap),
 		ready:    &obs.Readiness{},
-		admit:    newAdmitter(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait),
+		admit:    newAdmitter(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait, cfg.Seed),
 		mux:      http.NewServeMux(),
+		chaos:    chaos,
+		snap:     &obs.SnapshotState{},
+	}
+	poolCfg := engine.Config{
+		MaxEntries:       cfg.CacheEntries,
+		CalTimeout:       cfg.CalTimeout,
+		Retries:          cfg.CalRetries,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerOpenFor:   cfg.BreakerOpenFor,
+		Chaos:            chaos,
+	}
+	if cfg.SnapshotDir != "" {
+		st, err := store.Open(cfg.SnapshotDir, target.Default.Fingerprint(), chaos)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		// Write-through: every completed calibration is persisted as it
+		// lands, so even a SIGKILL loses at most the flight in progress.
+		// A failed write degrades durability, not serving.
+		poolCfg.OnCalibrated = func(e engine.Entry) {
+			if err := st.Put(storeEntry(e)); err != nil {
+				cfg.Logger.Warn("calibration write-through failed", "err", err.Error())
+			}
+		}
+	}
+	s.pool = engine.NewPoolWith(poolCfg)
+	if s.store != nil {
+		res, err := s.store.Load()
+		if err != nil {
+			return nil, err
+		}
+		warmed := s.pool.Warm(engineEntries(res.Entries))
+		s.snap.SetLoaded(s.store.Dir(), warmed, res.Stale, res.Quarantined, res.Duration)
+		cfg.Logger.Info("calibration snapshot loaded",
+			"dir", s.store.Dir(), "warmed", warmed,
+			"stale", res.Stale, "quarantined", res.Quarantined,
+			"duration", res.Duration.String())
+		for _, p := range res.Problems {
+			cfg.Logger.Warn("snapshot file quarantined", "err", p.Error())
+		}
 	}
 	s.admit.onQueueDepth = func(depth int) { mQueueDepth.Set(float64(depth)) }
 	s.admit.onSaturated = s.ready.SetSaturated
 	obs.Mount(s.mux, obs.ServerConfig{
-		Ready: s.ready,
+		Ready:    s.ready,
+		Snapshot: s.snap,
 		BuildExtra: map[string]string{
 			"seed":            strconv.FormatUint(cfg.Seed, 10),
 			"target":          tgt.Name,
@@ -166,6 +238,8 @@ func newServer(cfg daemonConfig) (*server, error) {
 			"cpu":             tgt.CPU.Name,
 			"bus":             tgt.BusName,
 			"faults":          plan.String(),
+			"chaos":           chaos.String(),
+			"snapshot_dir":    cfg.SnapshotDir,
 			"flight_capacity": strconv.Itoa(cfg.FlightCap),
 			"admission":       s.admit.String(),
 			"request_timeout": cfg.RequestTimeout.String(),
@@ -176,6 +250,44 @@ func newServer(cfg daemonConfig) (*server, error) {
 	s.mux.HandleFunc("POST /batch", s.admitted(obs.LimitBody(maxBatchBytes, s.handleBatch)))
 	s.mux.HandleFunc("GET /targets", s.handleTargets)
 	return s, nil
+}
+
+// storeEntry and engineEntries convert between the pool's and the
+// snapshot store's entry shapes; the two packages deliberately do not
+// import each other, so the daemon owns the translation.
+func storeEntry(e engine.Entry) store.Entry {
+	return store.Entry{
+		Key:      store.Key{Target: e.Key.Target, Kind: e.Key.Kind, Seed: e.Key.Seed},
+		Model:    e.Model,
+		BusState: e.BusState,
+	}
+}
+
+func engineEntries(es []store.Entry) []engine.Entry {
+	out := make([]engine.Entry, len(es))
+	for i, e := range es {
+		out[i] = engine.Entry{
+			Key:      engine.Key{Target: e.Key.Target, Kind: e.Key.Kind, Seed: e.Key.Seed},
+			Model:    e.Model,
+			BusState: e.BusState,
+		}
+	}
+	return out
+}
+
+// saveSnapshot persists every completed calibration to the store —
+// the periodic ticker and graceful shutdown both land here. A no-op
+// when persistence is disabled.
+func (s *server) saveSnapshot() error {
+	if s.store == nil {
+		return nil
+	}
+	entries := s.pool.Export()
+	out := make([]store.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = storeEntry(e)
+	}
+	return s.store.SaveAll(out)
 }
 
 // admitted wraps a projection-shaped handler in the admission gate:
@@ -230,14 +342,37 @@ func (s *server) newProjector(ctx context.Context, tgt target.Target, seed uint6
 	return core.NewResilientProjector(ctx, m, pcie.Pinned, measure.DefaultConfig())
 }
 
+// calibrateProbeAttempts bounds the startup probe's own retry loop;
+// each attempt already carries the pool's transient-retry budget, so
+// this only has to outlast a chaos streak or a breaker window.
+const calibrateProbeAttempts = 3
+
 // calibrate is the startup probe: it calibrates the configured target
 // at the configured seed (warming the cache for the daemon's default
 // key) and flips readiness, carrying any degradation into the
-// readiness detail instead of hiding it.
+// readiness detail instead of hiding it. Under chaos a probe attempt
+// can fail even after the pool's retries, so the probe itself retries
+// a few times before giving up — a daemon that could serve must not
+// stay not-ready because its first calibration drew badly.
 func (s *server) calibrate(ctx context.Context) error {
 	ctx = obs.WithLogger(ctx, s.cfg.Logger)
 	ctx = obs.WithPhase(ctx, "calibrate")
-	p, err := s.newProjector(ctx, s.tgt, s.cfg.Seed)
+	var (
+		p   *core.Projector
+		err error
+	)
+	for attempt := 1; ; attempt++ {
+		p, err = s.newProjector(ctx, s.tgt, s.cfg.Seed)
+		if err == nil || ctx.Err() != nil || attempt >= calibrateProbeAttempts {
+			break
+		}
+		obs.Log(ctx).Warn("startup PCIe calibration attempt failed, retrying",
+			"attempt", attempt, "err", err.Error())
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
 	if err != nil {
 		obs.Log(ctx).Error("startup PCIe calibration failed; staying not-ready", "err", err.Error())
 		return err
@@ -263,6 +398,10 @@ func httpStatus(err error) int {
 	switch {
 	case errors.Is(err, errdefs.ErrInvalidInput):
 		return http.StatusBadRequest
+	case errors.Is(err, errdefs.ErrCircuitOpen):
+		// The key's calibration is suspended; the request was refused
+		// cheaply, not failed expensively — tell the client to back off.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, errdefs.ErrMeasureTimeout):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -337,6 +476,9 @@ func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 
 	fail := func(status int, err error) {
 		mRequestErrors.Inc()
+		if errors.Is(err, errdefs.ErrCircuitOpen) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.admit.retryAfterSeconds()))
+		}
 		lg.Error("projection request failed", "status", status, "err", err.Error(),
 			"duration_ms", float64(time.Since(start).Microseconds())/1e3)
 		writeError(w, status, err)

@@ -1,0 +1,173 @@
+// End-to-end persistence and resilience tests: warm start from the
+// snapshot store, quarantine of damaged files, and circuit-breaker
+// shedding, all through the fully wired handler.
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"grophecy/internal/experiments"
+	"grophecy/internal/obs"
+	"grophecy/internal/store"
+)
+
+// TestDaemonWarmStartFromSnapshot is the crash-recovery contract: a
+// second daemon booted on the first daemon's snapshot directory
+// serves the cached key with zero new calibrations and a report
+// byte-identical to the first daemon's.
+func TestDaemonWarmStartFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	src := hotspotSource(t)
+
+	srvA, sA, _ := startDaemon(t, daemonConfig{SnapshotDir: dir})
+	resp, want := post(t, srvA.URL+"/project", src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first daemon /project: %d %s", resp.StatusCode, want)
+	}
+	if sA.pool.Misses() != 0 {
+		// The startup probe calibrated the default key; the request hit.
+		t.Logf("note: first daemon ran %d calibrations", sA.pool.Misses())
+	}
+	// The write-through must have persisted the probe's calibration
+	// already — no graceful shutdown needed (this is the SIGKILL path).
+	snaps, err := filepath.Glob(filepath.Join(dir, "*"+store.Ext))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshot files after a calibration (write-through missing)")
+	}
+
+	// The periodic/shutdown save path is a superset of the write-through
+	// state: saving again is a no-op that must not error.
+	if err := sA.saveSnapshot(); err != nil {
+		t.Fatalf("saveSnapshot: %v", err)
+	}
+	if got := sA.store.Dir(); got != dir {
+		t.Errorf("store.Dir() = %q, want %q", got, dir)
+	}
+
+	srvB, sB, _ := startDaemon(t, daemonConfig{SnapshotDir: dir})
+	if sB.pool.Misses() != 0 {
+		t.Errorf("warm-started daemon ran %d calibrations, want 0", sB.pool.Misses())
+	}
+	resp, got := post(t, srvB.URL+"/project", src)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm daemon /project: %d %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("warm-started report differs from the original daemon's")
+	}
+	if sB.pool.Misses() != 0 {
+		t.Errorf("serving the cached key ran %d calibrations, want 0", sB.pool.Misses())
+	}
+	if sB.pool.Hits() < 1 {
+		t.Error("warm-started request did not count as a cache hit")
+	}
+
+	// The warm start is visible on the surfaces.
+	code, body := getBody(t, srvB.URL+"/readyz")
+	if code != http.StatusOK || !strings.Contains(body, "snapshot:") {
+		t.Errorf("/readyz = %d %q, want snapshot detail", code, body)
+	}
+	_, info := getBody(t, srvB.URL+"/buildinfo")
+	if !strings.Contains(info, `"snapshot"`) || !strings.Contains(info, `"entries"`) {
+		t.Errorf("/buildinfo lacks snapshot section:\n%s", info)
+	}
+}
+
+// TestDaemonQuarantinesCorruptSnapshot: a damaged snapshot file is
+// quarantined at boot, the daemon still becomes ready, and the
+// quarantine is reported on the surfaces.
+func TestDaemonQuarantinesCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "0123456789abcdef"+store.Ext),
+		[]byte("definitely not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, s, _ := startDaemon(t, daemonConfig{SnapshotDir: dir})
+
+	code, body := getBody(t, srv.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("/readyz with a corrupt snapshot = %d, want ready", code)
+	}
+	if !strings.Contains(body, "1 quarantined") {
+		t.Errorf("/readyz does not report the quarantine: %q", body)
+	}
+	q, err := filepath.Glob(filepath.Join(dir, "*"+store.QuarantineExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 1 {
+		t.Errorf("quarantined files on disk = %d, want 1", len(q))
+	}
+	if s.pool.Len() == 0 {
+		t.Error("startup probe did not calibrate despite the damaged store")
+	}
+}
+
+// TestDaemonCircuitOpenResponse: once a key's breaker is open the
+// daemon sheds that key with 503 + Retry-After instead of burning a
+// calibration per request.
+func TestDaemonCircuitOpenResponse(t *testing.T) {
+	// Wired directly, without the startup probe: with cal-err=1 every
+	// calibration fails, which is exactly the condition under test.
+	lg, err := obs.NewLogger(io.Discard, "text", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(daemonConfig{
+		Seed:             experiments.DefaultSeed,
+		Logger:           lg,
+		ChaosSpec:        "cal-err=1,seed=3",
+		CalRetries:       1,
+		BreakerThreshold: 2,
+		BreakerOpenFor:   time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.mux)
+	t.Cleanup(srv.Close)
+	src := hotspotSource(t)
+	url := srv.URL + "/project?seed=99"
+	for i := 0; i < 2; i++ {
+		resp, _ := post(t, url, src)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("failing calibration %d: %d, want 500", i, resp.StatusCode)
+		}
+	}
+	resp, body := post(t, url, src)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: %d %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("circuit-open 503 lacks Retry-After")
+	}
+	if !strings.Contains(string(body), "circuit open") {
+		t.Errorf("circuit-open body = %s", body)
+	}
+}
+
+// getBody is a tiny GET helper mirroring post.
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}

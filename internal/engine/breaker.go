@@ -1,0 +1,119 @@
+// Per-key circuit breakers over the calibration pool. A key whose
+// calibrations keep failing — a pathological target, a poisoned seed,
+// a chaos plan doing its job — must not be allowed to consume a fresh
+// calibration flight (and the admission slot holding it) on every
+// request. After Threshold consecutive flight failures the key's
+// breaker opens and requests fail fast with errdefs.ErrCircuitOpen;
+// after OpenFor the next request becomes a half-open probe whose
+// outcome closes the breaker or re-opens it for another window.
+//
+// Breaker state is wall-clock, like the daemon's admission layer:
+// it is an operational property of the live service, not of the
+// simulated machine, so projection results stay deterministic.
+package engine
+
+import (
+	"time"
+
+	"grophecy/internal/metrics"
+)
+
+// Breaker instruments.
+var (
+	mBreakerOpen = metrics.Default.MustGauge("engine_breaker_open_keys",
+		"calibration keys whose circuit breaker is currently open")
+	mBreakerTrips = metrics.Default.MustCounter("engine_breaker_trips_total",
+		"circuit breakers tripped open (including re-opens from failed probes)")
+	mBreakerRejects = metrics.Default.MustCounter("engine_breaker_rejects_total",
+		"projector requests rejected fast by an open circuit breaker")
+)
+
+// Breaker defaults, chosen so a key must fail repeatedly to trip and
+// a tripped key re-probes on a human-noticeable but not punitive
+// cadence.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerOpenFor   = 30 * time.Second
+)
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is one key's circuit state. All fields are guarded by
+// Pool.mu; the pool owns the map and the clock.
+type breaker struct {
+	state    breakerState
+	failures int       // consecutive flight failures while closed
+	openedAt time.Time // when the breaker last tripped
+}
+
+// admitLocked decides whether a new flight may start for this key,
+// transitioning open → half-open once the window has passed. It
+// returns false while the breaker is open (the caller fails fast) and
+// true otherwise; in the half-open state exactly the transitioning
+// caller proceeds, as its probe flight occupies the key's singleflight
+// slot until it settles. Callers hold Pool.mu.
+func (b *breaker) admitLocked(now time.Time, openFor time.Duration) bool {
+	if b.state != breakerOpen {
+		return true
+	}
+	if now.Sub(b.openedAt) < openFor {
+		return false
+	}
+	b.state = breakerHalfOpen
+	mBreakerOpen.Add(-1)
+	return true
+}
+
+// onSuccessLocked records a successful flight: whatever the state,
+// the key is healthy and the breaker closes. Callers hold Pool.mu.
+func (b *breaker) onSuccessLocked() {
+	if b.state == breakerOpen {
+		mBreakerOpen.Add(-1)
+	}
+	b.state = breakerClosed
+	b.failures = 0
+}
+
+// onFailureLocked records a failed flight. A failed half-open probe
+// re-opens immediately; a closed breaker opens once the consecutive
+// failure count reaches threshold. It returns true when this failure
+// tripped the breaker. Callers hold Pool.mu.
+func (b *breaker) onFailureLocked(now time.Time, threshold int) bool {
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		mBreakerOpen.Add(1)
+		mBreakerTrips.Inc()
+		return true
+	case breakerClosed:
+		b.failures++
+		if b.failures >= threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			mBreakerOpen.Add(1)
+			mBreakerTrips.Inc()
+			return true
+		}
+	}
+	return false
+}

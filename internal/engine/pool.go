@@ -14,17 +14,40 @@
 // cached projection is bit-identical to a calibrate-then-project one,
 // while repeat requests skip the calibration transfers entirely.
 //
-// Failure semantics: a panicking calibration is recovered into an
-// error wrapping errdefs.ErrPanic, the flight is always closed so
-// waiters never hang, and failed flights are never cached — a later
-// request retries the key. A calibration owner whose context is
-// cancelled aborts promptly with ctx.Err(); waiters blocked on that
-// flight re-enter the pool and one of them becomes the new owner.
+// Resilience semantics (see docs/ROBUSTNESS.md):
+//
+//   - Watchdog: every calibration attempt runs under Config.CalTimeout;
+//     a stuck calibration surfaces as errdefs.ErrMeasureTimeout instead
+//     of pinning its flight (and the admission slot above it) forever.
+//   - Retry: attempts that fail with errdefs.ErrTransient are retried
+//     up to Config.Retries times with capped exponential backoff inside
+//     the one flight, so waiters sharing the flight ride the retries.
+//   - Breaker: each key has a circuit breaker (breaker.go). After
+//     Config.BreakerThreshold consecutive flight failures the key fails
+//     fast with errdefs.ErrCircuitOpen until a half-open probe
+//     succeeds.
+//   - Panics: a panicking calibration is recovered into an error
+//     wrapping errdefs.ErrPanic, the flight is always closed so waiters
+//     never hang, and failed flights are never cached.
+//   - Cancellation: a calibration owner whose context is cancelled
+//     aborts promptly with ctx.Err(); waiters blocked on that flight
+//     re-enter the pool and one of them becomes the new owner. Owner
+//     cancellation is nobody's fault: it neither trips the breaker nor
+//     resets it.
+//
+// Persistence: completed calibrations are portable Entry values.
+// Export snapshots them, Warm pre-loads a fresh pool from a snapshot
+// (internal/store), and Config.OnCalibrated write-through-persists
+// each new calibration as it completes, so a crash loses at most the
+// flight in progress.
 //
 // Only the clean (non-resilient, fault-free) pipeline is cacheable:
 // resilient calibration depends on the fault plan and the measurement
 // context, so grophecyd falls back to per-request calibration when
-// fault injection is armed.
+// fault injection is armed. Chaos (fault.Chaos) is different: it
+// perturbs the service path around the calibration, never the
+// simulated observations, so chaos-surviving calibrations stay
+// bit-identical and cacheable.
 package engine
 
 import (
@@ -32,11 +55,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"grophecy/internal/core"
 	"grophecy/internal/errdefs"
+	"grophecy/internal/fault"
 	"grophecy/internal/metrics"
 	"grophecy/internal/pcie"
 	"grophecy/internal/target"
@@ -55,6 +81,10 @@ var (
 		"calibrations currently cached")
 	mEvictions = metrics.Default.MustCounter("engine_cache_evictions_total",
 		"completed calibrations evicted to keep the cache bounded")
+	mRetries = metrics.Default.MustCounter("engine_cal_retries_total",
+		"calibration attempts retried after a transient failure")
+	mWarmed = metrics.Default.MustCounter("engine_cache_warmed_total",
+		"calibrations pre-loaded from a persisted snapshot")
 )
 
 // Key identifies one cached calibration.
@@ -66,6 +96,16 @@ type Key struct {
 	// Seed is the machine seed; the bus noise stream derives from it,
 	// so calibrations at different seeds observe different transfers.
 	Seed uint64
+}
+
+// Entry is one completed calibration in portable form: everything a
+// fresh pool needs to serve the key bit-identically without touching
+// the bus. Export produces them, Warm consumes them, and
+// internal/store persists them.
+type Entry struct {
+	Key      Key
+	Model    xfermodel.BusModel
+	BusState uint64
 }
 
 // calibration is what one flight produces: the fitted model plus the
@@ -89,21 +129,75 @@ type flight struct {
 	lastUse uint64
 }
 
-// DefaultMaxEntries bounds the cache when NewPool is given no limit.
-const DefaultMaxEntries = 256
+// Pool defaults.
+const (
+	// DefaultMaxEntries bounds the cache when no limit is configured.
+	DefaultMaxEntries = 256
+	// DefaultCalTimeout is the per-attempt calibration watchdog.
+	DefaultCalTimeout = 30 * time.Second
+	// DefaultRetries is the attempt budget per flight for transient
+	// failures.
+	DefaultRetries = 3
+	// DefaultBackoff is the base retry backoff; attempt n waits
+	// DefaultBackoff << n, capped at maxBackoff.
+	DefaultBackoff = 25 * time.Millisecond
+	// maxBackoff caps the exponential retry backoff.
+	maxBackoff = time.Second
+)
+
+// Config tunes a Pool. The zero value gets the defaults above, no
+// chaos, and no write-through hook.
+type Config struct {
+	// MaxEntries bounds the cache (DefaultMaxEntries if <= 0).
+	MaxEntries int
+	// CalTimeout is the watchdog deadline per calibration attempt
+	// (DefaultCalTimeout if <= 0).
+	CalTimeout time.Duration
+	// Retries is the attempt budget per flight for transient failures
+	// (DefaultRetries if <= 0; 1 disables retrying).
+	Retries int
+	// Backoff is the base retry backoff (DefaultBackoff if <= 0).
+	Backoff time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// key's circuit breaker (DefaultBreakerThreshold if <= 0).
+	BreakerThreshold int
+	// BreakerOpenFor is how long an open breaker rejects before a
+	// half-open probe (DefaultBreakerOpenFor if <= 0).
+	BreakerOpenFor time.Duration
+	// Chaos, when non-nil, injects calibration latency, transient
+	// errors, and panics into the service path (never into simulated
+	// observations). Nil in production.
+	Chaos *fault.Chaos
+	// OnCalibrated, when non-nil, is called with every newly completed
+	// calibration, outside the pool lock — the daemon uses it to
+	// write-through-persist entries so a hard kill loses nothing.
+	OnCalibrated func(Entry)
+}
 
 // Pool is the calibration cache. The zero value is not usable; use
-// NewPool.
+// NewPool or NewPoolWith.
 type Pool struct {
-	max int
+	max          int
+	calTimeout   time.Duration
+	retries      int
+	backoff      time.Duration
+	brThreshold  int
+	brOpenFor    time.Duration
+	chaos        *fault.Chaos
+	onCalibrated func(Entry)
 
-	mu      sync.Mutex
-	flights map[Key]*flight
-	clock   uint64 // LRU tick, incremented under mu on every access
+	mu       sync.Mutex
+	flights  map[Key]*flight
+	breakers map[Key]*breaker
+	clock    uint64 // LRU tick, incremented under mu on every access
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+
+	// now is the breaker clock; tests freeze it. Production uses
+	// time.Now.
+	now func() time.Time
 
 	// calibrateHook, when non-nil, runs in the owner goroutine right
 	// before the calibration itself. Tests use it to hold a flight
@@ -112,12 +206,44 @@ type Pool struct {
 }
 
 // NewPool returns an empty pool retaining at most max calibrations
-// (DefaultMaxEntries if max <= 0).
+// (DefaultMaxEntries if max <= 0), with default resilience settings.
 func NewPool(max int) *Pool {
-	if max <= 0 {
-		max = DefaultMaxEntries
+	return NewPoolWith(Config{MaxEntries: max})
+}
+
+// NewPoolWith returns an empty pool tuned by cfg.
+func NewPoolWith(cfg Config) *Pool {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
 	}
-	return &Pool{max: max, flights: make(map[Key]*flight)}
+	if cfg.CalTimeout <= 0 {
+		cfg.CalTimeout = DefaultCalTimeout
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = DefaultRetries
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = DefaultBackoff
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if cfg.BreakerOpenFor <= 0 {
+		cfg.BreakerOpenFor = DefaultBreakerOpenFor
+	}
+	return &Pool{
+		max:          cfg.MaxEntries,
+		calTimeout:   cfg.CalTimeout,
+		retries:      cfg.Retries,
+		backoff:      cfg.Backoff,
+		brThreshold:  cfg.BreakerThreshold,
+		brOpenFor:    cfg.BreakerOpenFor,
+		chaos:        cfg.Chaos,
+		onCalibrated: cfg.OnCalibrated,
+		flights:      make(map[Key]*flight),
+		breakers:     make(map[Key]*breaker),
+		now:          time.Now,
+	}
 }
 
 // Hits returns how many projector requests this pool served without
@@ -137,6 +263,88 @@ func (p *Pool) Len() int {
 	return len(p.flights)
 }
 
+// OpenBreakers returns the keys whose circuit breaker is currently
+// open, sorted, for observability surfaces.
+func (p *Pool) OpenBreakers() []Key {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Key
+	for k, b := range p.breakers {
+		if b.state == breakerOpen {
+			out = append(out, k)
+		}
+	}
+	sortKeys(out)
+	return out
+}
+
+// Export returns every completed calibration as a portable snapshot,
+// sorted by key. In-flight and failed flights are not exported.
+func (p *Pool) Export() []Entry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Entry, 0, len(p.flights))
+	for k, f := range p.flights {
+		if !f.done || f.err != nil {
+			continue
+		}
+		out = append(out, Entry{Key: k, Model: f.cal.model, BusState: f.cal.busState})
+	}
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
+	return out
+}
+
+// Warm pre-loads completed calibrations, e.g. from a persisted
+// snapshot, and returns how many were installed. Entries with invalid
+// keys or implausible models are skipped, as are keys already present;
+// warming stops at the pool bound rather than evicting anything. A
+// warmed key serves hits immediately, bit-identical to a key the pool
+// calibrated itself.
+func (p *Pool) Warm(entries []Entry) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	warmed := 0
+	for _, e := range entries {
+		if e.Key.Target == "" || !e.Key.Kind.Valid() || !e.Model.Valid() {
+			continue
+		}
+		if _, ok := p.flights[e.Key]; ok {
+			continue
+		}
+		if len(p.flights) >= p.max {
+			break
+		}
+		f := &flight{
+			ready: make(chan struct{}),
+			cal:   calibration{model: e.Model, busState: e.BusState},
+			done:  true,
+		}
+		close(f.ready)
+		p.clock++
+		f.lastUse = p.clock
+		p.flights[e.Key] = f
+		warmed++
+		mWarmed.Inc()
+	}
+	mEntries.Set(float64(len(p.flights)))
+	return warmed
+}
+
+// keyLess orders keys for deterministic exports and listings.
+func keyLess(a, b Key) bool {
+	if a.Target != b.Target {
+		return a.Target < b.Target
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Seed < b.Seed
+}
+
+func sortKeys(ks []Key) {
+	sort.Slice(ks, func(i, j int) bool { return keyLess(ks[i], ks[j]) })
+}
+
 // retriable reports whether a flight error reflects the owner's
 // cancelled context rather than a property of the key: waiters retry
 // those, since their own contexts may still be live.
@@ -153,7 +361,8 @@ func retriable(err error) bool {
 //
 // ctx bounds both the wait on an in-flight calibration and the
 // calibration this call runs itself; a cancelled owner closes the
-// flight with ctx.Err() so waiters re-enter and retry.
+// flight with ctx.Err() so waiters re-enter and retry. A key whose
+// breaker is open fails fast with errdefs.ErrCircuitOpen.
 func (p *Pool) Projector(ctx context.Context, tgt target.Target, seed uint64, kind pcie.MemoryKind) (*core.Projector, error) {
 	key := Key{Target: tgt.Name, Kind: kind, Seed: seed}
 
@@ -190,7 +399,24 @@ func (p *Pool) Projector(ctx context.Context, tgt target.Target, seed uint64, ki
 			return p.build(tgt, seed, kind, f.cal)
 		}
 
-		// Cache miss — this goroutine owns the calibration flight.
+		// Cache miss — consult the key's breaker before owning a
+		// flight; an open breaker fails fast so a pathological key
+		// cannot consume calibration work (or the admission slot above
+		// it) on every request.
+		br := p.breakers[key]
+		if br == nil {
+			br = &breaker{}
+			p.breakers[key] = br
+		}
+		if !br.admitLocked(p.now(), p.brOpenFor) {
+			p.mu.Unlock()
+			mBreakerRejects.Inc()
+			return nil, fmt.Errorf("%w: calibration for %s/%v/seed=%d suspended after repeated failures, next probe within %s",
+				errdefs.ErrCircuitOpen, key.Target, key.Kind, key.Seed, p.brOpenFor)
+		}
+
+		// This goroutine owns the calibration flight (or, half-open,
+		// the probe flight).
 		f = &flight{ready: make(chan struct{})}
 		p.clock++
 		f.lastUse = p.clock
@@ -209,10 +435,12 @@ func (p *Pool) Projector(ctx context.Context, tgt target.Target, seed uint64, ki
 	}
 }
 
-// runFlight executes one owned calibration flight. Whatever happens —
-// success, error, panic, cancellation — the map is settled first and
-// the ready channel closed last, so waiters woken by the close can
-// never re-find a dead flight.
+// runFlight executes one owned calibration flight: up to p.retries
+// attempts with capped exponential backoff for transient failures.
+// Whatever happens — success, error, panic, cancellation — the map
+// and the breaker are settled first and the ready channel closed
+// next, so waiters woken by the close can never re-find a dead
+// flight; the write-through hook runs last, outside the lock.
 func (p *Pool) runFlight(ctx context.Context, key Key, f *flight, tgt target.Target, seed uint64, kind pcie.MemoryKind) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -226,16 +454,86 @@ func (p *Pool) runFlight(ctx context.Context, key Key, f *flight, tgt target.Tar
 				delete(p.flights, key)
 				mEntries.Set(float64(len(p.flights)))
 			}
+			// An owner cancellation is nobody's fault; anything else
+			// counts against the key's breaker.
+			if !retriable(f.err) {
+				if br := p.breakers[key]; br != nil {
+					br.onFailureLocked(p.now(), p.brThreshold)
+				}
+			}
 		} else {
 			f.done = true
+			if br := p.breakers[key]; br != nil {
+				br.onSuccessLocked()
+				delete(p.breakers, key)
+			}
 		}
 		p.mu.Unlock()
 		close(f.ready)
+		if f.err == nil && p.onCalibrated != nil {
+			p.onCalibrated(Entry{Key: key, Model: f.cal.model, BusState: f.cal.busState})
+		}
 	}()
 	if p.calibrateHook != nil {
 		p.calibrateHook(key)
 	}
-	f.cal, f.err = calibrate(ctx, tgt, seed, kind)
+	for attempt := 0; ; attempt++ {
+		f.cal, f.err = p.calibrateOnce(ctx, key, tgt, seed, kind)
+		if f.err == nil || !errdefs.Retryable(f.err) || attempt+1 >= p.retries {
+			return
+		}
+		mRetries.Inc()
+		d := p.backoff << attempt
+		if d > maxBackoff {
+			d = maxBackoff
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			f.err = ctx.Err()
+			return
+		}
+	}
+}
+
+// calibrateOnce runs one watchdogged calibration attempt, with the
+// chaos injection points (latency, error, panic) ahead of the real
+// work — chaos perturbs the service path, never the measurements.
+func (p *Pool) calibrateOnce(ctx context.Context, key Key, tgt target.Target, seed uint64, kind pcie.MemoryKind) (calibration, error) {
+	wctx, cancel := context.WithTimeout(ctx, p.calTimeout)
+	defer cancel()
+	if d := p.chaos.CalibrationDelay(); d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-wctx.Done():
+			t.Stop()
+			return calibration{}, p.watchdogErr(ctx, wctx, key, wctx.Err())
+		}
+	}
+	p.chaos.CalibrationPanic()
+	if err := p.chaos.CalibrationError(); err != nil {
+		return calibration{}, err
+	}
+	cal, err := calibrate(wctx, tgt, seed, kind)
+	if err != nil {
+		return calibration{}, p.watchdogErr(ctx, wctx, key, err)
+	}
+	return cal, nil
+}
+
+// watchdogErr maps an expired flight watchdog to
+// errdefs.ErrMeasureTimeout — a property of the key that waiters must
+// see and the breaker must count — while passing the caller's own
+// cancellation through untouched so waiters still retry it.
+func (p *Pool) watchdogErr(ctx, wctx context.Context, key Key, err error) error {
+	if wctx.Err() != nil && ctx.Err() == nil {
+		return fmt.Errorf("%w: calibration watchdog (%s) expired for %s/%v/seed=%d: %v",
+			errdefs.ErrMeasureTimeout, p.calTimeout, key.Target, key.Kind, key.Seed, err)
+	}
+	return err
 }
 
 // evictLocked makes room for one more entry: it drops

@@ -225,9 +225,11 @@ func panickingTarget() target.Target {
 // panic inside the calibration used to leave f.ready unclosed, so
 // every later Projector call for the key blocked forever and the key
 // was poisoned. Now the panic is recovered into errdefs.ErrPanic, the
-// flight closes, and the key stays retryable.
+// flight closes, and the key stays retryable. The breaker threshold
+// is raised out of the way here — breaker fail-fast on repeated
+// failures has its own tests in breaker_test.go.
 func TestPoolCalibrationPanicClosesFlight(t *testing.T) {
-	pool := NewPool(0)
+	pool := NewPoolWith(Config{BreakerThreshold: 1 << 20})
 	bad := panickingTarget()
 
 	const clients = 6

@@ -22,6 +22,13 @@
 //     conservative defaults) was exhausted.
 //   - ErrPanic: a sweep worker panicked; the error carries the
 //     recovered value and the goroutine stack.
+//   - ErrCorruptSnapshot: a persisted calibration snapshot failed its
+//     integrity checks (bad magic, checksum mismatch, malformed
+//     payload). The store quarantines the file and the daemon
+//     cold-starts that key instead of serving garbage.
+//   - ErrCircuitOpen: the per-key calibration circuit breaker is open
+//     after repeated failures; callers should back off and retry after
+//     the breaker's half-open window instead of queueing.
 //
 // Panic policy: panics remain reserved for true programmer errors —
 // invalid hard-coded configurations (pcie.NewBus, gpusim.New), broken
@@ -53,6 +60,14 @@ var (
 
 	// ErrPanic marks a recovered worker panic.
 	ErrPanic = errors.New("worker panicked")
+
+	// ErrCorruptSnapshot marks a persisted calibration snapshot that
+	// failed integrity verification (magic, checksum, payload shape).
+	ErrCorruptSnapshot = errors.New("corrupt snapshot")
+
+	// ErrCircuitOpen marks a request rejected because the per-key
+	// calibration circuit breaker is open.
+	ErrCircuitOpen = errors.New("circuit open")
 )
 
 // Invalidf returns an input-validation error wrapping ErrInvalidInput.
@@ -71,3 +86,24 @@ func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
 // IsMeasureTimeout reports whether err marks an exhausted measurement
 // deadline (simulated budget or cancelled context).
 func IsMeasureTimeout(err error) bool { return errors.Is(err, ErrMeasureTimeout) }
+
+// Corruptf returns a snapshot-integrity error wrapping
+// ErrCorruptSnapshot.
+func Corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptSnapshot, fmt.Sprintf(format, args...))
+}
+
+// IsCorruptSnapshot reports whether err marks a snapshot that failed
+// integrity verification.
+func IsCorruptSnapshot(err error) bool { return errors.Is(err, ErrCorruptSnapshot) }
+
+// IsCircuitOpen reports whether err marks a breaker rejection.
+func IsCircuitOpen(err error) bool { return errors.Is(err, ErrCircuitOpen) }
+
+// Retryable classifies an error for retry loops: only transient
+// failures are worth retrying immediately. Everything else in the
+// taxonomy is permanent from the caller's point of view — invalid
+// input never fixes itself, a timeout already consumed the budget, a
+// corrupt snapshot stays corrupt, and an open breaker asks the caller
+// to back off, not hammer.
+func Retryable(err error) bool { return errors.Is(err, ErrTransient) }

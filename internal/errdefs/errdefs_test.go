@@ -40,8 +40,67 @@ func TestIsTransientSeesThroughWrapping(t *testing.T) {
 	}
 }
 
+func TestCorruptfWraps(t *testing.T) {
+	err := Corruptf("checksum mismatch in %s", "abc.snap")
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("err = %v, not ErrCorruptSnapshot", err)
+	}
+	if !IsCorruptSnapshot(err) {
+		t.Error("IsCorruptSnapshot false for a corrupt-snapshot error")
+	}
+	if got := err.Error(); got != "corrupt snapshot: checksum mismatch in abc.snap" {
+		t.Errorf("message = %q", got)
+	}
+}
+
+func TestNewSentinelsSeeThroughWrapping(t *testing.T) {
+	corrupt := fmt.Errorf("loading snapshot dir: %w",
+		fmt.Errorf("entry 3: %w", Corruptf("truncated payload")))
+	if !IsCorruptSnapshot(corrupt) {
+		t.Error("IsCorruptSnapshot false through a two-level wrap")
+	}
+	open := fmt.Errorf("projector for key %s: %w", "c2050-pcie3",
+		fmt.Errorf("%w: 3 consecutive failures", ErrCircuitOpen))
+	if !IsCircuitOpen(open) {
+		t.Error("IsCircuitOpen false through a two-level wrap")
+	}
+	if IsCorruptSnapshot(open) || IsCircuitOpen(corrupt) {
+		t.Error("new sentinels match each other through wrapping")
+	}
+	if IsCircuitOpen(nil) || IsCorruptSnapshot(nil) {
+		t.Error("new sentinel predicates true for nil")
+	}
+}
+
+// TestRetryableClassification pins the retryable/permanent split of
+// the whole taxonomy: only ErrTransient (however deeply wrapped) is
+// retryable; every other sentinel is permanent.
+func TestRetryableClassification(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{Transientf("link hiccup"), true},
+		{fmt.Errorf("attempt 2: %w", Transientf("dropped transfer")), true},
+		{ErrInvalidInput, false},
+		{ErrMeasureTimeout, false},
+		{ErrCalibrationFailed, false},
+		{ErrPanic, false},
+		{ErrCorruptSnapshot, false},
+		{ErrCircuitOpen, false},
+		{fmt.Errorf("wrapped: %w", ErrCircuitOpen), false},
+		{errors.New("unclassified"), false},
+		{nil, false},
+	} {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
 func TestSentinelsAreDistinct(t *testing.T) {
-	sentinels := []error{ErrInvalidInput, ErrTransient, ErrMeasureTimeout, ErrCalibrationFailed, ErrPanic}
+	sentinels := []error{ErrInvalidInput, ErrTransient, ErrMeasureTimeout, ErrCalibrationFailed, ErrPanic,
+		ErrCorruptSnapshot, ErrCircuitOpen}
 	for i, a := range sentinels {
 		for j, b := range sentinels {
 			if i != j && errors.Is(a, b) {

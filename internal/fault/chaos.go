@@ -1,0 +1,259 @@
+// Service-level chaos: seeded fault injection for the daemon's
+// calibration and snapshot-persistence paths.
+//
+// The Plan in fault.go perturbs *measurements* — what the simulated
+// hardware observes. Chaos perturbs the *service* around them: a
+// calibration flight can be delayed, failed with a transient error,
+// or crashed with a panic, and snapshot I/O can fail on write or hand
+// back corrupted bytes on read. Like Plan, every draw comes from a
+// seeded stream, so a chaos run is reproducible at a seed; unlike
+// Plan, chaos never touches simulated results — a calibration that
+// eventually succeeds under chaos produces the exact model a clean
+// one would, which is what lets the chaos smoke test demand
+// byte-identical reports after recovery.
+//
+// A nil *Chaos is a guaranteed pass-through: every method is nil-safe
+// and injects nothing, so production paths carry no conditionals.
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"grophecy/internal/errdefs"
+	"grophecy/internal/rng"
+)
+
+// Chaos is a seeded service-level fault injector. Build one with
+// ParseChaos; the zero value injects nothing but lacks a stream, so
+// tests constructing Chaos literals must call arm() via New-style
+// helpers — use ParseChaos everywhere.
+type Chaos struct {
+	// CalErrProb fails a calibration attempt with an error wrapping
+	// errdefs.ErrTransient before any work is done.
+	CalErrProb float64
+	// CalPanicProb panics a calibration attempt (recovered by the pool
+	// into errdefs.ErrPanic).
+	CalPanicProb float64
+	// CalLatency is injected calibration latency; applied with
+	// probability CalLatencyProb (1 when latency is set and the
+	// probability is 0).
+	CalLatency     time.Duration
+	CalLatencyProb float64
+	// SnapWriteProb fails a snapshot write with a transient error
+	// before the file is touched.
+	SnapWriteProb float64
+	// SnapCorruptProb flips one byte of a snapshot file's contents on
+	// read, exercising the checksum/quarantine path.
+	SnapCorruptProb float64
+	// Seed seeds the chaos stream.
+	Seed uint64
+
+	mu     sync.Mutex
+	stream *rng.Stream
+}
+
+// chaosSurface separates the chaos stream from the Plan surfaces.
+const chaosSurface = 0xc4a05017
+
+// ParseChaos parses the compact comma-separated chaos spec used by
+// the grophecyd -chaos flag:
+//
+//	cal-err=P            transient calibration failure probability
+//	cal-panic=P          calibration panic probability
+//	cal-latency=DUR[:P]  injected calibration latency (probability P, default 1)
+//	snap-write-err=P     snapshot write failure probability
+//	snap-corrupt=P       snapshot read corruption probability
+//	seed=N               chaos stream seed
+//
+// e.g. "cal-err=0.4,cal-latency=15ms:0.5,snap-corrupt=0.1,seed=7".
+// A spec of "none" or "" yields nil (chaos disabled). A spec starting
+// with '@' names a plan file: its lines are joined with commas, with
+// blank lines and '#' comments ignored, so adversarial plans can be
+// versioned alongside the code.
+func ParseChaos(spec string) (*Chaos, error) {
+	spec = strings.TrimSpace(spec)
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return nil, fmt.Errorf("chaos: reading plan file: %w", err)
+		}
+		var fields []string
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.Index(line, "#"); i >= 0 {
+				line = line[:i]
+			}
+			line = strings.TrimSpace(strings.TrimSuffix(line, ","))
+			if line != "" {
+				fields = append(fields, line)
+			}
+		}
+		spec = strings.Join(fields, ",")
+	}
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	c := &Chaos{}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, errdefs.Invalidf("chaos: malformed field %q (want key=value)", field)
+		}
+		var err error
+		switch key {
+		case "cal-err":
+			c.CalErrProb, err = strconv.ParseFloat(val, 64)
+		case "cal-panic":
+			c.CalPanicProb, err = strconv.ParseFloat(val, 64)
+		case "cal-latency":
+			dur, prob, found := strings.Cut(val, ":")
+			if c.CalLatency, err = time.ParseDuration(dur); err != nil {
+				break
+			}
+			if found {
+				c.CalLatencyProb, err = strconv.ParseFloat(prob, 64)
+			}
+		case "snap-write-err":
+			c.SnapWriteProb, err = strconv.ParseFloat(val, 64)
+		case "snap-corrupt":
+			c.SnapCorruptProb, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			c.Seed, err = strconv.ParseUint(val, 10, 64)
+		default:
+			return nil, errdefs.Invalidf("chaos: unknown field %q", key)
+		}
+		if err != nil {
+			return nil, errdefs.Invalidf("chaos: bad value in %q: %v", field, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.CalLatency > 0 && c.CalLatencyProb == 0 {
+		c.CalLatencyProb = 1
+	}
+	c.stream = rng.New(c.Seed ^ chaosSurface)
+	return c, nil
+}
+
+// Validate reports whether the chaos knobs are well-formed.
+func (c *Chaos) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"cal-err", c.CalErrProb},
+		{"cal-panic", c.CalPanicProb},
+		{"cal-latency probability", c.CalLatencyProb},
+		{"snap-write-err", c.SnapWriteProb},
+		{"snap-corrupt", c.SnapCorruptProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return errdefs.Invalidf("chaos: %s probability %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.CalLatency < 0 {
+		return errdefs.Invalidf("chaos: negative calibration latency %v", c.CalLatency)
+	}
+	return nil
+}
+
+// String renders the chaos spec in the syntax ParseChaos reads. A nil
+// Chaos renders "none".
+func (c *Chaos) String() string {
+	if c == nil {
+		return "none"
+	}
+	var parts []string
+	if c.CalErrProb > 0 {
+		parts = append(parts, fmt.Sprintf("cal-err=%g", c.CalErrProb))
+	}
+	if c.CalPanicProb > 0 {
+		parts = append(parts, fmt.Sprintf("cal-panic=%g", c.CalPanicProb))
+	}
+	if c.CalLatency > 0 {
+		parts = append(parts, fmt.Sprintf("cal-latency=%s:%g", c.CalLatency, c.CalLatencyProb))
+	}
+	if c.SnapWriteProb > 0 {
+		parts = append(parts, fmt.Sprintf("snap-write-err=%g", c.SnapWriteProb))
+	}
+	if c.SnapCorruptProb > 0 {
+		parts = append(parts, fmt.Sprintf("snap-corrupt=%g", c.SnapCorruptProb))
+	}
+	if c.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", c.Seed))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// draw runs one Bernoulli trial on the chaos stream. Nil-safe.
+func (c *Chaos) draw(p float64) bool {
+	if c == nil || p <= 0 || c.stream == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stream.Bernoulli(p)
+}
+
+// CalibrationDelay returns the latency to inject before this
+// calibration attempt (0 for none).
+func (c *Chaos) CalibrationDelay() time.Duration {
+	if c == nil || c.CalLatency <= 0 {
+		return 0
+	}
+	if !c.draw(c.CalLatencyProb) {
+		return 0
+	}
+	return c.CalLatency
+}
+
+// CalibrationError returns a transient error to inject into this
+// calibration attempt, or nil.
+func (c *Chaos) CalibrationError() error {
+	if c == nil || !c.draw(c.CalErrProb) {
+		return nil
+	}
+	return errdefs.Transientf("chaos: injected calibration failure")
+}
+
+// CalibrationPanic panics with probability CalPanicProb; the
+// calibration pool recovers it into errdefs.ErrPanic.
+func (c *Chaos) CalibrationPanic() {
+	if c != nil && c.draw(c.CalPanicProb) {
+		panic("chaos: injected calibration panic")
+	}
+}
+
+// SnapshotWriteError returns a transient error to inject into this
+// snapshot write, or nil.
+func (c *Chaos) SnapshotWriteError() error {
+	if c == nil || !c.draw(c.SnapWriteProb) {
+		return nil
+	}
+	return errdefs.Transientf("chaos: injected snapshot write failure")
+}
+
+// CorruptRead flips one byte of data with probability SnapCorruptProb,
+// returning a corrupted copy (the caller's slice is never modified).
+// The snapshot checksum is expected to catch the damage and quarantine
+// the file.
+func (c *Chaos) CorruptRead(data []byte) []byte {
+	if c == nil || len(data) == 0 || !c.draw(c.SnapCorruptProb) {
+		return data
+	}
+	c.mu.Lock()
+	i := c.stream.Intn(len(data))
+	c.mu.Unlock()
+	out := make([]byte, len(data))
+	copy(out, data)
+	out[i] ^= 0xff
+	return out
+}

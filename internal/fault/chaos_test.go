@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"grophecy/internal/errdefs"
+)
+
+func TestParseChaosRoundTrip(t *testing.T) {
+	spec := "cal-err=0.4,cal-panic=0.05,cal-latency=15ms:0.5,snap-write-err=0.2,snap-corrupt=0.1,seed=7"
+	c, err := ParseChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CalErrProb != 0.4 || c.CalPanicProb != 0.05 ||
+		c.CalLatency != 15*time.Millisecond || c.CalLatencyProb != 0.5 ||
+		c.SnapWriteProb != 0.2 || c.SnapCorruptProb != 0.1 || c.Seed != 7 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if got := c.String(); got != spec {
+		t.Errorf("String() = %q, want %q", got, spec)
+	}
+	again, err := ParseChaos(c.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != spec {
+		t.Errorf("re-parse diverged: %q", again.String())
+	}
+}
+
+func TestParseChaosEmptyAndNone(t *testing.T) {
+	for _, spec := range []string{"", "  ", "none"} {
+		c, err := ParseChaos(spec)
+		if err != nil {
+			t.Fatalf("ParseChaos(%q): %v", spec, err)
+		}
+		if c != nil {
+			t.Errorf("ParseChaos(%q) = %+v, want nil", spec, c)
+		}
+	}
+}
+
+func TestParseChaosLatencyDefaultsProbabilityToOne(t *testing.T) {
+	c, err := ParseChaos("cal-latency=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CalLatencyProb != 1 {
+		t.Errorf("CalLatencyProb = %v, want 1", c.CalLatencyProb)
+	}
+	if d := c.CalibrationDelay(); d != 5*time.Millisecond {
+		t.Errorf("CalibrationDelay() = %v, want 5ms at probability 1", d)
+	}
+}
+
+func TestParseChaosRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"cal-err=1.5",
+		"cal-err=-0.1",
+		"cal-panic=2",
+		"cal-latency=-5ms",
+		"cal-latency=5ms:1.2",
+		"snap-write-err=nope",
+		"unknown=1",
+		"cal-err",
+	} {
+		if _, err := ParseChaos(spec); !errors.Is(err, errdefs.ErrInvalidInput) {
+			t.Errorf("ParseChaos(%q) = %v, want ErrInvalidInput", spec, err)
+		}
+	}
+}
+
+func TestParseChaosPlanFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.chaos")
+	content := "# adversarial boot plan\ncal-err=0.4\ncal-latency=10ms:0.5,\n\nseed=11 # stream seed\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseChaos("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CalErrProb != 0.4 || c.CalLatency != 10*time.Millisecond || c.Seed != 11 {
+		t.Fatalf("plan file parsed to %+v", c)
+	}
+	if _, err := ParseChaos("@" + path + ".missing"); err == nil {
+		t.Error("missing plan file parsed without error")
+	}
+}
+
+// TestChaosNilIsPassThrough: a nil Chaos injects nothing, so call
+// sites never nil-check.
+func TestChaosNilIsPassThrough(t *testing.T) {
+	var c *Chaos
+	if d := c.CalibrationDelay(); d != 0 {
+		t.Errorf("nil CalibrationDelay = %v", d)
+	}
+	if err := c.CalibrationError(); err != nil {
+		t.Errorf("nil CalibrationError = %v", err)
+	}
+	c.CalibrationPanic() // must not panic
+	if err := c.SnapshotWriteError(); err != nil {
+		t.Errorf("nil SnapshotWriteError = %v", err)
+	}
+	data := []byte("payload")
+	if got := string(c.CorruptRead(data)); got != "payload" {
+		t.Errorf("nil CorruptRead changed data: %q", got)
+	}
+	if c.String() != "none" {
+		t.Errorf("nil String() = %q", c.String())
+	}
+}
+
+// TestChaosDeterministicAtSeed: two chaos injectors from the same
+// spec deliver the same fault sequence.
+func TestChaosDeterministicAtSeed(t *testing.T) {
+	spec := "cal-err=0.5,seed=42"
+	a, err := ParseChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseChaos(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ea, eb := a.CalibrationError(), b.CalibrationError()
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("draw %d diverged: %v vs %v", i, ea, eb)
+		}
+		if ea != nil && !errdefs.IsTransient(ea) {
+			t.Fatalf("injected calibration error %v is not transient", ea)
+		}
+	}
+}
+
+// TestChaosCorruptRead: corruption at probability 1 flips exactly one
+// byte of a copy, never the caller's slice, and the write-error path
+// yields transient errors.
+func TestChaosCorruptRead(t *testing.T) {
+	c, err := ParseChaos("snap-corrupt=1,snap-write-err=1,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := []byte("grophecy snapshot payload")
+	got := c.CorruptRead(orig)
+	if string(orig) != "grophecy snapshot payload" {
+		t.Fatal("CorruptRead modified the caller's slice")
+	}
+	diff := 0
+	for i := range orig {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("CorruptRead flipped %d bytes, want exactly 1", diff)
+	}
+	if err := c.SnapshotWriteError(); !errdefs.IsTransient(err) {
+		t.Errorf("SnapshotWriteError = %v, want transient", err)
+	}
+}

@@ -61,6 +61,69 @@ func (r *Readiness) State() (ready, degraded bool, detail string) {
 	return r.ready, r.degraded, r.detail
 }
 
+// SnapshotState tracks the calibration snapshot store's lifecycle for
+// the observability surfaces: where the snapshot lives, what the boot
+// warm-start loaded, and how many damaged files have been quarantined
+// since. Safe for concurrent use; the zero value reports "disabled".
+type SnapshotState struct {
+	mu          sync.Mutex
+	enabled     bool
+	path        string
+	entries     int
+	stale       int
+	quarantined int
+	loadDur     time.Duration
+}
+
+// SetLoaded records the outcome of the boot warm-start load.
+func (s *SnapshotState) SetLoaded(path string, entries, stale, quarantined int, loadDur time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enabled = true
+	s.path = path
+	s.entries = entries
+	s.stale = stale
+	s.quarantined = quarantined
+	s.loadDur = loadDur
+}
+
+// AddQuarantined bumps the quarantined-file count for damage found
+// after boot.
+func (s *SnapshotState) AddQuarantined(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quarantined += n
+}
+
+// Summary returns a one-line human description for /readyz, or ""
+// when the store is disabled.
+func (s *SnapshotState) Summary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.enabled {
+		return ""
+	}
+	return fmt.Sprintf("snapshot: %d entries warm-started in %s (%d stale, %d quarantined)",
+		s.entries, s.loadDur.Round(time.Microsecond), s.stale, s.quarantined)
+}
+
+// Document returns the /buildinfo "snapshot" section, or nil when the
+// store is disabled.
+func (s *SnapshotState) Document() map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.enabled {
+		return nil
+	}
+	return map[string]any{
+		"path":         s.path,
+		"entries":      s.entries,
+		"stale":        s.stale,
+		"quarantined":  s.quarantined,
+		"loadDuration": s.loadDur.String(),
+	}
+}
+
 // ServerConfig configures Mount.
 type ServerConfig struct {
 	// Registry backs GET /metrics; nil means metrics.Default.
@@ -70,6 +133,9 @@ type ServerConfig struct {
 	// BuildExtra is merged into GET /buildinfo under "config" —
 	// daemon-level provenance like the seed and GPU preset.
 	BuildExtra map[string]string
+	// Snapshot, when non-nil, adds warm-start provenance to /readyz
+	// detail and a "snapshot" section to /buildinfo.
+	Snapshot *SnapshotState
 }
 
 // Mount attaches the observability endpoints to mux:
@@ -118,13 +184,24 @@ func Mount(mux *http.ServeMux, cfg ServerConfig) {
 		default:
 			fmt.Fprintln(w, "ok")
 		}
+		if ready && cfg.Snapshot != nil {
+			if s := cfg.Snapshot.Summary(); s != "" {
+				fmt.Fprintln(w, s)
+			}
+		}
 	})
 
 	mux.HandleFunc("GET /buildinfo", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(buildInfo(cfg.BuildExtra))
+		doc := buildInfo(cfg.BuildExtra)
+		if cfg.Snapshot != nil {
+			if snap := cfg.Snapshot.Document(); snap != nil {
+				doc["snapshot"] = snap
+			}
+		}
+		enc.Encode(doc)
 	})
 }
 

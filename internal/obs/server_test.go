@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"grophecy/internal/metrics"
 )
@@ -188,5 +189,64 @@ func TestLimitBody(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("oversized body: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSnapshotStateSurfaces(t *testing.T) {
+	snap := &SnapshotState{}
+	ready := &Readiness{}
+	reg := metrics.NewRegistry()
+	mux := http.NewServeMux()
+	Mount(mux, ServerConfig{Registry: reg, Ready: ready, Snapshot: snap})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	// Disabled store: no snapshot line, no /buildinfo section.
+	ready.SetReady(false, "")
+	if _, body := get(t, srv.URL+"/readyz"); strings.Contains(body, "snapshot") {
+		t.Errorf("/readyz mentions a disabled snapshot store:\n%s", body)
+	}
+	_, info := get(t, srv.URL+"/buildinfo")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(info), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc["snapshot"]; ok {
+		t.Error("/buildinfo has a snapshot section for a disabled store")
+	}
+
+	// Loaded store: both surfaces report warm-start provenance.
+	snap.SetLoaded("/var/lib/grophecy/snap", 7, 1, 0, 1500*time.Microsecond)
+	snap.AddQuarantined(2)
+	code, body := get(t, srv.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /readyz: %d", code)
+	}
+	for _, want := range []string{"snapshot: 7 entries", "1 stale", "2 quarantined"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/readyz missing %q:\n%s", want, body)
+		}
+	}
+	_, info = get(t, srv.URL+"/buildinfo")
+	if err := json.Unmarshal([]byte(info), &doc); err != nil {
+		t.Fatal(err)
+	}
+	section, ok := doc["snapshot"].(map[string]any)
+	if !ok {
+		t.Fatalf("/buildinfo lacks snapshot section:\n%s", info)
+	}
+	if section["path"] != "/var/lib/grophecy/snap" || section["entries"] != float64(7) ||
+		section["quarantined"] != float64(2) || section["loadDuration"] != "1.5ms" {
+		t.Errorf("snapshot section = %v", section)
+	}
+
+	// Not ready: the snapshot line must not leak into the 503 body.
+	notReady := &Readiness{}
+	mux2 := http.NewServeMux()
+	Mount(mux2, ServerConfig{Registry: reg, Ready: notReady, Snapshot: snap})
+	srv2 := httptest.NewServer(mux2)
+	t.Cleanup(srv2.Close)
+	if code, body := get(t, srv2.URL+"/readyz"); code != http.StatusServiceUnavailable || strings.Contains(body, "snapshot") {
+		t.Errorf("not-ready /readyz = %d %q", code, body)
 	}
 }

@@ -18,6 +18,8 @@
 package target
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -151,6 +153,31 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Fingerprint returns a content hash of the registry: a hex SHA-256
+// over every registered target's full hardware definition, in name
+// order. Persisted calibration snapshots (internal/store) embed this
+// hash in their key, so editing a GPU preset, a CPU model, or a bus
+// configuration — anything that would change what a calibration
+// measures — invalidates every snapshot taken under the old
+// definitions instead of silently replaying them against different
+// hardware. Registries are append-only, so the fingerprint of a
+// running process never changes after init.
+func (r *Registry) Fingerprint() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for n := range r.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, n := range names {
+		t := r.m[n]
+		fmt.Fprintf(h, "%s|%+v|%+v|%+v|%s\n", t.Name, t.GPU, t.CPU, t.Bus, t.BusName)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // List returns all registered targets in name order.

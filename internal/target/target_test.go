@@ -194,3 +194,56 @@ func TestGPUSlugFallback(t *testing.T) {
 		t.Errorf("gpuSlug fallback = %q, want %q", got, "acme-hyper-9000-x")
 	}
 }
+
+// TestFingerprint pins the registry content hash's contract: stable
+// across calls, sensitive to any hardware change, and identical for
+// registries built from the same definitions.
+func TestFingerprint(t *testing.T) {
+	base := func() *Registry {
+		r := NewRegistry()
+		r.MustRegister(Target{
+			Name: "a", Description: "d",
+			GPU: gpu.QuadroFX5600(), CPU: cpumodel.XeonE5405(),
+			Bus: pcie.DefaultConfig(), BusName: "PCIe v1 x16",
+		})
+		return r
+	}
+	r1, r2 := base(), base()
+	fp := r1.Fingerprint()
+	if fp == "" || len(fp) != 64 {
+		t.Fatalf("fingerprint %q is not a sha256 hex digest", fp)
+	}
+	if r1.Fingerprint() != fp {
+		t.Error("fingerprint changed between calls on the same registry")
+	}
+	if r2.Fingerprint() != fp {
+		t.Error("identical registries fingerprint differently")
+	}
+
+	// Adding a target changes the hash.
+	r2.MustRegister(Target{
+		Name: "b", Description: "d",
+		GPU: gpu.TeslaC2050(), CPU: cpumodel.XeonE5405(),
+		Bus: pcie.DefaultConfig(), BusName: "PCIe v1 x16",
+	})
+	if r2.Fingerprint() == fp {
+		t.Error("fingerprint ignored an added target")
+	}
+
+	// Changing a hardware parameter (same name) changes the hash.
+	r3 := NewRegistry()
+	g := gpu.QuadroFX5600()
+	g.SMs++
+	r3.MustRegister(Target{
+		Name: "a", Description: "d",
+		GPU: g, CPU: cpumodel.XeonE5405(),
+		Bus: pcie.DefaultConfig(), BusName: "PCIe v1 x16",
+	})
+	if r3.Fingerprint() == fp {
+		t.Error("fingerprint ignored a GPU parameter change")
+	}
+
+	if Default.Fingerprint() != Default.Fingerprint() {
+		t.Error("Default registry fingerprint unstable")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,6 +29,17 @@ import (
 )
 
 func main() {
+	chaosMode := flag.Bool("chaos", false,
+		"run the chaos/persistence scenario (chaos.go) instead of the standard smoke")
+	flag.Parse()
+	if *chaosMode {
+		if err := runChaos(); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke-chaos: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke-chaos: OK")
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
 		os.Exit(1)
