@@ -8,15 +8,16 @@ GO ?= go
 COVER_BASELINE ?= 78.0
 COVER_PROFILE  ?= out/cover.out
 
-.PHONY: all check build test vet race cover bench bench-json smoke smoke-chaos paper csv examples fuzz fuzz-short fmt clean
+.PHONY: all check build test vet race cover bench bench-json bench-gate smoke smoke-chaos paper csv examples fuzz fuzz-short fmt clean
 
 all: check
 
 # The default verification gate: everything must compile, pass vet,
 # pass the full test suite under the race detector, keep total
-# coverage at or above COVER_BASELINE, and bring up a real grophecyd
+# coverage at or above COVER_BASELINE, hold the benchmark regression
+# gate against the committed baseline, and bring up a real grophecyd
 # end to end.
-check: build vet race cover smoke smoke-chaos
+check: build vet race cover bench-gate smoke smoke-chaos
 
 race:
 	$(GO) test -race ./...
@@ -36,11 +37,25 @@ bench:
 
 # The same benchmark run, parsed into a machine-readable snapshot at
 # the repo root for cross-commit comparison. Bump BENCH when a change
-# is expected to move the numbers: `make bench-json BENCH=BENCH_5.json`.
-BENCH ?= BENCH_4.json
+# is expected to move the numbers: `make bench-json BENCH=BENCH_8.json`.
+BENCH ?= BENCH_7.json
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > $(BENCH)
 	@echo "wrote $(BENCH)"
+
+# Benchmark regression gate: re-run the gated hot-path benchmarks and
+# diff them against the committed baseline snapshot. Fails on >15%
+# ns/op or >10% allocs/op regression of any gated benchmark (see
+# docs/BENCHMARKS.md for re-baselining and overrides). GATE_BENCH
+# narrows the run to the gated names so the gate stays fast; -count=3
+# lets the diff gate on the min-of-3 noise floor instead of one noisy
+# run.
+BENCH_BASELINE ?= BENCH_7.json
+GATE_BENCH = ^Benchmark(EndToEndProjection|Enumerate|Union|Intersect|TransferPinned|TransferPageable|Fig2TransferSweep)$$
+bench-gate:
+	@mkdir -p out
+	$(GO) test -run='^$$' -bench='$(GATE_BENCH)' -benchmem -count=3 ./... | $(GO) run ./cmd/benchjson > out/bench-gate.json
+	$(GO) run ./cmd/benchjson diff $(BENCH_BASELINE) out/bench-gate.json
 
 # End-to-end daemon smoke test: build grophecyd, start it on an
 # ephemeral port, project a skeleton over HTTP, check the metrics

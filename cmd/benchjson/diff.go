@@ -1,0 +1,325 @@
+// The diff subcommand: compare two benchjson documents and enforce
+// the benchmark regression gate.
+//
+//	benchjson diff [flags] OLD.json NEW.json
+//
+// Every benchmark present in either document gets a row. Benchmarks
+// named by -gate (exact name or any of its sub-benchmarks) are
+// *gated*: the command fails when a gated benchmark slows down by
+// more than -ns-threshold percent, grows its allocations by more than
+// -allocs-threshold percent, or disappears from the new document.
+// Ungated rows and newly appearing benchmarks are informational.
+//
+// Exit codes: 0 no gated regression, 1 gated regression, 2 malformed
+// input (unreadable file, bad JSON, empty document, bad flags).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// defaultGate names the hot-path benchmarks the repository gates by
+// default; see docs/BENCHMARKS.md.
+const defaultGate = "EndToEndProjection,Enumerate,Union,Intersect,TransferPinned,TransferPageable,Fig2TransferSweep"
+
+// DiffRow is the comparison of one benchmark across the two
+// documents.
+type DiffRow struct {
+	Package string `json:"package"`
+	Name    string `json:"name"`
+	Procs   int    `json:"procs"`
+
+	OldNsPerOp float64 `json:"oldNsPerOp,omitempty"`
+	NewNsPerOp float64 `json:"newNsPerOp,omitempty"`
+	// NsDelta is the relative ns/op change as a display string
+	// ("+12.3%", "-4.0%", or "n/a" when the baseline is zero or the
+	// benchmark exists on one side only).
+	NsDelta string `json:"nsDelta"`
+
+	OldAllocsPerOp int64 `json:"oldAllocsPerOp"`
+	NewAllocsPerOp int64 `json:"newAllocsPerOp"`
+	// AllocsDelta is the relative allocs/op change as a display
+	// string, "n/a" when not comparable.
+	AllocsDelta string `json:"allocsDelta"`
+
+	// Gated reports whether the row participates in the gate.
+	Gated bool `json:"gated"`
+	// Status is one of "ok", "improved", "regression", "new",
+	// "removed".
+	Status string `json:"status"`
+	// Reasons explains a "regression" status.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// DiffReport is the full machine-readable diff.
+type DiffReport struct {
+	NsThresholdPct     float64   `json:"nsThresholdPct"`
+	AllocsThresholdPct float64   `json:"allocsThresholdPct"`
+	Gate               []string  `json:"gate"`
+	Rows               []DiffRow `json:"rows"`
+	// Regressions counts rows with status "regression"; the gate
+	// fails when it is non-zero.
+	Regressions int `json:"regressions"`
+}
+
+// runDiff implements `benchjson diff`. It writes the report to stdout
+// and diagnostics to stderr, and returns the process exit code.
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nsThr := fs.Float64("ns-threshold", 15,
+		"gated ns/op regression threshold in percent")
+	allocThr := fs.Float64("allocs-threshold", 10,
+		"gated allocs/op regression threshold in percent")
+	gateFlag := fs.String("gate", defaultGate,
+		"comma-separated benchmark names to gate (sub-benchmarks included)")
+	asJSON := fs.Bool("json", false, "emit the diff as JSON instead of a table")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchjson diff [flags] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldDoc, err := loadDocument(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson diff:", err)
+		return 2
+	}
+	newDoc, err := loadDocument(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson diff:", err)
+		return 2
+	}
+
+	rep := diffDocuments(oldDoc, newDoc, *nsThr, *allocThr, splitGate(*gateFlag))
+	if *asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson diff:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", out)
+	} else {
+		renderDiff(stdout, rep)
+	}
+	if rep.Regressions > 0 {
+		fmt.Fprintf(stderr, "benchjson diff: %d gated regression(s) against %s\n",
+			rep.Regressions, fs.Arg(0))
+		return 1
+	}
+	return 0
+}
+
+// loadDocument reads and validates one benchjson document.
+func loadDocument(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in document", path)
+	}
+	return &doc, nil
+}
+
+// splitGate parses the -gate flag value.
+func splitGate(s string) []string {
+	var out []string
+	for _, g := range strings.Split(s, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// isGated reports whether a benchmark name is covered by the gate:
+// either an exact gate name or a sub-benchmark of one
+// ("Transfer/pinned-4KB" is gated by "Transfer").
+func isGated(name string, gate []string) bool {
+	for _, g := range gate {
+		if name == g || strings.HasPrefix(name, g+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// benchKey identifies one benchmark across documents.
+type benchKey struct {
+	pkg   string
+	name  string
+	procs int
+}
+
+// collectMin indexes a document's results by benchmark, collapsing
+// duplicate entries (a `-count=N` run) to their per-field minimum.
+// The minimum is the standard benchmark noise floor: scheduler
+// preemption and cache pollution only ever make a run slower, so the
+// fastest of N repeats is the closest observation of the code's true
+// cost, and gating on it keeps a sub-10µs benchmark from flaking the
+// gate on machine noise.
+func collectMin(doc *Document) map[benchKey]Result {
+	by := make(map[benchKey]Result, len(doc.Benchmarks))
+	for _, r := range doc.Benchmarks {
+		k := benchKey{r.Package, r.Name, r.Procs}
+		prev, ok := by[k]
+		if !ok {
+			by[k] = r
+			continue
+		}
+		if r.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = r.NsPerOp
+		}
+		if r.BytesPerOp < prev.BytesPerOp {
+			prev.BytesPerOp = r.BytesPerOp
+		}
+		if r.AllocsPerOp < prev.AllocsPerOp {
+			prev.AllocsPerOp = r.AllocsPerOp
+		}
+		by[k] = prev
+	}
+	return by
+}
+
+// diffDocuments compares every benchmark of the two documents and
+// classifies each row against the gate and thresholds.
+func diffDocuments(oldDoc, newDoc *Document, nsThr, allocThr float64, gate []string) *DiffReport {
+	oldBy := collectMin(oldDoc)
+	newBy := collectMin(newDoc)
+	keys := make([]benchKey, 0, len(oldBy)+len(newBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	for k := range newBy {
+		if _, dup := oldBy[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.pkg != b.pkg {
+			return a.pkg < b.pkg
+		}
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.procs < b.procs
+	})
+
+	rep := &DiffReport{NsThresholdPct: nsThr, AllocsThresholdPct: allocThr, Gate: gate}
+	for _, k := range keys {
+		old, haveOld := oldBy[k]
+		cur, haveNew := newBy[k]
+		row := DiffRow{
+			Package: k.pkg, Name: k.name, Procs: k.procs,
+			Gated:       isGated(k.name, gate),
+			NsDelta:     "n/a",
+			AllocsDelta: "n/a",
+		}
+		switch {
+		case !haveNew:
+			row.Status = "removed"
+			row.OldNsPerOp, row.OldAllocsPerOp = old.NsPerOp, old.AllocsPerOp
+			if row.Gated {
+				row.Status = "regression"
+				row.Reasons = append(row.Reasons, "gated benchmark missing from new document")
+			}
+		case !haveOld:
+			row.Status = "new"
+			row.NewNsPerOp, row.NewAllocsPerOp = cur.NsPerOp, cur.AllocsPerOp
+		default:
+			row.OldNsPerOp, row.NewNsPerOp = old.NsPerOp, cur.NsPerOp
+			row.OldAllocsPerOp, row.NewAllocsPerOp = old.AllocsPerOp, cur.AllocsPerOp
+			row.Status = "ok"
+			if old.NsPerOp > 0 {
+				pct := (cur.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+				row.NsDelta = fmt.Sprintf("%+.1f%%", pct)
+				if cur.NsPerOp < old.NsPerOp {
+					row.Status = "improved"
+				}
+				if row.Gated && cur.NsPerOp > old.NsPerOp*(1+nsThr/100) {
+					row.Status = "regression"
+					row.Reasons = append(row.Reasons,
+						fmt.Sprintf("ns/op %+.1f%% exceeds %.0f%% threshold", pct, nsThr))
+				}
+			}
+			if old.AllocsPerOp > 0 {
+				pct := float64(cur.AllocsPerOp-old.AllocsPerOp) / float64(old.AllocsPerOp) * 100
+				row.AllocsDelta = fmt.Sprintf("%+.1f%%", pct)
+			} else if cur.AllocsPerOp > 0 {
+				row.AllocsDelta = "+inf"
+			} else {
+				row.AllocsDelta = "+0.0%"
+			}
+			// new > old*(1+thr/100) covers the 0 -> k case too: any
+			// allocation appearing on a previously allocation-free
+			// benchmark trips the gate.
+			if row.Gated && float64(cur.AllocsPerOp) > float64(old.AllocsPerOp)*(1+allocThr/100) {
+				row.Status = "regression"
+				row.Reasons = append(row.Reasons,
+					fmt.Sprintf("allocs/op %d -> %d exceeds %.0f%% threshold",
+						old.AllocsPerOp, cur.AllocsPerOp, allocThr))
+			}
+		}
+		if row.Status == "regression" {
+			rep.Regressions++
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// renderDiff writes the human-readable table.
+func renderDiff(w io.Writer, rep *DiffReport) {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "BENCHMARK\tOLD ns/op\tNEW ns/op\tΔns\tOLD allocs\tNEW allocs\tΔallocs\tGATED\tSTATUS")
+	for _, r := range rep.Rows {
+		name := r.Name
+		if r.Package != "" {
+			if i := strings.LastIndexByte(r.Package, '/'); i >= 0 {
+				name = r.Package[i+1:] + "." + name
+			} else {
+				name = r.Package + "." + name
+			}
+		}
+		gated := ""
+		if r.Gated {
+			gated = "yes"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%s\t%s\t%s\n",
+			name, fmtNs(r.OldNsPerOp), fmtNs(r.NewNsPerOp), r.NsDelta,
+			r.OldAllocsPerOp, r.NewAllocsPerOp, r.AllocsDelta,
+			gated, r.Status)
+		for _, reason := range r.Reasons {
+			fmt.Fprintf(tw, "  !\t%s\t\t\t\t\t\t\t\n", reason)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "%d row(s), %d gated regression(s); thresholds ns/op %.0f%%, allocs/op %.0f%%\n",
+		len(rep.Rows), rep.Regressions, rep.NsThresholdPct, rep.AllocsThresholdPct)
+}
+
+// fmtNs formats an ns/op figure, blank when absent.
+func fmtNs(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}

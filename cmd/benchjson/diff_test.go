@@ -1,0 +1,297 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mkDoc builds a document with one package for brevity.
+func mkDoc(results ...Result) *Document {
+	for i := range results {
+		if results[i].Package == "" {
+			results[i].Package = "grophecy"
+		}
+		if results[i].Procs == 0 {
+			results[i].Procs = 8
+		}
+	}
+	return &Document{Goos: "linux", Goarch: "amd64", Benchmarks: results}
+}
+
+func findRow(t *testing.T, rep *DiffReport, name string) DiffRow {
+	t.Helper()
+	for _, r := range rep.Rows {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no row for %q in %+v", name, rep.Rows)
+	return DiffRow{}
+}
+
+func TestDiffDocuments(t *testing.T) {
+	gate := splitGate(defaultGate)
+	cases := []struct {
+		name        string
+		old, new    *Document
+		wantStatus  string
+		wantRegr    int
+		wantNsDelta string
+	}{
+		{
+			name:        "improvement stays green",
+			old:         mkDoc(Result{Name: "EndToEndProjection", NsPerOp: 1000, AllocsPerOp: 100}),
+			new:         mkDoc(Result{Name: "EndToEndProjection", NsPerOp: 800, AllocsPerOp: 90}),
+			wantStatus:  "improved",
+			wantRegr:    0,
+			wantNsDelta: "-20.0%",
+		},
+		{
+			name:       "within threshold is ok",
+			old:        mkDoc(Result{Name: "EndToEndProjection", NsPerOp: 1000, AllocsPerOp: 100}),
+			new:        mkDoc(Result{Name: "EndToEndProjection", NsPerOp: 1100, AllocsPerOp: 100}),
+			wantStatus: "ok",
+			wantRegr:   0,
+		},
+		{
+			name:       "ns regression over threshold fails",
+			old:        mkDoc(Result{Name: "EndToEndProjection", NsPerOp: 1000, AllocsPerOp: 100}),
+			new:        mkDoc(Result{Name: "EndToEndProjection", NsPerOp: 1200, AllocsPerOp: 100}),
+			wantStatus: "regression",
+			wantRegr:   1,
+		},
+		{
+			name:       "allocs regression over threshold fails",
+			old:        mkDoc(Result{Name: "Union", NsPerOp: 100, AllocsPerOp: 10}),
+			new:        mkDoc(Result{Name: "Union", NsPerOp: 100, AllocsPerOp: 12}),
+			wantStatus: "regression",
+			wantRegr:   1,
+		},
+		{
+			name:       "allocs appearing on a zero baseline fails",
+			old:        mkDoc(Result{Name: "TransferPinned", NsPerOp: 100, AllocsPerOp: 0}),
+			new:        mkDoc(Result{Name: "TransferPinned", NsPerOp: 100, AllocsPerOp: 1}),
+			wantStatus: "regression",
+			wantRegr:   1,
+		},
+		{
+			name: "ungated regression is informational",
+			old:  mkDoc(Result{Name: "SomethingElse", NsPerOp: 1000}),
+			new:  mkDoc(Result{Name: "SomethingElse", NsPerOp: 5000}),
+			// Not in the gate list: never a regression.
+			wantStatus: "ok",
+			wantRegr:   0,
+		},
+		{
+			name: "new benchmark is informational",
+			old:  mkDoc(Result{Name: "Union", NsPerOp: 100}),
+			new: mkDoc(Result{Name: "Union", NsPerOp: 100},
+				Result{Name: "Intersect", NsPerOp: 50}),
+			wantStatus: "new",
+			wantRegr:   0,
+		},
+		{
+			name: "removed gated benchmark fails",
+			old: mkDoc(Result{Name: "Union", NsPerOp: 100},
+				Result{Name: "Intersect", NsPerOp: 50}),
+			new:        mkDoc(Result{Name: "Union", NsPerOp: 100}),
+			wantStatus: "regression",
+			wantRegr:   1,
+		},
+		{
+			name:        "zero-ns baseline is n/a, not a division crash",
+			old:         mkDoc(Result{Name: "Enumerate", NsPerOp: 0, AllocsPerOp: 0}),
+			new:         mkDoc(Result{Name: "Enumerate", NsPerOp: 100, AllocsPerOp: 0}),
+			wantStatus:  "ok",
+			wantRegr:    0,
+			wantNsDelta: "n/a",
+		},
+		{
+			name:       "gated sub-benchmark is covered",
+			old:        mkDoc(Result{Name: "Union/large-overlap", NsPerOp: 100}),
+			new:        mkDoc(Result{Name: "Union/large-overlap", NsPerOp: 200}),
+			wantStatus: "regression",
+			wantRegr:   1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep := diffDocuments(c.old, c.new, 15, 10, gate)
+			if rep.Regressions != c.wantRegr {
+				t.Fatalf("regressions = %d, want %d\nrows: %+v", rep.Regressions, c.wantRegr, rep.Rows)
+			}
+			// The interesting row is the one whose status we asserted;
+			// find it by scanning for the expected status.
+			var hit bool
+			for _, r := range rep.Rows {
+				if r.Status == c.wantStatus {
+					hit = true
+					if c.wantNsDelta != "" && r.NsDelta != c.wantNsDelta {
+						t.Fatalf("nsDelta = %q, want %q", r.NsDelta, c.wantNsDelta)
+					}
+				}
+			}
+			if !hit {
+				t.Fatalf("no row with status %q in %+v", c.wantStatus, rep.Rows)
+			}
+		})
+	}
+}
+
+func TestDiffCollapsesRepeatedRunsToMinimum(t *testing.T) {
+	// A -count=3 document carries three results per benchmark; the
+	// diff gates on the per-field minimum (the noise floor), so one
+	// noisy repeat must not fail an otherwise healthy benchmark.
+	old := mkDoc(Result{Name: "Enumerate", NsPerOp: 5000, AllocsPerOp: 16})
+	new := mkDoc(
+		Result{Name: "Enumerate", NsPerOp: 6200, AllocsPerOp: 16}, // noisy outlier, +24%
+		Result{Name: "Enumerate", NsPerOp: 5100, AllocsPerOp: 16},
+		Result{Name: "Enumerate", NsPerOp: 5050, AllocsPerOp: 16},
+	)
+	rep := diffDocuments(old, new, 15, 10, splitGate(defaultGate))
+	if rep.Regressions != 0 {
+		t.Fatalf("min-of-N should absorb the outlier, got %+v", rep.Rows)
+	}
+	row := findRow(t, rep, "Enumerate")
+	if row.NewNsPerOp != 5050 {
+		t.Fatalf("newNsPerOp = %v, want the minimum 5050", row.NewNsPerOp)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("repeats must collapse to one row, got %d", len(rep.Rows))
+	}
+
+	// A real regression survives the minimum: all repeats slow.
+	allSlow := mkDoc(
+		Result{Name: "Enumerate", NsPerOp: 6200, AllocsPerOp: 16},
+		Result{Name: "Enumerate", NsPerOp: 6100, AllocsPerOp: 16},
+		Result{Name: "Enumerate", NsPerOp: 6300, AllocsPerOp: 16},
+	)
+	if rep := diffDocuments(old, allSlow, 15, 10, splitGate(defaultGate)); rep.Regressions != 1 {
+		t.Fatalf("uniformly slow repeats must still regress, got %+v", rep.Rows)
+	}
+}
+
+func TestDiffRegressionCarriesReason(t *testing.T) {
+	rep := diffDocuments(
+		mkDoc(Result{Name: "Enumerate", NsPerOp: 1000, AllocsPerOp: 4}),
+		mkDoc(Result{Name: "Enumerate", NsPerOp: 2000, AllocsPerOp: 8}),
+		15, 10, splitGate(defaultGate))
+	row := findRow(t, rep, "Enumerate")
+	if row.Status != "regression" || len(row.Reasons) != 2 {
+		t.Fatalf("want a regression with both an ns and an allocs reason, got %+v", row)
+	}
+}
+
+// writeDoc marshals a document to a temp file and returns its path.
+func writeDoc(t *testing.T, dir, name string, doc *Document) string {
+	t.Helper()
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunDiffGateRejectsSlowedBenchmark is the gate's own end-to-end
+// test: a deliberately slowed gated benchmark (3x the baseline ns/op)
+// must be rejected with exit code 1.
+func TestRunDiffGateRejectsSlowedBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json",
+		mkDoc(Result{Name: "EndToEndProjection", NsPerOp: 1_000_000, AllocsPerOp: 500}))
+	newPath := writeDoc(t, dir, "new.json",
+		mkDoc(Result{Name: "EndToEndProjection", NsPerOp: 3_000_000, AllocsPerOp: 500}))
+	var out, errb bytes.Buffer
+	if code := runDiff([]string{oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("regression")) {
+		t.Fatalf("table does not mention the regression:\n%s", out.String())
+	}
+}
+
+func TestRunDiffCleanComparisonExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json",
+		mkDoc(Result{Name: "EndToEndProjection", NsPerOp: 1000, AllocsPerOp: 500}))
+	newPath := writeDoc(t, dir, "new.json",
+		mkDoc(Result{Name: "EndToEndProjection", NsPerOp: 900, AllocsPerOp: 450}))
+	var out, errb bytes.Buffer
+	if code := runDiff([]string{oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s", code, errb.String())
+	}
+}
+
+func TestRunDiffJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", mkDoc(Result{Name: "Union", NsPerOp: 100, AllocsPerOp: 1}))
+	newPath := writeDoc(t, dir, "new.json", mkDoc(Result{Name: "Union", NsPerOp: 300, AllocsPerOp: 1}))
+	var out, errb bytes.Buffer
+	if code := runDiff([]string{"-json", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var rep DiffReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Regressions != 1 || len(rep.Rows) != 1 || rep.Rows[0].Status != "regression" {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+func TestRunDiffMalformedInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeDoc(t, dir, "good.json", mkDoc(Result{Name: "Union", NsPerOp: 100}))
+	notJSON := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(notJSON, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"missing file", []string{good, filepath.Join(dir, "nope.json")}},
+		{"invalid JSON", []string{notJSON, good}},
+		{"empty document", []string{good, empty}},
+		{"wrong arg count", []string{good}},
+		{"bad flag", []string{"-ns-threshold=abc", good, good}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := runDiff(c.args, &out, &errb); code != 2 {
+				t.Fatalf("exit = %d, want 2\nstderr: %s", code, errb.String())
+			}
+		})
+	}
+}
+
+func TestRunDiffCustomGateAndThresholds(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", mkDoc(Result{Name: "MyBench", NsPerOp: 100}))
+	newPath := writeDoc(t, dir, "new.json", mkDoc(Result{Name: "MyBench", NsPerOp: 140}))
+	var out, errb bytes.Buffer
+	// Default gate ignores MyBench entirely.
+	if code := runDiff([]string{oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("default gate: exit = %d, want 0", code)
+	}
+	// Gating it with a generous threshold still passes...
+	if code := runDiff([]string{"-gate=MyBench", "-ns-threshold=50", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("generous threshold: exit = %d, want 0", code)
+	}
+	// ...and a tight one fails.
+	if code := runDiff([]string{"-gate=MyBench", "-ns-threshold=10", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("tight threshold: exit = %d, want 1", code)
+	}
+}

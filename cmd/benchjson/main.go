@@ -12,6 +12,13 @@
 // and ignores PASS/ok/FAIL trailer lines. Exits non-zero when the
 // input contains no benchmark results at all — an upstream compile
 // failure would otherwise silently produce an empty document.
+//
+// The diff subcommand compares two such documents and enforces the
+// repository's benchmark regression gate:
+//
+//	benchjson diff BENCH_7.json out/bench-gate.json
+//
+// See diff.go for thresholds and exit codes.
 package main
 
 import (
@@ -43,6 +50,9 @@ type Document struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -100,16 +110,9 @@ func parseResult(line string) (Result, bool, error) {
 		return Result{}, false, nil
 	}
 	var r Result
-	name, procs, ok := strings.Cut(f[0], "-")
+	name, procs := splitProcs(f[0])
 	r.Name = strings.TrimPrefix(name, "Benchmark")
-	r.Procs = 1
-	if ok {
-		p, err := strconv.Atoi(procs)
-		if err != nil {
-			return Result{}, false, fmt.Errorf("bad GOMAXPROCS suffix in %q", f[0])
-		}
-		r.Procs = p
-	}
+	r.Procs = procs
 	iters, err := strconv.ParseInt(f[1], 10, 64)
 	if err != nil {
 		return Result{}, false, fmt.Errorf("bad iteration count in %q", line)
@@ -130,6 +133,25 @@ func parseResult(line string) (Result, bool, error) {
 		}
 	}
 	return r, true, nil
+}
+
+// splitProcs splits a benchmark token into its name and GOMAXPROCS
+// suffix. The suffix is whatever follows the *last* hyphen, and only
+// if it is all digits — benchmark and sub-benchmark names may
+// themselves contain hyphens ("BenchmarkTransfer/pinned-4KB-8"), so
+// cutting at the first hyphen corrupts them. A token with no numeric
+// suffix is a complete name run at GOMAXPROCS=1 (go test omits the
+// suffix for -cpu=1).
+func splitProcs(tok string) (name string, procs int) {
+	i := strings.LastIndexByte(tok, '-')
+	if i < 0 || i+1 == len(tok) {
+		return tok, 1
+	}
+	p, err := strconv.Atoi(tok[i+1:])
+	if err != nil || p <= 0 {
+		return tok, 1
+	}
+	return tok[:i], p
 }
 
 // hasUnitPairs reports whether fields look like value/unit pairs.

@@ -54,6 +54,52 @@ func TestParseRejectsEmptyInput(t *testing.T) {
 	}
 }
 
+func TestParseHyphenatedSubBenchmarkNames(t *testing.T) {
+	// Sub-benchmark names may contain hyphens; only a trailing
+	// all-digits suffix is the GOMAXPROCS count. A first-hyphen split
+	// would truncate "Transfer/pinned-4KB-8" to "Transfer/pinned".
+	in := `pkg: grophecy/internal/pcie
+BenchmarkTransfer/pinned-4KB-8   	 1000000	      1050 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTransfer/pageable-64MB   	     100	  99999 ns/op
+PASS
+`
+	doc, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	if b := doc.Benchmarks[0]; b.Name != "Transfer/pinned-4KB" || b.Procs != 8 {
+		t.Fatalf("hyphenated name parsed as %q procs %d, want Transfer/pinned-4KB procs 8", b.Name, b.Procs)
+	}
+	// No numeric suffix at all: the final "-64MB" is part of the name.
+	if b := doc.Benchmarks[1]; b.Name != "Transfer/pageable-64MB" || b.Procs != 1 {
+		t.Fatalf("suffix-free name parsed as %q procs %d, want Transfer/pageable-64MB procs 1", b.Name, b.Procs)
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		tok   string
+		name  string
+		procs int
+	}{
+		{"BenchmarkUnion-8", "BenchmarkUnion", 8},
+		{"BenchmarkUnion", "BenchmarkUnion", 1},
+		{"BenchmarkTransfer/pinned-4KB-16", "BenchmarkTransfer/pinned-4KB", 16},
+		{"BenchmarkTransfer/pinned-4KB", "BenchmarkTransfer/pinned-4KB", 1},
+		{"BenchmarkX-", "BenchmarkX-", 1},
+		{"BenchmarkX-0", "BenchmarkX-0", 1},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.tok)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", c.tok, name, procs, c.name, c.procs)
+		}
+	}
+}
+
 func TestParseSkipsBareNameLines(t *testing.T) {
 	// -v interleaves a bare "BenchmarkX" line before the result line.
 	in := sample + "BenchmarkDangling\n"

@@ -182,7 +182,7 @@ func main() {
 	}
 
 	if *showTime {
-		chart, err := timeline.Render(timeline.FromReport(rep), 64)
+		chart, err := timeline.Chart(rep, 64)
 		if err != nil {
 			fatal(err)
 		}
@@ -221,6 +221,8 @@ func flushObservability(tracer *trace.Tracer, traceOut string, showSpans, showMe
 		fmt.Println()
 		fmt.Print(metrics.Default.Dump())
 	}
+	// The trace's life ends here: recycle its spans.
+	tracer.Release()
 }
 
 // printDiagnostics shows, per kernel, what the analytical model and

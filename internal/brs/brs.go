@@ -312,11 +312,9 @@ func Union(a, b Section) Section {
 	if b.Empty() {
 		return a
 	}
-	bounds := make([]Bound, len(a.Bounds))
-	for i := range bounds {
-		bounds[i] = a.Bounds[i].union(b.Bounds[i])
-	}
-	return Section{Array: a.Array, Bounds: bounds}
+	// The general case is memoized by operand content (cache.go): the
+	// hull depends only on the bounds, never on the array object.
+	return Section{Array: a.Array, Bounds: unionBounds(a.Bounds, b.Bounds)}
 }
 
 // Intersect returns the conservative intersection of two sections and
@@ -336,13 +334,11 @@ func Intersect(a, b Section) (Section, bool) {
 	if b.Whole {
 		return a, true
 	}
-	bounds := make([]Bound, len(a.Bounds))
-	for i := range bounds {
-		ib, ok := a.Bounds[i].intersect(b.Bounds[i])
-		if !ok {
-			return Section{}, false
-		}
-		bounds[i] = ib
+	// The general case is memoized by operand content (cache.go);
+	// proven-empty intersections are cached too.
+	bounds, ok := intersectBounds(a.Bounds, b.Bounds)
+	if !ok {
+		return Section{}, false
 	}
 	return Section{Array: a.Array, Bounds: bounds}, true
 }

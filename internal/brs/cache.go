@@ -1,0 +1,252 @@
+// Content-addressed memoization of the section algebra.
+//
+// Union and Intersect of non-whole, non-empty sections depend only on
+// the operand bounds — never on the array object (whole-array and
+// empty operands are resolved by the fast paths before the cache is
+// consulted, and an Array always has at least one element, so a
+// whole-array section is never empty). That makes the result safely
+// shareable across requests even though the daemon re-parses
+// skeletons — and therefore re-allocates Array objects — per request:
+// the cached value stores only the result bounds, and the caller's
+// array pointer is re-attached on the way out.
+//
+// Keys are the full binary encodings of both operands' bounds, so
+// collisions are impossible rather than improbable; the section
+// algebra is conservative-but-never-under-approximate, and a hash
+// collision here could under-approximate. Results are cloned on every
+// hit: Section.Bounds is a mutable slice in caller hands.
+//
+// Admission policy: memoization only pays when recomputing costs more
+// than key building + lookup + result cloning. Per-dimension union is
+// min/max/gcd and intersection is min/max — for the 1-2D sections the
+// paper workloads produce, the direct math is cheaper than any hash
+// lookup, so low-rank operations bypass the cache entirely
+// (opCacheMinRank). High-rank sections, whose gcd chains and bound
+// loops grow linearly while lookup cost stays flat, go through the
+// memo. BenchmarkUnion/BenchmarkIntersect pin the low-rank direct
+// path; BenchmarkUnionHighRank pins the memoized one.
+package brs
+
+import (
+	"strconv"
+	"sync"
+
+	"grophecy/internal/metrics"
+)
+
+var (
+	mCacheHits = metrics.Default.MustCounter("brs_cache_hits_total",
+		"section-algebra cache hits")
+	mCacheMisses = metrics.Default.MustCounter("brs_cache_misses_total",
+		"section-algebra cache misses")
+	mCacheEvictions = metrics.Default.MustCounter("brs_cache_evictions_total",
+		"section-algebra cache entries evicted at capacity")
+)
+
+// maxOpCacheEntries bounds the operation cache; entries are tiny
+// (a handful of Bounds), evicted FIFO.
+const maxOpCacheEntries = 4096
+
+// opCacheMinRank is the minimum operand rank at which the memo is
+// consulted; below it the direct per-dimension math wins outright.
+const opCacheMinRank = 3
+
+// opResult is one memoized Union or Intersect outcome. For Intersect,
+// ok=false records a proven-empty intersection.
+type opResult struct {
+	bounds []Bound
+	ok     bool
+}
+
+type opCache struct {
+	mu      sync.Mutex
+	enabled bool
+	results map[string]opResult
+	order   []string
+	hits    int64
+	misses  int64
+}
+
+var sectionCache = &opCache{enabled: true, results: make(map[string]opResult)}
+
+var opKeyPool = sync.Pool{New: func() any { b := make([]byte, 0, 160); return &b }}
+
+// appendBounds encodes a bounds list; the leading length keeps
+// (a, b) operand pairs of different ranks from aliasing.
+func appendBounds(dst []byte, bs []Bound) []byte {
+	dst = strconv.AppendInt(dst, int64(len(bs)), 10)
+	for _, b := range bs {
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, b.Lo, 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, b.Hi, 10)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, b.Stride, 10)
+	}
+	return dst
+}
+
+// opKey builds the cache key for one operation over two bound lists.
+func opKey(dst []byte, op byte, a, b []Bound) []byte {
+	dst = append(dst, op)
+	dst = appendBounds(dst, a)
+	dst = append(dst, '|')
+	return appendBounds(dst, b)
+}
+
+func (c *opCache) lookup(key []byte) (opResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.enabled {
+		return opResult{}, false
+	}
+	r, ok := c.results[string(key)]
+	if ok {
+		c.hits++
+		mCacheHits.Inc()
+	}
+	return r, ok
+}
+
+func (c *opCache) insert(key []byte, r opResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.misses++
+	mCacheMisses.Inc()
+	if !c.enabled {
+		return
+	}
+	if _, ok := c.results[string(key)]; ok {
+		return
+	}
+	ks := string(key)
+	for len(c.order) >= maxOpCacheEntries {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.results, oldest)
+		mCacheEvictions.Inc()
+	}
+	c.results[ks] = r
+	c.order = append(c.order, ks)
+}
+
+// cloneBounds copies a cached bounds list for caller ownership.
+func cloneBounds(bs []Bound) []Bound {
+	out := make([]Bound, len(bs))
+	copy(out, bs)
+	return out
+}
+
+// CacheStats is a point-in-time snapshot of the section-algebra cache.
+type CacheStats struct {
+	Hits, Misses int64
+	Entries      int
+	Enabled      bool
+}
+
+// Stats returns the current cache counters.
+func Stats() CacheStats {
+	sectionCache.mu.Lock()
+	defer sectionCache.mu.Unlock()
+	return CacheStats{
+		Hits:    sectionCache.hits,
+		Misses:  sectionCache.misses,
+		Entries: len(sectionCache.results),
+		Enabled: sectionCache.enabled,
+	}
+}
+
+// SetCacheEnabled switches the memoization on or off (on by default)
+// and reports the previous setting. Disabling clears the cache.
+func SetCacheEnabled(on bool) bool {
+	sectionCache.mu.Lock()
+	defer sectionCache.mu.Unlock()
+	prev := sectionCache.enabled
+	sectionCache.enabled = on
+	if !on {
+		sectionCache.results = make(map[string]opResult)
+		sectionCache.order = nil
+	}
+	return prev
+}
+
+// ResetCache drops every cached result and zeroes the hit/miss
+// counters, leaving the enabled flag as is.
+func ResetCache() {
+	sectionCache.mu.Lock()
+	defer sectionCache.mu.Unlock()
+	sectionCache.results = make(map[string]opResult)
+	sectionCache.order = nil
+	sectionCache.hits, sectionCache.misses = 0, 0
+}
+
+// unionDirect is the uncached per-dimension hull.
+func unionDirect(a, b []Bound) []Bound {
+	bounds := make([]Bound, len(a))
+	for i := range bounds {
+		bounds[i] = a[i].union(b[i])
+	}
+	return bounds
+}
+
+// intersectDirect is the uncached per-dimension intersection.
+func intersectDirect(a, b []Bound) ([]Bound, bool) {
+	bounds := make([]Bound, len(a))
+	for i := range bounds {
+		ib, ok := a[i].intersect(b[i])
+		if !ok {
+			return nil, false
+		}
+		bounds[i] = ib
+	}
+	return bounds, true
+}
+
+// unionBounds computes (or recalls) the per-dimension hull of two
+// equal-rank bound lists.
+func unionBounds(a, b []Bound) []Bound {
+	if len(a) < opCacheMinRank {
+		return unionDirect(a, b)
+	}
+	bufp := opKeyPool.Get().(*[]byte)
+	key := opKey((*bufp)[:0], 'U', a, b)
+	if r, ok := sectionCache.lookup(key); ok {
+		*bufp = key[:0]
+		opKeyPool.Put(bufp)
+		return cloneBounds(r.bounds)
+	}
+	bounds := unionDirect(a, b)
+	sectionCache.insert(key, opResult{bounds: cloneBounds(bounds), ok: true})
+	*bufp = key[:0]
+	opKeyPool.Put(bufp)
+	return bounds
+}
+
+// intersectBounds computes (or recalls) the per-dimension
+// intersection; ok is false when any dimension is disjoint.
+func intersectBounds(a, b []Bound) ([]Bound, bool) {
+	if len(a) < opCacheMinRank {
+		return intersectDirect(a, b)
+	}
+	bufp := opKeyPool.Get().(*[]byte)
+	key := opKey((*bufp)[:0], 'I', a, b)
+	if r, ok := sectionCache.lookup(key); ok {
+		*bufp = key[:0]
+		opKeyPool.Put(bufp)
+		if !r.ok {
+			return nil, false
+		}
+		return cloneBounds(r.bounds), true
+	}
+	bounds, okAll := intersectDirect(a, b)
+	if !okAll {
+		sectionCache.insert(key, opResult{})
+		*bufp = key[:0]
+		opKeyPool.Put(bufp)
+		return nil, false
+	}
+	sectionCache.insert(key, opResult{bounds: cloneBounds(bounds), ok: true})
+	*bufp = key[:0]
+	opKeyPool.Put(bufp)
+	return bounds, true
+}

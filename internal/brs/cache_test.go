@@ -1,0 +1,145 @@
+package brs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"grophecy/internal/skeleton"
+)
+
+// highRankSections builds a pair of rank-r sections over one array,
+// the shape that passes the cache admission policy.
+func highRankSections(r int, shift int64) (Section, Section) {
+	dims := make([]int64, r)
+	for i := range dims {
+		dims[i] = 64
+	}
+	a := skeleton.NewArray("hr", skeleton.Float32, dims...)
+	b1 := make([]Bound, r)
+	b2 := make([]Bound, r)
+	for i := range b1 {
+		b1[i] = Bound{Lo: 0, Hi: 40, Stride: 2}
+		b2[i] = Bound{Lo: shift, Hi: 40 + shift, Stride: 4}
+	}
+	return Section{Array: a, Bounds: b1}, Section{Array: a, Bounds: b2}
+}
+
+// TestCachedOpsMatchDirect: across random high-rank bound pairs, the
+// memoized Union/Intersect must equal the direct computation on both
+// the miss and the hit path, and the hit path must actually hit.
+func TestCachedOpsMatchDirect(t *testing.T) {
+	prev := SetCacheEnabled(true)
+	defer SetCacheEnabled(prev)
+	ResetCache()
+
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 80; i++ {
+		r := opCacheMinRank + rng.Intn(3)
+		b1 := make([]Bound, r)
+		b2 := make([]Bound, r)
+		for d := 0; d < r; d++ {
+			b1[d] = Bound{Lo: int64(rng.Intn(16)), Hi: int64(16 + rng.Intn(64)), Stride: int64(1 + rng.Intn(4))}
+			b2[d] = Bound{Lo: int64(rng.Intn(64)), Hi: int64(32 + rng.Intn(64)), Stride: int64(1 + rng.Intn(4))}
+		}
+
+		wantU := unionDirect(b1, b2)
+		wantI, wantOK := intersectDirect(b1, b2)
+
+		for pass := 0; pass < 2; pass++ { // miss, then hit
+			gotU := unionBounds(b1, b2)
+			if !reflect.DeepEqual(gotU, wantU) {
+				t.Fatalf("pair %d pass %d: union mismatch: got %v want %v", i, pass, gotU, wantU)
+			}
+			gotI, gotOK := intersectBounds(b1, b2)
+			if gotOK != wantOK || !reflect.DeepEqual(gotI, wantI) {
+				t.Fatalf("pair %d pass %d: intersect mismatch: got %v,%v want %v,%v",
+					i, pass, gotI, gotOK, wantI, wantOK)
+			}
+		}
+	}
+	if st := Stats(); st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("high-rank operations did not exercise the cache: %+v", st)
+	}
+}
+
+// TestCacheAdmissionPolicy: low-rank operations bypass the memo
+// (direct math is cheaper), high-rank ones go through it.
+func TestCacheAdmissionPolicy(t *testing.T) {
+	prev := SetCacheEnabled(true)
+	defer SetCacheEnabled(prev)
+	ResetCache()
+
+	ac, loops := benchAccess() // 2D: below opCacheMinRank
+	s1 := FromAccess(ac, loops)
+	s2 := s1
+	s2.Bounds = append([]Bound(nil), s1.Bounds...)
+	s2.Bounds[0].Lo += 7
+	Union(s1, s2)
+	Union(s1, s2)
+	if st := Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("low-rank union consulted the cache: %+v", st)
+	}
+
+	h1, h2 := highRankSections(opCacheMinRank, 8)
+	Union(h1, h2)
+	Union(h1, h2)
+	if st := Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("high-rank union did not memoize (want 1 miss + 1 hit): %+v", st)
+	}
+}
+
+// TestCachedResultIsCallerOwned: mutating a returned section must not
+// poison the memo.
+func TestCachedResultIsCallerOwned(t *testing.T) {
+	prev := SetCacheEnabled(true)
+	defer SetCacheEnabled(prev)
+	ResetCache()
+
+	h1, h2 := highRankSections(opCacheMinRank, 8)
+	first := Union(h1, h2)
+	want := first.Bounds[0]
+	first.Bounds[0] = Bound{Lo: -999, Hi: -999, Stride: 1}
+	second := Union(h1, h2)
+	if second.Bounds[0] != want {
+		t.Fatalf("caller mutation leaked into the cache: %+v", second.Bounds[0])
+	}
+}
+
+// TestCacheDisabledStillCorrect: with the memo off, high-rank ops
+// compute directly and Stats stays flat.
+func TestCacheDisabledStillCorrect(t *testing.T) {
+	prev := SetCacheEnabled(false)
+	defer SetCacheEnabled(prev)
+
+	h1, h2 := highRankSections(opCacheMinRank+1, 4)
+	u := Union(h1, h2)
+	if got := unionDirect(h1.Bounds, h2.Bounds); !reflect.DeepEqual(u.Bounds, got) {
+		t.Fatalf("disabled-cache union mismatch: %v vs %v", u.Bounds, got)
+	}
+}
+
+// TestCacheEvictionBound: the FIFO bound holds under churn.
+func TestCacheEvictionBound(t *testing.T) {
+	prev := SetCacheEnabled(true)
+	defer SetCacheEnabled(prev)
+	ResetCache()
+
+	for i := 0; i < maxOpCacheEntries+50; i++ {
+		h1, h2 := highRankSections(opCacheMinRank, int64(i%1000))
+		h1.Bounds[0].Lo = int64(i) // unique key per iteration
+		Union(h1, h2)
+	}
+	if st := Stats(); st.Entries > maxOpCacheEntries {
+		t.Fatalf("cache grew to %d entries, bound is %d", st.Entries, maxOpCacheEntries)
+	}
+}
+
+func BenchmarkUnionHighRank(b *testing.B) {
+	h1, h2 := highRankSections(4, 8)
+	Union(h1, h2) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Union(h1, h2)
+	}
+}

@@ -198,6 +198,7 @@ func (kernelStage) Name() string { return "kernels" }
 
 func (kernelStage) Run(ctx context.Context, st *EvalState) error {
 	p, w := st.Projector, st.Workload
+	st.Report.Kernels = make([]KernelResult, 0, len(w.Seq.Kernels))
 	for _, k := range w.Seq.Kernels {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -238,37 +239,40 @@ func (transferStage) Name() string { return "transfers" }
 
 func (transferStage) Run(ctx context.Context, st *EvalState) error {
 	p := st.Projector
-	for _, tr := range append(append([]datausage.Transfer(nil), st.Plan.Uploads...), st.Plan.Downloads...) {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		dir := pcie.HostToDevice
-		if tr.Dir == datausage.Download {
-			dir = pcie.DeviceToHost
-		}
-		tctx := obs.WithPhase(ctx, "transfer")
-		tctx, tspan := trace.Start(tctx, "transfer "+tr.String(),
-			trace.Int("bytes", tr.Bytes()),
-			trace.String("dir", tr.Dir.String()))
-		pred, err := p.model.Predict(dir, tr.Bytes())
-		if err != nil {
+	st.Report.Transfers = make([]TransferResult, 0, len(st.Plan.Uploads)+len(st.Plan.Downloads))
+	for _, group := range [2][]datausage.Transfer{st.Plan.Uploads, st.Plan.Downloads} {
+		for _, tr := range group {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			dir := pcie.HostToDevice
+			if tr.Dir == datausage.Download {
+				dir = pcie.DeviceToHost
+			}
+			tctx := obs.WithPhase(ctx, "transfer")
+			tctx, tspan := trace.Start(tctx, "transfer "+tr.String(),
+				trace.Int("bytes", tr.Bytes()),
+				trace.String("dir", tr.Dir.String()))
+			pred, err := p.model.Predict(dir, tr.Bytes())
+			if err != nil {
+				tspan.End()
+				return err
+			}
+			meas, err := p.measureTransfer(tctx, tr.String(), dir, tr.Bytes(), pred, &st.Report.Degradations)
+			if err != nil {
+				tspan.End()
+				return err
+			}
+			st.Report.Transfers = append(st.Report.Transfers, TransferResult{
+				Transfer:  tr,
+				Predicted: pred,
+				Measured:  meas,
+			})
+			tspan.SetAttr(trace.Float("pred_s", pred))
+			tspan.SetAttr(trace.Float("meas_s", meas))
+			tspan.Advance(pred)
 			tspan.End()
-			return err
 		}
-		meas, err := p.measureTransfer(tctx, tr.String(), dir, tr.Bytes(), pred, &st.Report.Degradations)
-		if err != nil {
-			tspan.End()
-			return err
-		}
-		st.Report.Transfers = append(st.Report.Transfers, TransferResult{
-			Transfer:  tr,
-			Predicted: pred,
-			Measured:  meas,
-		})
-		tspan.SetAttr(trace.Float("pred_s", pred))
-		tspan.SetAttr(trace.Float("meas_s", meas))
-		tspan.Advance(pred)
-		tspan.End()
 	}
 	return nil
 }

@@ -1,0 +1,54 @@
+package golden
+
+import (
+	"bytes"
+	"testing"
+
+	"grophecy/internal/brs"
+	"grophecy/internal/report"
+	"grophecy/internal/transform"
+)
+
+// TestReportsIdenticalWithCachesOnAndOff is the memoization soundness
+// gate at the whole-pipeline level: every golden workload must render
+// a byte-identical report with the transform and brs caches disabled
+// (pure cold computation), freshly enabled (miss path), and warm (hit
+// path). Any divergence means a cache is returning something other
+// than what the cold path computes — a correctness bug, not a
+// performance bug.
+func TestReportsIdenticalWithCachesOnAndOff(t *testing.T) {
+	prevT := transform.SetCacheEnabled(true)
+	prevB := brs.SetCacheEnabled(true)
+	defer func() {
+		transform.SetCacheEnabled(prevT)
+		brs.SetCacheEnabled(prevB)
+	}()
+
+	for _, name := range skeletons {
+		t.Run(name, func(t *testing.T) {
+			transform.SetCacheEnabled(false)
+			brs.SetCacheEnabled(false)
+			cold := []byte(report.Text(evaluate(t, name)))
+
+			// Re-enable: SetCacheEnabled(false) cleared both caches,
+			// so the first warm run is all misses, the second all
+			// hits.
+			transform.SetCacheEnabled(true)
+			brs.SetCacheEnabled(true)
+			miss := []byte(report.Text(evaluate(t, name)))
+			hit := []byte(report.Text(evaluate(t, name)))
+
+			if !bytes.Equal(cold, miss) {
+				t.Errorf("%s: cold and miss-path reports differ\n--- cold ---\n%s\n--- miss ---\n%s",
+					name, cold, miss)
+			}
+			if !bytes.Equal(cold, hit) {
+				t.Errorf("%s: cold and hit-path reports differ\n--- cold ---\n%s\n--- hit ---\n%s",
+					name, cold, hit)
+			}
+			// And both must match the committed golden file: the
+			// caches change nothing about the pinned output.
+			check(t, name+".txt", hit)
+		})
+	}
+}

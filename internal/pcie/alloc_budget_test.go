@@ -1,0 +1,39 @@
+package pcie
+
+import (
+	"testing"
+
+	"grophecy/internal/units"
+)
+
+// The simulated bus transfer is the single hottest call of the
+// transfer-modeling path (every measured transfer of every
+// evaluation). It must stay allocation-free: the noise PRNG, stats
+// accounting, and timing model all work on fixed-size values.
+
+func TestTransferAllocBudget(t *testing.T) {
+	bus := NewBus(DefaultConfig())
+	cases := []struct {
+		name string
+		dir  Direction
+		kind MemoryKind
+	}{
+		{"pinned upload", HostToDevice, Pinned},
+		{"pinned download", DeviceToHost, Pinned},
+		{"pageable upload", HostToDevice, Pageable},
+		{"pageable download", DeviceToHost, Pageable},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := testing.AllocsPerRun(200, func() {
+				if _, err := bus.Transfer(c.dir, c.kind, units.MB); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got != 0 {
+				t.Fatalf("Transfer(%s, %s) allocates %.0f per op, budget is 0",
+					c.dir, c.kind, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package perfmodel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"grophecy/internal/gpu"
+)
+
+// ProjectBestParallel is ProjectBest with the per-candidate
+// projections evaluated on a bounded pool of workers. Candidates are
+// claimed from a shared atomic counter, results land in per-index
+// slots, and the winner is selected by a sequential reduction in
+// index order that replicates ProjectBest's semantics exactly
+// (earlier index wins ties, non-launchable candidates are skipped) —
+// so the result is bit-identical to the sequential path regardless of
+// scheduling. Project is pure arithmetic over value types; workers
+// share no mutable state beyond their disjoint result slots.
+//
+// workers <= 1, or fewer candidates than workers, falls back to the
+// sequential ProjectBest.
+func ProjectBestParallel(arch gpu.Arch, candidates []Characteristics, workers int) (Projection, int, error) {
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers <= 1 {
+		return ProjectBest(arch, candidates)
+	}
+
+	results := make([]Projection, len(candidates))
+	launchable := make([]bool, len(candidates))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(candidates) {
+					return
+				}
+				if p, err := Project(arch, candidates[i]); err == nil {
+					results[i], launchable[i] = p, true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	bestIdx := -1
+	var best Projection
+	for i := range candidates {
+		if !launchable[i] {
+			continue
+		}
+		if bestIdx < 0 || results[i].Time < best.Time {
+			best, bestIdx = results[i], i
+		}
+	}
+	if bestIdx < 0 {
+		return Projection{}, -1, errNoCandidate(arch)
+	}
+	return best, bestIdx, nil
+}

@@ -97,10 +97,28 @@ type Tracer struct {
 	root  *Span
 }
 
+// spanPool recycles span nodes across trace trees. Spans are only
+// returned to the pool by Tracer.Release, which owners call when a
+// trace's life provably ends; a tracer whose spans are retained
+// elsewhere (e.g. the daemon's flight ring) is simply never released
+// and costs one allocation per span, as before.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// newSpan takes a span from the pool and initializes it.
+func newSpan(tr *Tracer, name string, parent *Span, attrs []Attr, start float64) *Span {
+	s := spanPool.Get().(*Span)
+	s.tr, s.name, s.parent = tr, name, parent
+	s.attrs = attrs
+	s.start, s.end = start, 0
+	s.closed = false
+	s.children = s.children[:0]
+	return s
+}
+
 // New returns a tracer whose root span is open at simulated time 0.
 func New(rootName string) *Tracer {
 	t := &Tracer{}
-	t.root = &Span{tr: t, name: rootName}
+	t.root = newSpan(t, rootName, nil, nil, 0)
 	return t
 }
 
@@ -175,9 +193,42 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 func (t *Tracer) startChild(parent *Span, name string, attrs []Attr) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	s := &Span{tr: t, name: name, parent: parent, attrs: attrs, start: t.clock}
+	s := newSpan(t, name, parent, attrs, t.clock)
 	parent.children = append(parent.children, s)
 	return s
+}
+
+// Release recycles every span of the trace into the shared pool and
+// leaves the tracer empty. Call it only when the trace's life has
+// ended and no span or child-slice reference escapes — after an
+// export, or when a per-operation tracer goes out of scope. Using any
+// previously obtained *Span after Release is a logic error (the span
+// may already be serving another tracer). A nil tracer is a no-op, so
+// untraced paths need no check.
+func (t *Tracer) Release() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	root := t.root
+	t.root = nil
+	t.clock = 0
+	t.mu.Unlock()
+	if root != nil {
+		releaseSpan(root)
+	}
+}
+
+// releaseSpan returns a span subtree to the pool.
+func releaseSpan(s *Span) {
+	for i, c := range s.children {
+		releaseSpan(c)
+		s.children[i] = nil
+	}
+	s.children = s.children[:0]
+	s.tr, s.parent, s.attrs = nil, nil, nil
+	s.name = ""
+	spanPool.Put(s)
 }
 
 // Name returns the span name.
@@ -282,6 +333,9 @@ func (t *Tracer) Check() error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.root == nil {
+		return fmt.Errorf("trace: tracer already released")
+	}
 	return checkSpan(t.root)
 }
 
@@ -327,7 +381,9 @@ func (t *Tracer) Walk(fn func(s *Span, depth int)) {
 	t.mu.Lock()
 	root := t.root
 	t.mu.Unlock()
-	walkSpan(root, 0, fn)
+	if root != nil {
+		walkSpan(root, 0, fn)
+	}
 }
 
 func walkSpan(s *Span, depth int, fn func(*Span, int)) {

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"grophecy/internal/gpu"
@@ -63,7 +64,24 @@ var unrollFactors = []int{1, 2, 4}
 // Enumerate explores the transformation space of one kernel on one
 // architecture and returns every launchable variant's characteristics.
 // The kernel must validate and have at least one parallel loop.
+//
+// Enumeration is memoized by kernel content and architecture (see
+// cache.go): repeated projections of content-identical kernels — the
+// daemon's steady state — return a clone of the cached variant set
+// instead of re-running the analysis. The caller owns the returned
+// slice either way.
 func Enumerate(k *skeleton.Kernel, arch gpu.Arch) ([]Variant, error) {
+	e, err := cachedEntry(k, arch)
+	if err != nil {
+		return nil, err
+	}
+	return cloneVariants(e.variants), nil
+}
+
+// enumerate is the memoization-free exploration: the cold path behind
+// Enumerate, and the reference the property tests compare the cache
+// against.
+func enumerate(k *skeleton.Kernel, arch gpu.Arch) ([]Variant, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
@@ -76,7 +94,7 @@ func Enumerate(k *skeleton.Kernel, arch gpu.Arch) ([]Variant, error) {
 	}
 
 	an := analyzeKernel(k, arch)
-	var variants []Variant
+	variants := make([]Variant, 0, 2*len(blockSizes)*len(unrollFactors))
 	for _, bs := range blockSizes {
 		if bs > arch.MaxThreadsPerBlock {
 			continue
@@ -475,22 +493,60 @@ func Best(k *skeleton.Kernel, arch gpu.Arch) (Variant, perfmodel.Projection, err
 // BestCtx is Best under a "transform.best" trace span (when the
 // context carries a tracer) recording how many variants the
 // exploration considered.
+//
+// The winning variant's projection is memoized alongside the
+// enumeration (cache.go), so a warm call skips both the exploration
+// and the per-candidate analytical projection. Cold calls with large
+// candidate sets evaluate candidates on a bounded worker pool with a
+// deterministic index-order reduction (perfmodel.ProjectBestParallel),
+// so the winner — and therefore the report — is bit-identical to the
+// sequential path.
 func BestCtx(ctx context.Context, k *skeleton.Kernel, arch gpu.Arch) (Variant, perfmodel.Projection, error) {
 	_, span := trace.Start(ctx, "transform.best", trace.String("kernel", k.Name))
 	defer span.End()
-	variants, err := Enumerate(k, arch)
+	e, err := cachedEntry(k, arch)
 	if err != nil {
 		return Variant{}, perfmodel.Projection{}, err
 	}
-	span.SetAttr(trace.Int("variants", int64(len(variants))))
-	chars := make([]perfmodel.Characteristics, len(variants))
-	for i, v := range variants {
+	span.SetAttr(trace.Int("variants", int64(len(e.variants))))
+
+	e.mu.Lock()
+	if e.bestOK {
+		v, proj := e.variants[e.bestIdx], e.best
+		e.mu.Unlock()
+		span.SetAttr(trace.String("variant", v.Name))
+		return v, proj, nil
+	}
+	e.mu.Unlock()
+
+	chars := make([]perfmodel.Characteristics, len(e.variants))
+	for i, v := range e.variants {
 		chars[i] = v.Ch
 	}
-	proj, idx, err := perfmodel.ProjectBest(arch, chars)
+	proj, idx, err := perfmodel.ProjectBestParallel(arch, chars, bestWorkers(len(chars)))
 	if err != nil {
 		return Variant{}, perfmodel.Projection{}, fmt.Errorf("transform: kernel %q: %w", k.Name, err)
 	}
-	span.SetAttr(trace.String("variant", variants[idx].Name))
-	return variants[idx], proj, nil
+	e.mu.Lock()
+	e.best, e.bestIdx, e.bestOK = proj, idx, true
+	e.mu.Unlock()
+	span.SetAttr(trace.String("variant", e.variants[idx].Name))
+	return e.variants[idx], proj, nil
+}
+
+// parallelThreshold is the candidate count below which the projection
+// stays sequential: spawning workers costs more than projecting a
+// handful of candidates.
+const parallelThreshold = 16
+
+// bestWorkers sizes the candidate-evaluation worker pool.
+func bestWorkers(candidates int) int {
+	if candidates < parallelThreshold {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
 }
