@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -119,7 +120,7 @@ func TestDiffDocuments(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			rep := diffDocuments(c.old, c.new, 15, 10, gate)
+			rep := diffDocuments(c.old, c.new, 15, 10, gate, nil)
 			if rep.Regressions != c.wantRegr {
 				t.Fatalf("regressions = %d, want %d\nrows: %+v", rep.Regressions, c.wantRegr, rep.Rows)
 			}
@@ -151,7 +152,7 @@ func TestDiffCollapsesRepeatedRunsToMinimum(t *testing.T) {
 		Result{Name: "Enumerate", NsPerOp: 5100, AllocsPerOp: 16},
 		Result{Name: "Enumerate", NsPerOp: 5050, AllocsPerOp: 16},
 	)
-	rep := diffDocuments(old, new, 15, 10, splitGate(defaultGate))
+	rep := diffDocuments(old, new, 15, 10, splitGate(defaultGate), nil)
 	if rep.Regressions != 0 {
 		t.Fatalf("min-of-N should absorb the outlier, got %+v", rep.Rows)
 	}
@@ -169,7 +170,7 @@ func TestDiffCollapsesRepeatedRunsToMinimum(t *testing.T) {
 		Result{Name: "Enumerate", NsPerOp: 6100, AllocsPerOp: 16},
 		Result{Name: "Enumerate", NsPerOp: 6300, AllocsPerOp: 16},
 	)
-	if rep := diffDocuments(old, allSlow, 15, 10, splitGate(defaultGate)); rep.Regressions != 1 {
+	if rep := diffDocuments(old, allSlow, 15, 10, splitGate(defaultGate), nil); rep.Regressions != 1 {
 		t.Fatalf("uniformly slow repeats must still regress, got %+v", rep.Rows)
 	}
 }
@@ -178,7 +179,7 @@ func TestDiffRegressionCarriesReason(t *testing.T) {
 	rep := diffDocuments(
 		mkDoc(Result{Name: "Enumerate", NsPerOp: 1000, AllocsPerOp: 4}),
 		mkDoc(Result{Name: "Enumerate", NsPerOp: 2000, AllocsPerOp: 8}),
-		15, 10, splitGate(defaultGate))
+		15, 10, splitGate(defaultGate), nil)
 	row := findRow(t, rep, "Enumerate")
 	if row.Status != "regression" || len(row.Reasons) != 2 {
 		t.Fatalf("want a regression with both an ns and an allocs reason, got %+v", row)
@@ -274,6 +275,244 @@ func TestRunDiffMalformedInputs(t *testing.T) {
 				t.Fatalf("exit = %d, want 2\nstderr: %s", code, errb.String())
 			}
 		})
+	}
+}
+
+func TestDiffNsOverrideTightensOneBenchmark(t *testing.T) {
+	overrides, err := splitOverrides("EndToEndProjection=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// +10% is inside the global 15% threshold but outside the 5%
+	// override for EndToEndProjection.
+	old := mkDoc(
+		Result{Name: "EndToEndProjection", NsPerOp: 1000, AllocsPerOp: 100},
+		Result{Name: "Enumerate", NsPerOp: 1000, AllocsPerOp: 100})
+	new := mkDoc(
+		Result{Name: "EndToEndProjection", NsPerOp: 1100, AllocsPerOp: 100},
+		Result{Name: "Enumerate", NsPerOp: 1100, AllocsPerOp: 100})
+	rep := diffDocuments(old, new, 15, 10, splitGate(defaultGate), overrides)
+	if rep.Regressions != 1 {
+		t.Fatalf("regressions = %d, want exactly the overridden benchmark\nrows: %+v",
+			rep.Regressions, rep.Rows)
+	}
+	if row := findRow(t, rep, "EndToEndProjection"); row.Status != "regression" {
+		t.Fatalf("EndToEndProjection = %+v, want a 5%%-override regression", row)
+	}
+	if row := findRow(t, rep, "Enumerate"); row.Status != "ok" {
+		t.Fatalf("Enumerate = %+v, want ok under the global threshold", row)
+	}
+}
+
+func TestSplitOverrides(t *testing.T) {
+	got, err := splitOverrides("A=5, B=12.5 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["A"] != 5 || got["B"] != 12.5 {
+		t.Fatalf("splitOverrides = %v", got)
+	}
+	for _, bad := range []string{"A", "A=", "A=-3", "A=x"} {
+		if _, err := splitOverrides(bad); err == nil {
+			t.Fatalf("splitOverrides(%q) accepted bad input", bad)
+		}
+	}
+}
+
+func TestSplitPairs(t *testing.T) {
+	got, err := splitPairs("A=B:5, C=D:12.5 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []pairRule{{"A", "B", 5}, {"C", "D", 12.5}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("splitPairs = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"A", "A=B", "A=:5", "A=B:", "A=B:-3", "A=B:x"} {
+		if _, err := splitPairs(bad); err == nil {
+			t.Fatalf("splitPairs(%q) accepted bad input", bad)
+		}
+	}
+}
+
+func TestApplyPairsWithinBudget(t *testing.T) {
+	rep := &DiffReport{}
+	// min-of-count collapse applies before the comparison: the second
+	// Telemetry sample is the floor, 3% over the base — inside 5%.
+	doc := mkDoc(
+		Result{Name: "EndToEndProjection", NsPerOp: 1000},
+		Result{Name: "EndToEndProjectionTelemetry", NsPerOp: 1200},
+		Result{Name: "EndToEndProjectionTelemetry", NsPerOp: 1030})
+	pairs, err := splitPairs("EndToEndProjectionTelemetry=EndToEndProjection:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyPairs(rep, doc, pairs)
+	if rep.Regressions != 0 || len(rep.Pairs) != 1 || rep.Pairs[0].Status != "ok" {
+		t.Fatalf("pairs = %+v, regressions = %d; want ok, 0", rep.Pairs, rep.Regressions)
+	}
+}
+
+func TestApplyPairsOverBudget(t *testing.T) {
+	rep := &DiffReport{}
+	doc := mkDoc(
+		Result{Name: "EndToEndProjection", NsPerOp: 1000},
+		Result{Name: "EndToEndProjectionTelemetry", NsPerOp: 1100})
+	pairs, _ := splitPairs("EndToEndProjectionTelemetry=EndToEndProjection:5")
+	applyPairs(rep, doc, pairs)
+	if rep.Regressions != 1 || rep.Pairs[0].Status != "regression" {
+		t.Fatalf("pairs = %+v, regressions = %d; want a +10%% budget regression", rep.Pairs, rep.Regressions)
+	}
+}
+
+func TestApplyPairsMissingSides(t *testing.T) {
+	pairs, _ := splitPairs("EndToEndProjectionTelemetry=EndToEndProjection:5")
+	// Name absent: skipped, not a regression (the gate list owns
+	// removal detection).
+	rep := &DiffReport{}
+	applyPairs(rep, mkDoc(Result{Name: "EndToEndProjection", NsPerOp: 1000}), pairs)
+	if rep.Regressions != 0 || rep.Pairs[0].Status != "skipped" {
+		t.Fatalf("name absent: pairs = %+v, regressions = %d", rep.Pairs, rep.Regressions)
+	}
+	// Base absent: the budget cannot be verified — regression.
+	rep = &DiffReport{}
+	applyPairs(rep, mkDoc(Result{Name: "EndToEndProjectionTelemetry", NsPerOp: 1000}), pairs)
+	if rep.Regressions != 1 || rep.Pairs[0].Status != "regression" {
+		t.Fatalf("base absent: pairs = %+v, regressions = %d", rep.Pairs, rep.Regressions)
+	}
+}
+
+func TestRunDiffPairFlag(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", mkDoc(Result{Name: "A", NsPerOp: 1000}))
+	newPath := writeDoc(t, dir, "new.json", mkDoc(
+		Result{Name: "A", NsPerOp: 1000},
+		Result{Name: "B", NsPerOp: 1080}))
+	var out, errb bytes.Buffer
+	// B is 8% over A: inside a 10% pair budget...
+	if code := runDiff([]string{"-pair=B=A:10", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("10%% budget: exit = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	// ...and outside a 5% one.
+	out.Reset()
+	if code := runDiff([]string{"-pair=B=A:5", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("5%% budget: exit = %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "pair B vs A") {
+		t.Fatalf("table missing pair line:\n%s", out.String())
+	}
+	// A malformed pair is a usage error.
+	if code := runDiff([]string{"-pair=B=A", oldPath, newPath}, &out, &errb); code != 2 {
+		t.Fatalf("malformed pair: exit = %d, want 2", code)
+	}
+}
+
+func TestSplitMetricMax(t *testing.T) {
+	got, err := splitMetricMax("A:m=5, B:overhead-pct=12.5 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []metricRule{{"A", "m", 5}, {"B", "overhead-pct", 12.5}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("splitMetricMax = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"A", "A=5", "A:=5", ":m=5", "A:m=", "A:m=x"} {
+		if _, err := splitMetricMax(bad); err == nil {
+			t.Fatalf("splitMetricMax(%q) accepted bad input", bad)
+		}
+	}
+}
+
+func TestApplyMetricMaxBound(t *testing.T) {
+	rules, err := splitMetricMax(defaultMetricMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(v float64) *Document {
+		return mkDoc(Result{Name: "TelemetryOverhead", NsPerOp: 1000,
+			Metrics: map[string]float64{"overhead-pct": v}})
+	}
+	// Inside the bound; min-of-count collapse applies first.
+	rep := &DiffReport{}
+	doc := mk(3.2)
+	doc.Benchmarks = append(doc.Benchmarks, mk(7.9).Benchmarks[0])
+	applyMetricMax(rep, mk(1), doc, rules)
+	if rep.Regressions != 0 || len(rep.MetricBounds) != 1 || rep.MetricBounds[0].Status != "ok" {
+		t.Fatalf("within bound: %+v, regressions = %d", rep.MetricBounds, rep.Regressions)
+	}
+	// Over the bound.
+	rep = &DiffReport{}
+	applyMetricMax(rep, mk(1), mk(7.9), rules)
+	if rep.Regressions != 1 || rep.MetricBounds[0].Status != "regression" {
+		t.Fatalf("over bound: %+v, regressions = %d", rep.MetricBounds, rep.Regressions)
+	}
+	// Present but silent on the metric: the bound is unverifiable.
+	rep = &DiffReport{}
+	applyMetricMax(rep, mk(1),
+		mkDoc(Result{Name: "TelemetryOverhead", NsPerOp: 1000}), rules)
+	if rep.Regressions != 1 || rep.MetricBounds[0].Status != "regression" {
+		t.Fatalf("missing metric: %+v, regressions = %d", rep.MetricBounds, rep.Regressions)
+	}
+	// Removed since the old document: deleting the benchmark must not
+	// disable the gate.
+	rep = &DiffReport{}
+	applyMetricMax(rep, mk(1), mkDoc(Result{Name: "Other", NsPerOp: 1}), rules)
+	if rep.Regressions != 1 || rep.MetricBounds[0].Status != "regression" {
+		t.Fatalf("removed: %+v, regressions = %d", rep.MetricBounds, rep.Regressions)
+	}
+	// In neither document: unrelated snapshots skip the bound.
+	rep = &DiffReport{}
+	applyMetricMax(rep, mkDoc(Result{Name: "Other", NsPerOp: 1}),
+		mkDoc(Result{Name: "Other", NsPerOp: 1}), rules)
+	if rep.Regressions != 0 || rep.MetricBounds[0].Status != "skipped" {
+		t.Fatalf("absent: %+v, regressions = %d", rep.MetricBounds, rep.Regressions)
+	}
+}
+
+func TestRunDiffMetricMaxFlag(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(v float64) *Document {
+		return mkDoc(Result{Name: "TelemetryOverhead", NsPerOp: 1000,
+			Metrics: map[string]float64{"overhead-pct": v}})
+	}
+	oldPath := writeDoc(t, dir, "old.json", mk(2))
+	newPath := writeDoc(t, dir, "new.json", mk(4.4))
+	var out, errb bytes.Buffer
+	// 4.4 is inside the default 5-point bound.
+	if code := runDiff([]string{oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("default bound: exit = %d, want 0\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "bound TelemetryOverhead overhead-pct") {
+		t.Fatalf("table missing bound line:\n%s", out.String())
+	}
+	// A tighter explicit bound fails it.
+	out.Reset()
+	if code := runDiff([]string{"-metric-max=TelemetryOverhead:overhead-pct=4", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("tight bound: exit = %d, want 1\nstdout: %s", code, out.String())
+	}
+	// A malformed bound is a usage error.
+	if code := runDiff([]string{"-metric-max=TelemetryOverhead", oldPath, newPath}, &out, &errb); code != 2 {
+		t.Fatalf("malformed bound: exit = %d, want 2", code)
+	}
+}
+
+func TestRunDiffNsOverrideFlag(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", mkDoc(Result{Name: "MyBench", NsPerOp: 1000}))
+	newPath := writeDoc(t, dir, "new.json", mkDoc(Result{Name: "MyBench", NsPerOp: 1100}))
+	var out, errb bytes.Buffer
+	// Gated at the default 15%: +10% passes.
+	if code := runDiff([]string{"-gate=MyBench", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("no override: exit = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	// An explicit 5% override on the same run fails it.
+	if code := runDiff([]string{"-gate=MyBench", "-ns-override=MyBench=5", oldPath, newPath}, &out, &errb); code != 1 {
+		t.Fatalf("override: exit = %d, want 1\nstdout: %s", code, out.String())
+	}
+	// A malformed override is a usage error.
+	if code := runDiff([]string{"-ns-override=MyBench", oldPath, newPath}, &out, &errb); code != 2 {
+		t.Fatalf("malformed override: exit = %d, want 2", code)
 	}
 }
 

@@ -39,6 +39,9 @@ type Result struct {
 	NsPerOp     float64 `json:"nsPerOp"`
 	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
 	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
+	// Metrics holds custom b.ReportMetric units ("overhead-pct",
+	// "mean-err-C2G-%", ...) keyed by unit name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Document is the full output file.
@@ -130,6 +133,13 @@ func parseResult(line string) (Result, bool, error) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		case "MB/s":
+			// throughput is derived from ns/op; skip
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[f[i+1]] = v
 		}
 	}
 	return r, true, nil

@@ -48,6 +48,30 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseCustomMetrics(t *testing.T) {
+	// b.ReportMetric units land in the Metrics map; derived MB/s does
+	// not (it is recomputable from ns/op and would just double-gate).
+	const in = `pkg: grophecy
+BenchmarkTelemetryOverhead-8   	      10	  57000000 ns/op	         2.40 overhead-pct	  123 B/op	    45 allocs/op
+BenchmarkThroughput-8   	     100	      1050 ns/op	 3900.00 MB/s
+PASS
+`
+	doc, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := doc.Benchmarks[0]
+	if got := b.Metrics["overhead-pct"]; got != 2.4 {
+		t.Fatalf("overhead-pct = %v, want 2.4 (metrics: %v)", got, b.Metrics)
+	}
+	if b.NsPerOp != 57000000 || b.BytesPerOp != 123 || b.AllocsPerOp != 45 {
+		t.Fatalf("standard units corrupted by custom metric: %+v", b)
+	}
+	if doc.Benchmarks[1].Metrics != nil {
+		t.Fatalf("MB/s captured as a custom metric: %v", doc.Benchmarks[1].Metrics)
+	}
+}
+
 func TestParseRejectsEmptyInput(t *testing.T) {
 	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok x 1s\n"))); err == nil {
 		t.Fatal("benchmark-free input must error")

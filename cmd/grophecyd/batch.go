@@ -30,6 +30,7 @@ import (
 	"grophecy/internal/sklang"
 	"grophecy/internal/sweep"
 	"grophecy/internal/target"
+	"grophecy/internal/telemetry"
 	"grophecy/internal/trace"
 )
 
@@ -205,6 +206,10 @@ func (s *server) handleBatch(w http.ResponseWriter, req *http.Request) {
 			succeeded++
 		}
 	}
+	event := telemetry.EventFrom(ctx)
+	event.Set("jobs", len(jobs))
+	event.Set("succeeded", succeeded)
+	event.Set("failed", len(jobs)-succeeded)
 	lg.Info("batch request served",
 		"jobs", len(jobs), "succeeded", succeeded, "failed", len(jobs)-succeeded,
 		"cache_hits", s.pool.Hits(), "cache_misses", s.pool.Misses(),
@@ -240,6 +245,9 @@ func (s *server) runJob(ctx context.Context, r resolvedJob) jobOutcome {
 		Source:   r.src,
 		Seed:     r.seed,
 		Start:    start,
+		// Batch jobs share the request's wall tracer: every row's
+		// walltrace endpoint replays the whole request trace.
+		WallTrace: telemetry.FromContext(ctx),
 	}
 	rep, err := s.project(ctx, r.tgt, r.seed, r.wl)
 	tracer.Close()

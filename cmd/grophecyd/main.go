@@ -10,7 +10,9 @@
 //	GET  /runs            flight recorder index (last N runs)
 //	GET  /runs/{id}       a recorded run's report JSON
 //	GET  /runs/{id}/trace a recorded run's Chrome trace_event JSON
-//	GET  /metrics         Prometheus text exposition
+//	GET  /runs/{id}/walltrace a recorded run's wall-clock OTLP/JSON trace
+//	GET  /statusz         human-readable live status (SLOs, breakers, runs)
+//	GET  /metrics         Prometheus text exposition (with trace exemplars)
 //	GET  /debug/pprof/    live CPU/heap/goroutine profiles
 //	GET  /healthz         liveness
 //	GET  /readyz          readiness (after PCIe calibration)
@@ -71,6 +73,9 @@ func main() {
 		calTries = flag.Int("cal-retries", 0, "calibration attempts per flight for transient failures (0: engine default)")
 		brThresh = flag.Int("breaker-threshold", 0, "consecutive calibration failures that open a key's circuit breaker (0: engine default)")
 		brOpen   = flag.Duration("breaker-open", 0, "how long an open circuit breaker rejects before a half-open probe (0: engine default)")
+		otlpFile = flag.String("otlp-file", "", "append each request's wall-clock trace as OTLP/JSON NDJSON to this file (empty disables)")
+		otlpURL  = flag.String("otlp-endpoint", "", "POST each request's wall-clock trace as OTLP/JSON to this collector URL (empty disables)")
+		sloLat   = flag.Duration("slo-latency", 5*time.Second, "latency-SLO threshold: a request this fast counts as good")
 		logFmt   = flag.String("log-format", "text", obs.LogFormatUsage)
 		logLevel = flag.String("log-level", "info", obs.LogLevelUsage)
 	)
@@ -105,6 +110,10 @@ func main() {
 		CalRetries:       *calTries,
 		BreakerThreshold: *brThresh,
 		BreakerOpenFor:   *brOpen,
+
+		OTLPFile:     *otlpFile,
+		OTLPEndpoint: *otlpURL,
+		SLOLatency:   *sloLat,
 	})
 	if err != nil {
 		fatal(err)
@@ -176,6 +185,8 @@ func main() {
 		if err := s.saveSnapshot(); err != nil {
 			logger.Error("final calibration snapshot failed", "err", err.Error())
 		}
+		// Drained requests have exported; flush the sinks last.
+		s.closeSinks()
 		logger.Info("shutdown complete")
 	}
 }

@@ -1,0 +1,159 @@
+// Wall-clock request telemetry for the projection endpoints: W3C
+// trace-context propagation, per-stage latency attribution, the
+// canonical wide event, histogram exemplars, and SLO accounting.
+//
+// Every admitted request runs under an internal/telemetry tracer —
+// wall-clock spans, entirely separate from the *simulated-time*
+// internal/trace tree that the projection itself stamps. An inbound
+// `traceparent` header is adopted (the daemon's trace joins the
+// caller's), a fresh trace is minted otherwise, and the daemon's own
+// server span is echoed back in the response `traceparent` header so
+// callers can stitch either way. The finished trace is exported to
+// the configured OTLP sinks and retained on the flight ring for
+// GET /runs/{id}/walltrace.
+//
+// The wide event is the one log line to grep: a single slog record
+// per request carrying the trace ID, tenant, outcome, queue depth at
+// admission, and per-span-name wall milliseconds (queue.wait, cal.*,
+// snap.*, stage.*) — everything the per-request dashboards need
+// without joining log streams.
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"grophecy/internal/metrics"
+	"grophecy/internal/obs"
+	"grophecy/internal/telemetry"
+)
+
+// statusWriter captures the response status for the wide event and
+// the SLO tracker. WriteHeader-less handlers imply 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// tenantKey derives the wide event's tenant label. Raw API keys must
+// never reach logs, so the key is fingerprinted; unauthenticated
+// requests are pooled under "anon".
+func tenantKey(req *http.Request) string {
+	k := req.Header.Get("X-API-Key")
+	if k == "" {
+		return "anon"
+	}
+	sum := sha256.Sum256([]byte(k))
+	return hex.EncodeToString(sum[:4])
+}
+
+// admitted wraps a projection-shaped handler in the admission gate
+// and the request-telemetry envelope. The request either owns a
+// worker slot for its whole lifetime, waits its turn in FIFO order
+// (as a queue.wait span), or is shed with 429 + Retry-After — and
+// every outcome, shed included, produces a wide event, an exemplared
+// latency observation, and an SLO sample.
+func (s *server) admitted(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		mRequests.Inc()
+
+		parent, _ := telemetry.Extract(req.Header)
+		tracer := telemetry.NewWith("grophecyd", telemetry.Options{Parent: parent})
+		telemetry.Inject(w.Header(), tracer.ServerContext())
+
+		event := telemetry.NewEvent()
+		event.Set(obs.FieldPhase, "request")
+		event.Set("trace_id", tracer.TraceID().String())
+		event.Set("tenant", tenantKey(req))
+		event.Set("method", req.Method)
+		event.Set("path", req.URL.Path)
+
+		ctx := telemetry.With(req.Context(), tracer)
+		ctx = telemetry.WithEvent(ctx, event)
+		req = req.WithContext(ctx)
+
+		depth := s.admit.queueDepth()
+		event.Set("queue_depth", depth)
+		_, qspan := telemetry.Start(ctx, "queue.wait")
+		qspan.SetAttr(telemetry.Int("queue_depth", int64(depth)))
+		release, err := s.admit.acquire(ctx)
+		qspan.End()
+		mQueueWait.Observe(time.Since(start).Seconds())
+
+		if err != nil {
+			mRequestErrors.Inc()
+			status := http.StatusServiceUnavailable // client went away while queued
+			if isShed(err) {
+				mShed.Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(s.admit.retryAfterSeconds()))
+				status = http.StatusTooManyRequests
+			}
+			event.Set("shed", isShed(err))
+			writeError(w, status, err)
+			s.finishRequest(tracer, event, status, start)
+			return
+		}
+		defer release()
+		mInflight.Add(1)
+		defer mInflight.Add(-1)
+
+		if s.testBlock != nil {
+			<-s.testBlock
+		}
+		hctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next(sw, req.WithContext(hctx))
+		s.finishRequest(tracer, event, sw.status, start)
+	}
+}
+
+// finishRequest closes the request's wall trace and fans the outcome
+// out to every per-request surface: the latency histogram (with the
+// trace ID as an exemplar, linking the bucket back to the trace), the
+// SLO tracker (5xx counts against availability; the latency objective
+// applies its own threshold), the canonical wide event, and the OTLP
+// sinks.
+func (s *server) finishRequest(tracer *telemetry.Tracer, event *telemetry.Event, status int, start time.Time) {
+	tracer.Close()
+	elapsed := time.Since(start)
+	mRequestSeconds.ObserveExemplar(elapsed.Seconds(),
+		metrics.Label{Name: "trace_id", Value: tracer.TraceID().String()})
+	s.slo.Record(elapsed, status < 500)
+
+	event.Set("status", status)
+	event.Set("duration_ms", roundMS(elapsed))
+	names := make([]string, 0, 8)
+	durs := tracer.Durations()
+	for name := range durs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		event.Set("ms."+name, roundMS(durs[name]))
+	}
+	s.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "request", event.Attrs()...)
+
+	for _, sink := range s.sinks {
+		sink.Export(tracer)
+	}
+}
+
+// roundMS renders a duration as milliseconds with microsecond
+// resolution — wide-event fields are read by humans and dashboards,
+// not parsed back into nanoseconds.
+func roundMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1e3
+}

@@ -30,8 +30,10 @@ import (
 	"grophecy/internal/pcie"
 	"grophecy/internal/report"
 	"grophecy/internal/sklang"
+	"grophecy/internal/slo"
 	"grophecy/internal/store"
 	"grophecy/internal/target"
+	"grophecy/internal/telemetry"
 	"grophecy/internal/trace"
 )
 
@@ -114,6 +116,17 @@ type daemonConfig struct {
 	CalRetries       int
 	BreakerThreshold int
 	BreakerOpenFor   time.Duration
+
+	// OTLPFile and OTLPEndpoint configure wall-clock trace export:
+	// NDJSON appended to a local file and/or OTLP/JSON POSTed to a
+	// collector URL. Empty disables that sink; traces always remain
+	// available per run via GET /runs/{id}/walltrace.
+	OTLPFile     string
+	OTLPEndpoint string
+
+	// SLOLatency is the latency objective's threshold — a request is
+	// "fast" when it finishes within it. Zero means 5s.
+	SLOLatency time.Duration
 }
 
 // server is one wired daemon instance.
@@ -129,6 +142,9 @@ type server struct {
 	chaos    *fault.Chaos
 	store    *store.Store
 	snap     *obs.SnapshotState
+	slo      *slo.Tracker
+	sinks    []telemetry.Sink
+	started  time.Time
 
 	// testBlock, when non-nil, is received from by every admitted
 	// request before its handler runs — tests use it to hold worker
@@ -176,6 +192,9 @@ func newServer(cfg daemonConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.SLOLatency <= 0 {
+		cfg.SLOLatency = 5 * time.Second
+	}
 	s := &server{
 		cfg:      cfg,
 		plan:     plan,
@@ -186,6 +205,24 @@ func newServer(cfg daemonConfig) (*server, error) {
 		mux:      http.NewServeMux(),
 		chaos:    chaos,
 		snap:     &obs.SnapshotState{},
+		started:  time.Now(),
+	}
+	s.slo, err = slo.New(slo.Config{
+		Objectives: slo.DefaultObjectives(cfg.SLOLatency),
+		Registry:   metrics.Default,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.OTLPFile != "" {
+		fs, err := telemetry.NewFileSink(cfg.OTLPFile)
+		if err != nil {
+			return nil, err
+		}
+		s.sinks = append(s.sinks, fs)
+	}
+	if cfg.OTLPEndpoint != "" {
+		s.sinks = append(s.sinks, telemetry.NewHTTPSink(cfg.OTLPEndpoint))
 	}
 	poolCfg := engine.Config{
 		MaxEntries:       cfg.CacheEntries,
@@ -204,8 +241,8 @@ func newServer(cfg daemonConfig) (*server, error) {
 		// Write-through: every completed calibration is persisted as it
 		// lands, so even a SIGKILL loses at most the flight in progress.
 		// A failed write degrades durability, not serving.
-		poolCfg.OnCalibrated = func(e engine.Entry) {
-			if err := st.Put(storeEntry(e)); err != nil {
+		poolCfg.OnCalibrated = func(ctx context.Context, e engine.Entry) {
+			if err := st.PutCtx(ctx, storeEntry(e)); err != nil {
 				cfg.Logger.Warn("calibration write-through failed", "err", err.Error())
 			}
 		}
@@ -249,7 +286,18 @@ func newServer(cfg daemonConfig) (*server, error) {
 	s.mux.HandleFunc("POST /project", s.admitted(s.handleProject))
 	s.mux.HandleFunc("POST /batch", s.admitted(obs.LimitBody(maxBatchBytes, s.handleBatch)))
 	s.mux.HandleFunc("GET /targets", s.handleTargets)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	return s, nil
+}
+
+// closeSinks flushes and closes the OTLP exporters; shutdown calls it
+// after the drain so in-flight traces still reach the sinks.
+func (s *server) closeSinks() {
+	for _, sink := range s.sinks {
+		if err := sink.Close(); err != nil {
+			s.cfg.Logger.Warn("closing telemetry sink", "err", err.Error())
+		}
+	}
 }
 
 // storeEntry and engineEntries convert between the pool's and the
@@ -288,44 +336,6 @@ func (s *server) saveSnapshot() error {
 		out[i] = storeEntry(e)
 	}
 	return s.store.SaveAll(out)
-}
-
-// admitted wraps a projection-shaped handler in the admission gate:
-// the request either owns a worker slot for its whole lifetime, waits
-// its turn in FIFO order, or is shed with 429 + Retry-After. Admitted
-// requests run under the daemon's request timeout; the request-level
-// instruments live here so /project and /batch are counted uniformly.
-func (s *server) admitted(next http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, req *http.Request) {
-		start := time.Now()
-		mRequests.Inc()
-		defer func() { mRequestSeconds.Observe(time.Since(start).Seconds()) }()
-
-		release, err := s.admit.acquire(req.Context())
-		mQueueWait.Observe(time.Since(start).Seconds())
-		if err != nil {
-			mRequestErrors.Inc()
-			if isShed(err) {
-				mShed.Inc()
-				w.Header().Set("Retry-After", strconv.Itoa(s.admit.retryAfterSeconds()))
-				writeError(w, http.StatusTooManyRequests, err)
-				return
-			}
-			// The client went away while queued.
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		defer release()
-		mInflight.Add(1)
-		defer mInflight.Add(-1)
-
-		if s.testBlock != nil {
-			<-s.testBlock
-		}
-		ctx, cancel := context.WithTimeout(req.Context(), s.cfg.RequestTimeout)
-		defer cancel()
-		next(w, req.WithContext(ctx))
-	}
 }
 
 // newProjector returns a ready projector for one request: from the
@@ -531,13 +541,22 @@ func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 	tracer := trace.New("grophecyd")
 	ctx = trace.With(ctx, tracer)
 
+	// Annotate the request's wide event and pin its wall-clock trace
+	// to the flight entry so GET /runs/{id}/walltrace can replay it.
+	event := telemetry.EventFrom(ctx)
+	event.Set("run", runID)
+	event.Set("workload", wl.Name)
+	event.Set("target", tgt.Name)
+	event.Set("seed", seed)
+
 	entry := flight.Entry{
-		ID:       runID,
-		Workload: wl.Name,
-		DataSize: wl.DataSize,
-		Source:   src,
-		Seed:     seed,
-		Start:    start,
+		ID:        runID,
+		Workload:  wl.Name,
+		DataSize:  wl.DataSize,
+		Source:    src,
+		Seed:      seed,
+		Start:     start,
+		WallTrace: telemetry.FromContext(ctx),
 	}
 	rep, err := s.project(ctx, tgt, seed, wl)
 	tracer.Close()

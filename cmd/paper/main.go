@@ -53,9 +53,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	// The experiments API predates context propagation, so the paper
-	// command traces at experiment granularity: one structural span per
-	// table or figure (see docs/OBSERVABILITY.md).
+	// Each table or figure runs under a structural span, and the span's
+	// context flows into the experiment (the *Ctx variants), so
+	// per-kernel spans nest under their section (see
+	// docs/OBSERVABILITY.md).
 	tctx, err := obs.Setup(context.Background(), os.Stderr, *logFmt, *logLevel)
 	if err != nil {
 		fatal(err)
@@ -79,8 +80,8 @@ func main() {
 	}
 
 	if *csvDir != "" {
-		section(tctx, "csv", func() error {
-			files, err := ctx.WriteCSV(*csvDir)
+		section(tctx, "csv", func(sctx context.Context) error {
+			files, err := ctx.WriteCSVCtx(sctx, *csvDir)
 			if err != nil {
 				return err
 			}
@@ -90,7 +91,7 @@ func main() {
 	}
 
 	if *all || *fig == 2 {
-		section(tctx, "fig2", func() error {
+		section(tctx, "fig2", func(_ context.Context) error {
 			rows, err := ctx.Fig2()
 			if err != nil {
 				return err
@@ -107,7 +108,7 @@ func main() {
 		})
 	}
 	if *all || *fig == 3 {
-		section(tctx, "fig3", func() error {
+		section(tctx, "fig3", func(_ context.Context) error {
 			rows, err := ctx.Fig3()
 			if err != nil {
 				return err
@@ -117,7 +118,7 @@ func main() {
 		})
 	}
 	if *all || *fig == 4 {
-		section(tctx, "fig4", func() error {
+		section(tctx, "fig4", func(_ context.Context) error {
 			rows, sums, err := ctx.Fig4()
 			if err != nil {
 				return err
@@ -134,8 +135,8 @@ func main() {
 		})
 	}
 	if *all || *table == 1 {
-		section(tctx, "table1", func() error {
-			rows, err := ctx.Table1()
+		section(tctx, "table1", func(sctx context.Context) error {
+			rows, err := ctx.Table1Ctx(sctx)
 			if err != nil {
 				return err
 			}
@@ -144,8 +145,8 @@ func main() {
 		})
 	}
 	if *all || *fig == 5 {
-		section(tctx, "fig5", func() error {
-			points, meanErr, err := ctx.Fig5()
+		section(tctx, "fig5", func(sctx context.Context) error {
+			points, meanErr, err := ctx.Fig5Ctx(sctx)
 			if err != nil {
 				return err
 			}
@@ -161,8 +162,8 @@ func main() {
 		})
 	}
 	if *all || *fig == 6 {
-		section(tctx, "fig6", func() error {
-			points, err := ctx.Fig6()
+		section(tctx, "fig6", func(sctx context.Context) error {
+			points, err := ctx.Fig6Ctx(sctx)
 			if err != nil {
 				return err
 			}
@@ -192,8 +193,8 @@ func main() {
 			[]int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}, *charts)
 	}
 	if *all || *stassuij {
-		section(tctx, "stassuij", func() error {
-			res, err := ctx.Stassuij()
+		section(tctx, "stassuij", func(sctx context.Context) error {
+			res, err := ctx.StassuijCtx(sctx)
 			if err != nil {
 				return err
 			}
@@ -202,8 +203,8 @@ func main() {
 		})
 	}
 	if *all || *table == 2 {
-		section(tctx, "table2", func() error {
-			res, err := ctx.Table2()
+		section(tctx, "table2", func(sctx context.Context) error {
+			res, err := ctx.Table2Ctx(sctx)
 			if err != nil {
 				return err
 			}
@@ -212,7 +213,7 @@ func main() {
 		})
 	}
 	if *all || *future {
-		section(tctx, "futurework", func() error {
+		section(tctx, "futurework", func(_ context.Context) error {
 			rows, err := ctx.FutureWork()
 			if err != nil {
 				return err
@@ -225,8 +226,8 @@ func main() {
 		if n == 0 {
 			n = 8
 		}
-		section(tctx, "robustness", func() error {
-			res, err := experiments.Robustness(*seed, n)
+		section(tctx, "robustness", func(sctx context.Context) error {
+			res, err := experiments.RobustnessCtx(sctx, *seed, n)
 			if err != nil {
 				return err
 			}
@@ -235,9 +236,9 @@ func main() {
 		})
 	}
 	if *all || *decision {
-		section(tctx, "decisionmap", func() error {
+		section(tctx, "decisionmap", func(sctx context.Context) error {
 			flops, iters := experiments.DefaultDecisionAxes()
-			res, err := ctx.DecisionMap(1024, flops, iters)
+			res, err := ctx.DecisionMapCtx(sctx, 1024, flops, iters)
 			if err != nil {
 				return err
 			}
@@ -246,8 +247,8 @@ func main() {
 		})
 	}
 	if *all || *busgen {
-		section(tctx, "busgen", func() error {
-			rows, err := experiments.BusGenerations(*seed)
+		section(tctx, "busgen", func(sctx context.Context) error {
+			rows, err := experiments.BusGenerationsCtx(sctx, *seed)
 			if err != nil {
 				return err
 			}
@@ -256,8 +257,8 @@ func main() {
 		})
 	}
 	if *all || *pinned {
-		section(tctx, "pinned", func() error {
-			rows, err := experiments.PinnedAssumption(*seed)
+		section(tctx, "pinned", func(sctx context.Context) error {
+			rows, err := experiments.PinnedAssumptionCtx(sctx, *seed)
 			if err != nil {
 				return err
 			}
@@ -286,20 +287,21 @@ func main() {
 	}
 }
 
-// section runs one experiment under a structural span. Experiment
-// spans consume no simulated time (the clock belongs to projected GPU
-// time, which the experiments aggregate internally).
-func section(tctx context.Context, name string, fn func() error) {
-	_, sp := trace.Start(tctx, name)
+// section runs one experiment under a structural span and hands the
+// span's context to the experiment, so per-kernel spans nest under
+// it. Experiment spans consume no simulated time (the clock belongs
+// to projected GPU time, which the experiments aggregate internally).
+func section(tctx context.Context, name string, fn func(context.Context) error) {
+	sctx, sp := trace.Start(tctx, name)
 	defer sp.End()
-	if err := fn(); err != nil {
+	if err := fn(sctx); err != nil {
 		fatal(err)
 	}
 }
 
 func renderBySize(tctx context.Context, ctx *experiments.Context, title, app string) {
-	section(tctx, "speedup-by-size "+app, func() error {
-		rows, err := ctx.SpeedupBySize(app)
+	section(tctx, "speedup-by-size "+app, func(sctx context.Context) error {
+		rows, err := ctx.SpeedupBySizeCtx(sctx, app)
 		if err != nil {
 			return err
 		}
@@ -309,8 +311,8 @@ func renderBySize(tctx context.Context, ctx *experiments.Context, title, app str
 }
 
 func renderIters(tctx context.Context, ctx *experiments.Context, title, app, size string, iters []int, charts bool) {
-	section(tctx, "iteration-sweep "+app, func() error {
-		sweep, err := ctx.IterationSweep(app, size, iters)
+	section(tctx, "iteration-sweep "+app, func(sctx context.Context) error {
+		sweep, err := ctx.IterationSweepCtx(sctx, app, size, iters)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 	"grophecy/internal/errdefs"
 	"grophecy/internal/obs"
 	"grophecy/internal/pcie"
+	"grophecy/internal/telemetry"
 	"grophecy/internal/trace"
 )
 
@@ -141,7 +142,13 @@ func (e *Engine) Evaluate(ctx context.Context, p *Projector, w Workload) (Report
 		if err := ctx.Err(); err != nil {
 			return Report{}, err
 		}
-		if err := stage.Run(ctx, st); err != nil {
+		// Wall-clock attribution per stage, alongside the simulated
+		// spans each stage opens itself. Free when no request tracer
+		// is installed (the CLI path).
+		sctx, wspan := telemetry.Start(ctx, "stage."+stage.Name())
+		err := stage.Run(sctx, st)
+		wspan.End()
+		if err != nil {
 			return Report{}, err
 		}
 	}

@@ -263,7 +263,7 @@ func TestWarmSkipsInvalidAndRespectsBound(t *testing.T) {
 // the hook, and what it delivers matches Export.
 func TestOnCalibratedWriteThrough(t *testing.T) {
 	got := make(chan Entry, 1)
-	pool := NewPoolWith(Config{OnCalibrated: func(e Entry) { got <- e }})
+	pool := NewPoolWith(Config{OnCalibrated: func(_ context.Context, e Entry) { got <- e }})
 	tgt, err := target.Lookup(target.DefaultName)
 	if err != nil {
 		t.Fatal(err)

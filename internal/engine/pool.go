@@ -66,6 +66,7 @@ import (
 	"grophecy/internal/metrics"
 	"grophecy/internal/pcie"
 	"grophecy/internal/target"
+	"grophecy/internal/telemetry"
 	"grophecy/internal/xfermodel"
 )
 
@@ -170,8 +171,10 @@ type Config struct {
 	Chaos *fault.Chaos
 	// OnCalibrated, when non-nil, is called with every newly completed
 	// calibration, outside the pool lock — the daemon uses it to
-	// write-through-persist entries so a hard kill loses nothing.
-	OnCalibrated func(Entry)
+	// write-through-persist entries so a hard kill loses nothing. The
+	// context is the calibrating request's, so persistence I/O shows
+	// up on that request's wall trace.
+	OnCalibrated func(context.Context, Entry)
 }
 
 // Pool is the calibration cache. The zero value is not usable; use
@@ -184,7 +187,7 @@ type Pool struct {
 	brThreshold  int
 	brOpenFor    time.Duration
 	chaos        *fault.Chaos
-	onCalibrated func(Entry)
+	onCalibrated func(context.Context, Entry)
 
 	mu       sync.Mutex
 	flights  map[Key]*flight
@@ -376,13 +379,25 @@ func (p *Pool) Projector(ctx context.Context, tgt target.Target, seed uint64, ki
 		if ok {
 			p.clock++
 			f.lastUse = p.clock
+			done := f.done
 			p.mu.Unlock()
 
 			// Cache hit — completed or in flight; wait without holding
-			// the lock so unrelated keys proceed.
+			// the lock so unrelated keys proceed. The wall span records
+			// which kind of hit this was: cal.cache_hit resolves
+			// immediately, cal.wait rode out someone else's calibration.
+			spanName := "cal.wait"
+			if done {
+				spanName = "cal.cache_hit"
+			}
+			_, span := telemetry.Start(ctx, spanName,
+				telemetry.String("cal_key", key.Target),
+				telemetry.String("cal_kind", key.Kind.String()))
 			select {
 			case <-f.ready:
+				span.End()
 			case <-ctx.Done():
+				span.End()
 				return nil, ctx.Err()
 			}
 			if f.err != nil {
@@ -411,6 +426,10 @@ func (p *Pool) Projector(ctx context.Context, tgt target.Target, seed uint64, ki
 		if !br.admitLocked(p.now(), p.brOpenFor) {
 			p.mu.Unlock()
 			mBreakerRejects.Inc()
+			_, span := telemetry.Start(ctx, "cal.breaker_open",
+				telemetry.String("cal_key", key.Target),
+				telemetry.String("breaker", breakerOpen.String()))
+			span.End()
 			return nil, fmt.Errorf("%w: calibration for %s/%v/seed=%d suspended after repeated failures, next probe within %s",
 				errdefs.ErrCircuitOpen, key.Target, key.Kind, key.Seed, p.brOpenFor)
 		}
@@ -423,11 +442,18 @@ func (p *Pool) Projector(ctx context.Context, tgt target.Target, seed uint64, ki
 		p.evictLocked()
 		p.flights[key] = f
 		mEntries.Set(float64(len(p.flights)))
+		brState := br.state
 		p.mu.Unlock()
 
 		p.misses.Add(1)
 		mMisses.Inc()
-		p.runFlight(ctx, key, f, tgt, seed, kind)
+		cctx, span := telemetry.Start(ctx, "cal.compute",
+			telemetry.String("cal_key", key.Target),
+			telemetry.String("cal_kind", key.Kind.String()),
+			telemetry.String("breaker", brState.String()))
+		p.runFlight(cctx, key, f, tgt, seed, kind)
+		span.SetAttr(telemetry.Bool("cal_ok", f.err == nil))
+		span.End()
 		if f.err != nil {
 			return nil, f.err
 		}
@@ -471,7 +497,7 @@ func (p *Pool) runFlight(ctx context.Context, key Key, f *flight, tgt target.Tar
 		p.mu.Unlock()
 		close(f.ready)
 		if f.err == nil && p.onCalibrated != nil {
-			p.onCalibrated(Entry{Key: key, Model: f.cal.model, BusState: f.cal.busState})
+			p.onCalibrated(ctx, Entry{Key: key, Model: f.cal.model, BusState: f.cal.busState})
 		}
 	}()
 	if p.calibrateHook != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,6 +29,12 @@ type BusGenRow struct {
 
 // BusGenerations evaluates every workload on each bus generation.
 func BusGenerations(seed uint64) ([]BusGenRow, error) {
+	return BusGenerationsCtx(context.Background(), seed)
+}
+
+// BusGenerationsCtx is BusGenerations under a context: per-kernel
+// wall-clock spans attach to the caller's trace.
+func BusGenerationsCtx(ctx context.Context, seed uint64) ([]BusGenRow, error) {
 	ws, err := bench.All()
 	if err != nil {
 		return nil, err
@@ -48,7 +55,7 @@ func BusGenerations(seed uint64) ([]BusGenRow, error) {
 			return nil, fmt.Errorf("experiments: %s: %w", gen.Name, err)
 		}
 		for i, w := range ws {
-			rep, err := p.Evaluate(w)
+			rep, err := p.EvaluateCtx(ctx, w)
 			if err != nil {
 				return nil, err
 			}

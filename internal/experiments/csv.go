@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"os"
@@ -16,6 +17,13 @@ import (
 // table/figure into dir (created if missing). It returns the list of
 // files written.
 func (c *Context) WriteCSV(dir string) ([]string, error) {
+	return c.WriteCSVCtx(context.Background(), dir)
+}
+
+// WriteCSVCtx is WriteCSV under a context: every regenerated
+// experiment evaluates through the Ctx variants, so the caller's
+// wall-clock trace sees the per-kernel spans of the full export.
+func (c *Context) WriteCSVCtx(ctx context.Context, dir string) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -78,7 +86,7 @@ func (c *Context) WriteCSV(dir string) ([]string, error) {
 	}
 
 	// Table I.
-	t1, err := c.Table1()
+	t1, err := c.Table1Ctx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +104,7 @@ func (c *Context) WriteCSV(dir string) ([]string, error) {
 	}
 
 	// Figure 5: per-transfer scatter.
-	p5, _, err := c.Fig5()
+	p5, _, err := c.Fig5Ctx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +120,7 @@ func (c *Context) WriteCSV(dir string) ([]string, error) {
 	}
 
 	// Figure 6: error pairs.
-	p6, err := c.Fig6()
+	p6, err := c.Fig6Ctx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +135,7 @@ func (c *Context) WriteCSV(dir string) ([]string, error) {
 
 	// Figures 7/9/11: speedup by size, one file per app.
 	for _, app := range []string{"CFD", "HotSpot", "SRAD"} {
-		rows, err := c.SpeedupBySize(app)
+		rows, err := c.SpeedupBySizeCtx(ctx, app)
 		if err != nil {
 			return nil, err
 		}
@@ -151,7 +159,7 @@ func (c *Context) WriteCSV(dir string) ([]string, error) {
 		{"HotSpot", "1024 x 1024", "fig10_hotspot_iters.csv", []int{1, 2, 4, 8, 16, 32, 64, 128, 256}},
 		{"SRAD", "4096 x 4096", "fig12_srad_iters.csv", []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}},
 	} {
-		sweep, err := c.IterationSweep(sw.app, sw.size, sw.iters)
+		sweep, err := c.IterationSweepCtx(ctx, sw.app, sw.size, sw.iters)
 		if err != nil {
 			return nil, err
 		}
@@ -168,7 +176,7 @@ func (c *Context) WriteCSV(dir string) ([]string, error) {
 	}
 
 	// Table II.
-	t2, err := c.Table2()
+	t2, err := c.Table2Ctx(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -56,6 +57,14 @@ func NewContextOn(m *core.Machine) (*Context, error) {
 // Reports evaluates (and caches) every benchmark workload at its
 // default iteration count.
 func (c *Context) Reports() ([]core.Report, error) {
+	return c.ReportsCtx(context.Background())
+}
+
+// ReportsCtx is Reports under a context: each cache-missing workload
+// is evaluated with EvaluateCtx, so per-kernel wall-clock spans land
+// on the caller's trace and cancellation stops the suite between
+// workloads.
+func (c *Context) ReportsCtx(ctx context.Context) ([]core.Report, error) {
 	ws, err := bench.All()
 	if err != nil {
 		return nil, err
@@ -65,7 +74,7 @@ func (c *Context) Reports() ([]core.Report, error) {
 		key := w.Name + "/" + w.DataSize
 		rep, ok := c.reports[key]
 		if !ok {
-			rep, err = c.P.Evaluate(w)
+			rep, err = c.P.EvaluateCtx(ctx, w)
 			if err != nil {
 				return nil, err
 			}
@@ -273,7 +282,12 @@ type Table1Row struct {
 
 // Table1 evaluates every workload and extracts the measured columns.
 func (c *Context) Table1() ([]Table1Row, error) {
-	reports, err := c.Reports()
+	return c.Table1Ctx(context.Background())
+}
+
+// Table1Ctx is Table1 under a context (see ReportsCtx).
+func (c *Context) Table1Ctx(ctx context.Context) ([]Table1Row, error) {
+	reports, err := c.ReportsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +336,12 @@ type Fig5Point struct {
 // Fig5 collects every per-transfer comparison, plus the overall mean
 // error the paper quotes (7.6% across all application transfers).
 func (c *Context) Fig5() ([]Fig5Point, float64, error) {
-	reports, err := c.Reports()
+	return c.Fig5Ctx(context.Background())
+}
+
+// Fig5Ctx is Fig5 under a context (see ReportsCtx).
+func (c *Context) Fig5Ctx(ctx context.Context) ([]Fig5Point, float64, error) {
+	reports, err := c.ReportsCtx(ctx)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -371,7 +390,12 @@ type Fig6Point struct {
 
 // Fig6 aggregates per-workload error magnitudes.
 func (c *Context) Fig6() ([]Fig6Point, error) {
-	reports, err := c.Reports()
+	return c.Fig6Ctx(context.Background())
+}
+
+// Fig6Ctx is Fig6 under a context (see ReportsCtx).
+func (c *Context) Fig6Ctx(ctx context.Context) ([]Fig6Point, error) {
+	reports, err := c.ReportsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -429,7 +453,12 @@ func speedupRow(r core.Report) SpeedupRow {
 // SpeedupBySize produces the Figure 7/9/11 series for one application
 // name ("CFD", "HotSpot", "SRAD") or the single Stassuij point.
 func (c *Context) SpeedupBySize(app string) ([]SpeedupRow, error) {
-	reports, err := c.Reports()
+	return c.SpeedupBySizeCtx(context.Background(), app)
+}
+
+// SpeedupBySizeCtx is SpeedupBySize under a context (see ReportsCtx).
+func (c *Context) SpeedupBySizeCtx(ctx context.Context, app string) ([]SpeedupRow, error) {
+	reports, err := c.ReportsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -483,11 +512,18 @@ type IterSweep struct {
 // IterationSweep runs the Figure 8/10/12 protocol: the named workload
 // across the given iteration counts.
 func (c *Context) IterationSweep(app, size string, iterations []int) (IterSweep, error) {
+	return c.IterationSweepCtx(context.Background(), app, size, iterations)
+}
+
+// IterationSweepCtx is IterationSweep under a context: every
+// per-iteration evaluation runs with EvaluateIterationsCtx, so its
+// kernel spans attach to the caller's wall-clock trace.
+func (c *Context) IterationSweepCtx(ctx context.Context, app, size string, iterations []int) (IterSweep, error) {
 	w, err := findWorkload(app, size)
 	if err != nil {
 		return IterSweep{}, err
 	}
-	reports, err := c.P.EvaluateIterations(w, iterations)
+	reports, err := c.P.EvaluateIterationsCtx(ctx, w, iterations)
 	if err != nil {
 		return IterSweep{}, err
 	}
@@ -560,7 +596,12 @@ type Table2Result struct {
 
 // Table2 computes the speedup-error table over all workloads.
 func (c *Context) Table2() (Table2Result, error) {
-	reports, err := c.Reports()
+	return c.Table2Ctx(context.Background())
+}
+
+// Table2Ctx is Table2 under a context (see ReportsCtx).
+func (c *Context) Table2Ctx(ctx context.Context) (Table2Result, error) {
+	reports, err := c.ReportsCtx(ctx)
 	if err != nil {
 		return Table2Result{}, err
 	}
@@ -656,7 +697,12 @@ type StassuijResult struct {
 
 // Stassuij evaluates the flip experiment.
 func (c *Context) Stassuij() (StassuijResult, error) {
-	reports, err := c.Reports()
+	return c.StassuijCtx(context.Background())
+}
+
+// StassuijCtx is Stassuij under a context (see ReportsCtx).
+func (c *Context) StassuijCtx(ctx context.Context) (StassuijResult, error) {
+	reports, err := c.ReportsCtx(ctx)
 	if err != nil {
 		return StassuijResult{}, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,6 +32,12 @@ func (r PinnedRow) XferPenalty() float64 { return r.PageableXfer / r.PinnedXfer 
 // PinnedAssumption evaluates all workloads under both host memory
 // kinds on machines derived from seed.
 func PinnedAssumption(seed uint64) ([]PinnedRow, error) {
+	return PinnedAssumptionCtx(context.Background(), seed)
+}
+
+// PinnedAssumptionCtx is PinnedAssumption under a context: per-kernel
+// wall-clock spans attach to the caller's trace.
+func PinnedAssumptionCtx(ctx context.Context, seed uint64) ([]PinnedRow, error) {
 	ws, err := bench.All()
 	if err != nil {
 		return nil, err
@@ -46,7 +53,7 @@ func PinnedAssumption(seed uint64) ([]PinnedRow, error) {
 			return nil, err
 		}
 		for i, w := range ws {
-			rep, err := p.Evaluate(w)
+			rep, err := p.EvaluateCtx(ctx, w)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %v %s: %w", kind, w.Name, err)
 			}

@@ -56,7 +56,7 @@ func RobustnessCtx(ctx context.Context, baseSeed uint64, n int) (RobustnessResul
 		if err != nil {
 			return point{}, err
 		}
-		res, err := ec.Table2()
+		res, err := ec.Table2Ctx(ctx)
 		if err != nil {
 			return point{}, err
 		}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"grophecy/internal/core"
+	"grophecy/internal/telemetry"
 	"grophecy/internal/trace"
 )
 
@@ -33,8 +34,15 @@ type Entry struct {
 	Report core.Report
 	// Err is the run's error, empty on success.
 	Err string
-	// Trace is the run's span tree (nil when tracing was off).
+	// Trace is the run's *simulated-time* span tree (nil when tracing
+	// was off). Its spans are pooled: the recorder releases them on
+	// eviction, so export must go through TraceJSON, which serializes
+	// under the recorder lock.
 	Trace *trace.Tracer
+	// WallTrace is the request's *wall-clock* span tree (nil when the
+	// run was not served over HTTP). Not pooled; kept for
+	// GET /runs/{id}/walltrace.
+	WallTrace *telemetry.Tracer
 	// Start and Duration are wall-clock service times — operational
 	// bookkeeping, not modeled results.
 	Start    time.Time
@@ -72,6 +80,12 @@ func MustNew(capacity int) *Recorder {
 // in the index but still occupies a ring slot; the daemon's
 // process-unique run IDs never collide, but the recorder stays
 // correct for callers whose IDs do.
+//
+// Eviction is where a run's life provably ends, so the evicted
+// entry's simulated trace is released back to the span pool here —
+// the ring was the one place in the daemon that retained traces
+// forever. Readers are safe because trace export (TraceJSON) holds
+// r.mu for the whole serialization.
 func (r *Recorder) Add(e Entry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -86,9 +100,25 @@ func (r *Recorder) Add(e Entry) {
 		if !r.idLiveLocked(old.ID) {
 			delete(r.byID, old.ID)
 		}
+		// Release the evicted trace unless a retained slot (or the
+		// entry being added) still shares the same tracer.
+		if old.Trace != nil && old.Trace != e.Trace && !r.traceLiveLocked(old.Trace) {
+			old.Trace.Release()
+		}
 	}
 	r.entries = append(r.entries, e)
 	r.byID[e.ID] = e
+}
+
+// traceLiveLocked reports whether any retained ring slot shares tr.
+// Callers must hold r.mu.
+func (r *Recorder) traceLiveLocked(tr *trace.Tracer) bool {
+	for i := range r.entries {
+		if r.entries[i].Trace == tr {
+			return true
+		}
+	}
+	return false
 }
 
 // idLiveLocked reports whether any retained ring slot carries id.
@@ -108,6 +138,48 @@ func (r *Recorder) Get(id string) (Entry, bool) {
 	defer r.mu.Unlock()
 	e, ok := r.byID[id]
 	return e, ok
+}
+
+// Errors the trace exporters distinguish for the HTTP layer.
+var (
+	// ErrNoRun: the ID is unknown (evicted or never recorded).
+	ErrNoRun = fmt.Errorf("flight: no such run (evicted or never recorded)")
+	// ErrNoTrace: the run exists but was recorded without the
+	// requested trace kind.
+	ErrNoTrace = fmt.Errorf("flight: run recorded without a trace")
+)
+
+// TraceJSON serializes the run's simulated-time trace as Chrome
+// trace_event JSON. The recorder lock is held across the export so a
+// concurrent eviction cannot release the trace's pooled spans out
+// from under the serializer — callers must not export a Trace pulled
+// from Get for exactly that reason.
+func (r *Recorder) TraceJSON(id string) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byID[id]
+	if !ok {
+		return nil, ErrNoRun
+	}
+	if e.Trace == nil {
+		return nil, ErrNoTrace
+	}
+	return e.Trace.ChromeJSON()
+}
+
+// WallTraceJSON serializes the run's wall-clock trace as OTLP/JSON,
+// under the recorder lock for symmetry with TraceJSON.
+func (r *Recorder) WallTraceJSON(id string) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byID[id]
+	if !ok {
+		return nil, ErrNoRun
+	}
+	if e.WallTrace == nil {
+		return nil, ErrNoTrace
+	}
+	return e.WallTrace.OTLP()
 }
 
 // Entries returns a copy of the retained runs, oldest first.

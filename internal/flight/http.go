@@ -1,12 +1,14 @@
 // HTTP surface of the flight recorder:
 //
-//	GET /runs            index of retained runs, newest first
-//	GET /runs/{id}       the run's report JSON (same shape as the CLI)
-//	GET /runs/{id}/trace the run's Chrome trace_event JSON
+//	GET /runs                index of retained runs, newest first
+//	GET /runs/{id}           the run's report JSON (same shape as the CLI)
+//	GET /runs/{id}/trace     the run's simulated-time Chrome trace_event JSON
+//	GET /runs/{id}/walltrace the run's wall-clock OTLP/JSON trace
 package flight
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -26,6 +28,10 @@ type Summary struct {
 	Start      string  `json:"start"`
 	DurationMS float64 `json:"durationMs"`
 	HasTrace   bool    `json:"hasTrace"`
+	// HasWallTrace reports whether a wall-clock trace is retained;
+	// TraceID keys the run into the OTLP export when it is.
+	HasWallTrace bool   `json:"hasWallTrace"`
+	TraceID      string `json:"traceId,omitempty"`
 }
 
 // summarize builds the index row for one entry.
@@ -39,6 +45,10 @@ func summarize(e Entry) Summary {
 		Start:      e.Start.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
 		DurationMS: float64(e.Duration.Microseconds()) / 1e3,
 		HasTrace:   e.Trace != nil,
+	}
+	if e.WallTrace != nil {
+		s.HasWallTrace = true
+		s.TraceID = e.WallTrace.TraceID().String()
 	}
 	if e.Err == "" {
 		s.Iterations = e.Report.Iterations
@@ -64,6 +74,7 @@ func (r *Recorder) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("GET /runs", r.handleIndex)
 	mux.HandleFunc("GET /runs/{id}", r.handleRun)
 	mux.HandleFunc("GET /runs/{id}/trace", r.handleTrace)
+	mux.HandleFunc("GET /runs/{id}/walltrace", r.handleWallTrace)
 }
 
 func (r *Recorder) handleIndex(w http.ResponseWriter, _ *http.Request) {
@@ -100,22 +111,26 @@ func (r *Recorder) handleRun(w http.ResponseWriter, req *http.Request) {
 }
 
 func (r *Recorder) handleTrace(w http.ResponseWriter, req *http.Request) {
-	e, ok := r.Get(req.PathValue("id"))
-	if !ok {
-		http.Error(w, "no such run (evicted or never recorded)", http.StatusNotFound)
-		return
-	}
-	if e.Trace == nil {
-		http.Error(w, "run recorded without a trace", http.StatusNotFound)
-		return
-	}
-	data, err := e.Trace.ChromeJSON()
-	if err != nil {
+	data, err := r.TraceJSON(req.PathValue("id"))
+	writeTrace(w, data, err)
+}
+
+func (r *Recorder) handleWallTrace(w http.ResponseWriter, req *http.Request) {
+	data, err := r.WallTraceJSON(req.PathValue("id"))
+	writeTrace(w, data, err)
+}
+
+// writeTrace maps a trace exporter's result onto the response.
+func writeTrace(w http.ResponseWriter, data []byte, err error) {
+	switch {
+	case errors.Is(err, ErrNoRun), errors.Is(err, ErrNoTrace):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case err != nil:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(data)
 }
 
 func writeJSON(w http.ResponseWriter, doc any) {

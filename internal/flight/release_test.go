@@ -1,0 +1,166 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"grophecy/internal/telemetry"
+	"grophecy/internal/trace"
+)
+
+// closedTracer builds a small finished simulated trace.
+func closedTracer() *trace.Tracer {
+	tr := trace.New("run")
+	tr.Close()
+	return tr
+}
+
+// TestEvictionReleasesTrace is the PR 7 leak regression: the flight
+// ring was the one place that retained simulated trace trees forever,
+// never returning their pooled spans. Eviction must release them.
+func TestEvictionReleasesTrace(t *testing.T) {
+	r := MustNew(2)
+	tracers := make([]*trace.Tracer, 4)
+	for i := range tracers {
+		tracers[i] = closedTracer()
+		e := entry(i)
+		e.Trace = tracers[i]
+		r.Add(e)
+	}
+	for i, tr := range tracers {
+		if evicted := i < 2; tr.Released() != evicted {
+			t.Errorf("tracer %d released = %v, want %v", i, tr.Released(), evicted)
+		}
+	}
+	// The retained traces still export.
+	if _, err := r.TraceJSON("run-3"); err != nil {
+		t.Fatalf("retained trace failed to export: %v", err)
+	}
+	// The evicted run (and with it, its trace) is gone.
+	if _, err := r.TraceJSON("run-0"); err != ErrNoRun {
+		t.Fatalf("evicted run export error = %v, want ErrNoRun", err)
+	}
+}
+
+// TestEvictionSparesSharedTracer: when two ring slots share one
+// tracer (duplicate adds of the same run), evicting the older slot
+// must not release spans the younger still references.
+func TestEvictionSparesSharedTracer(t *testing.T) {
+	r := MustNew(2)
+	shared := closedTracer()
+	a, b := entry(0), entry(0)
+	a.Trace, b.Trace = shared, shared
+	r.Add(a)
+	r.Add(b)
+	r.Add(entry(1)) // evicts a; b still holds shared
+	if shared.Released() {
+		t.Fatal("shared tracer released while a retained slot still references it")
+	}
+	r.Add(entry(2)) // evicts b; now the trace's life has ended
+	if !shared.Released() {
+		t.Fatal("shared tracer not released after its last reference left the ring")
+	}
+}
+
+// TestExportRacesEviction hammers TraceJSON against concurrent
+// eviction; under -race this is the regression test for exporting a
+// Get()-copied tracer while Add releases it.
+func TestExportRacesEviction(t *testing.T) {
+	r := MustNew(4)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			e := entry(i)
+			e.Trace = closedTracer()
+			r.Add(e)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			// Export whatever is currently retained.
+			for _, e := range r.Entries() {
+				r.TraceJSON(e.ID)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestWallTraceEndpoint(t *testing.T) {
+	r := MustNew(4)
+	wt := telemetry.New("grophecyd")
+	wt.Close()
+	e := entry(1)
+	e.WallTrace = wt
+	r.Add(e)
+	r.Add(entry(2)) // no wall trace
+
+	mux := http.NewServeMux()
+	r.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/runs/run-1/walltrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []struct {
+					TraceID string `json:"traceId"`
+					Name    string `json:"name"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	spans := doc.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) == 0 || spans[0].TraceID != wt.TraceID().String() {
+		t.Fatalf("walltrace spans = %+v, want trace %s", spans, wt.TraceID())
+	}
+
+	// Index advertises the wall trace and its trace ID.
+	resp, err = http.Get(srv.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx index
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var found bool
+	for _, run := range idx.Runs {
+		if run.ID == "run-1" {
+			found = true
+			if !run.HasWallTrace || run.TraceID != wt.TraceID().String() {
+				t.Fatalf("index row for run-1: %+v", run)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("run-1 missing from index")
+	}
+
+	// A run without a wall trace, and an unknown run, both 404.
+	for _, path := range []string{"/runs/run-2/walltrace", "/runs/run-99/walltrace"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// exemplarBucketRE is the OpenMetrics bucket-line-with-exemplar
+// grammar: the plain sample line followed by
+// ` # {label="value",...} value`. Label values use the same escape
+// set as ordinary labels (\\, \", \n only).
+var exemplarBucketRE = regexp.MustCompile(
+	`^[a-zA-Z_][a-zA-Z0-9_]*_bucket\{le="[^"]+"\} [0-9]+` +
+		` # \{[a-zA-Z_][a-zA-Z0-9_]*="(\\[\\"n]|[^"\\])*"` +
+		`(,[a-zA-Z_][a-zA-Z0-9_]*="(\\[\\"n]|[^"\\])*")*\} -?[0-9.e+-]+$`)
+
+func TestObserveExemplarPlacesBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("lat_seconds", "", []float64{0.01, 0.1, 1})
+	h.ObserveExemplar(0.05, Label{"trace_id", "abc123"})
+	h.Observe(0.05) // no labels: must not disturb the exemplar
+	h.ObserveExemplar(5, Label{"trace_id", "inf-bucket"})
+
+	dump := r.Dump()
+	if !strings.Contains(dump, `lat_seconds_bucket{le="0.1"} 2 # {trace_id="abc123"} 0.05`) {
+		t.Fatalf("0.1 bucket missing exemplar:\n%s", dump)
+	}
+	if !strings.Contains(dump, `lat_seconds_bucket{le="+Inf"} 3 # {trace_id="inf-bucket"} 5`) {
+		t.Fatalf("+Inf bucket missing exemplar:\n%s", dump)
+	}
+	// Buckets with no exemplar stay bare.
+	if !strings.Contains(dump, "lat_seconds_bucket{le=\"0.01\"} 0\n") {
+		t.Fatalf("empty bucket grew an exemplar:\n%s", dump)
+	}
+}
+
+func TestExemplarReplacedNotAppended(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("lat_seconds", "", []float64{1})
+	h.ObserveExemplar(0.5, Label{"trace_id", "first"})
+	h.ObserveExemplar(0.6, Label{"trace_id", "second"})
+	dump := r.Dump()
+	if strings.Contains(dump, "first") {
+		t.Fatalf("stale exemplar survived:\n%s", dump)
+	}
+	if !strings.Contains(dump, `# {trace_id="second"} 0.6`) {
+		t.Fatalf("replacement exemplar missing:\n%s", dump)
+	}
+}
+
+// TestExemplarGrammarWithEscapedLabels drives the full multi-label
+// escaping path: a quoted le label on the same line as exemplar label
+// values containing backslash, double quote, and newline.
+func TestExemplarGrammarWithEscapedLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("lat_seconds", "", []float64{1, 10})
+	h.ObserveExemplar(0.5,
+		Label{"trace_id", "deadbeef"},
+		Label{"tenant", `say "hi"\now`},
+		Label{"note", "two\nlines"},
+	)
+
+	dump := r.Dump()
+	var exemplarLines int
+	for i, line := range strings.Split(strings.TrimSuffix(dump, "\n"), "\n") {
+		if !strings.Contains(line, " # ") {
+			continue
+		}
+		exemplarLines++
+		if !exemplarBucketRE.MatchString(line) {
+			t.Errorf("exemplar line %d does not parse: %q", i+1, line)
+		}
+	}
+	if exemplarLines != 1 {
+		t.Fatalf("got %d exemplar lines, want 1:\n%s", exemplarLines, dump)
+	}
+	want := `lat_seconds_bucket{le="1"} 1 # {trace_id="deadbeef",tenant="say \"hi\"\\now",note="two\nlines"} 0.5`
+	if !strings.Contains(dump, want) {
+		t.Fatalf("dump missing %q:\n%s", want, dump)
+	}
+}
+
+// TestDumpWithExemplarsStillParses re-runs the whole-dump grammar
+// walk with exemplars present: every line is either a comment, a
+// plain sample, or a bucket line with a well-formed exemplar.
+func TestDumpWithExemplarsStillParses(t *testing.T) {
+	r := NewRegistry()
+	r.MustCounter("jobs_total", "jobs")
+	h := r.MustHistogram("latency_seconds", "latency", TimeBuckets())
+	h.ObserveExemplar(3e-4, Label{"trace_id", "0123456789abcdef"})
+	h.ObserveExemplar(42, Label{"trace_id", "fedcba9876543210"})
+
+	for i, line := range strings.Split(strings.TrimSuffix(r.Dump(), "\n"), "\n") {
+		var ok bool
+		switch {
+		case strings.HasPrefix(line, "# HELP"):
+			ok = helpLineRE.MatchString(line)
+		case strings.HasPrefix(line, "# TYPE"):
+			ok = typeLineRE.MatchString(line)
+		case strings.Contains(line, " # "):
+			ok = exemplarBucketRE.MatchString(line)
+		default:
+			ok = sampleLineRE.MatchString(line)
+		}
+		if !ok {
+			t.Errorf("dump line %d does not parse: %q", i+1, line)
+		}
+	}
+}
+
+func TestResetClearsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("lat_seconds", "", []float64{1})
+	h.ObserveExemplar(0.5, Label{"trace_id", "abc"})
+	r.Reset()
+	if dump := r.Dump(); strings.Contains(dump, " # ") {
+		t.Fatalf("Reset left exemplars behind:\n%s", dump)
+	}
+}

@@ -136,6 +136,25 @@ func (r *Registry) MustGauge(name, help string) *Gauge {
 	return g
 }
 
+// EnsureGauge registers a gauge or returns the one already registered
+// under name — for instruments owned by re-creatable components (a
+// test may wire several daemons into one process registry) rather
+// than package init. Registering a name held by a non-gauge is still
+// an error.
+func (r *Registry) EnsureGauge(name, help string) (*Gauge, error) {
+	r.mu.Lock()
+	if in, ok := r.ins[name]; ok {
+		r.mu.Unlock()
+		g, ok := in.(*Gauge)
+		if !ok {
+			return nil, fmt.Errorf("metrics: %q already registered as a %s", name, in.metricType())
+		}
+		return g, nil
+	}
+	r.mu.Unlock()
+	return r.NewGauge(name, help)
+}
+
 // Set replaces the gauge value.
 func (g *Gauge) Set(v float64) {
 	g.mu.Lock()
@@ -164,16 +183,30 @@ func (g *Gauge) writeValues(b *strings.Builder) {
 	fmt.Fprintf(b, "%s %s\n", g.name, formatFloat(g.Value()))
 }
 
+// Label is one exposition label pair, used for exemplar labels.
+type Label struct {
+	Name, Value string
+}
+
+// exemplar is the last exemplar-carrying observation of one bucket:
+// the OpenMetrics mechanism that links a histogram bucket to the
+// trace that landed in it.
+type exemplar struct {
+	labels []Label
+	value  float64
+}
+
 // Histogram is a fixed-bucket histogram. Buckets are upper bounds in
 // ascending order; an implicit +Inf bucket catches the rest.
 type Histogram struct {
 	name, help string
 	bounds     []float64
 
-	mu     sync.Mutex
-	counts []int64 // len(bounds)+1; last is +Inf
-	sum    float64
-	n      int64
+	mu        sync.Mutex
+	counts    []int64 // len(bounds)+1; last is +Inf
+	exemplars []*exemplar
+	sum       float64
+	n         int64
 }
 
 // NewHistogram registers a histogram with the given ascending bucket
@@ -223,6 +256,19 @@ func WaitBuckets() []float64 {
 
 // Observe records one sample. NaN observations are dropped.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v, nil)
+}
+
+// ObserveExemplar records one sample and attaches an exemplar to the
+// bucket it lands in — typically Label{"trace_id", ...} so the
+// exposition links the bucket to a concrete traced request. A later
+// exemplar for the same bucket replaces the earlier one (exemplars
+// are samples, not logs). With no labels it degrades to Observe.
+func (h *Histogram) ObserveExemplar(v float64, labels ...Label) {
+	h.observe(v, labels)
+}
+
+func (h *Histogram) observe(v float64, labels []Label) {
 	if math.IsNaN(v) {
 		return
 	}
@@ -232,6 +278,12 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.n++
+	if len(labels) > 0 {
+		if h.exemplars == nil {
+			h.exemplars = make([]*exemplar, len(h.bounds)+1)
+		}
+		h.exemplars[i] = &exemplar{labels: append([]Label(nil), labels...), value: v}
+	}
 }
 
 // Count returns the number of observations.
@@ -265,12 +317,36 @@ func (h *Histogram) writeValues(b *strings.Builder) {
 	var cum int64
 	for i, bound := range h.bounds {
 		cum += h.counts[i]
-		fmt.Fprintf(b, "%s_bucket{%s} %d\n", h.name, labelPair("le", formatFloat(bound)), cum)
+		fmt.Fprintf(b, "%s_bucket{%s} %d", h.name, labelPair("le", formatFloat(bound)), cum)
+		h.writeExemplar(b, i)
+		b.WriteByte('\n')
 	}
 	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(b, "%s_bucket{%s} %d\n", h.name, labelPair("le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_bucket{%s} %d", h.name, labelPair("le", "+Inf"), cum)
+	h.writeExemplar(b, len(h.bounds))
+	b.WriteByte('\n')
 	fmt.Fprintf(b, "%s_sum %s\n", h.name, formatFloat(h.sum))
 	fmt.Fprintf(b, "%s_count %d\n", h.name, h.n)
+}
+
+// writeExemplar appends bucket i's exemplar in the OpenMetrics form
+// ` # {label="value",...} observed-value`, if one was recorded. The
+// exemplar rides the bucket its observation landed in, so its value
+// always lies within the bucket's le range.
+func (h *Histogram) writeExemplar(b *strings.Builder, i int) {
+	if h.exemplars == nil || h.exemplars[i] == nil {
+		return
+	}
+	ex := h.exemplars[i]
+	b.WriteString(" # {")
+	for j, l := range ex.labels {
+		if j > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labelPair(l.Name, l.Value))
+	}
+	b.WriteString("} ")
+	b.WriteString(formatFloat(ex.value))
 }
 
 // Dump renders every instrument in the Prometheus text exposition
@@ -315,6 +391,7 @@ func (r *Registry) Reset() {
 			for i := range m.counts {
 				m.counts[i] = 0
 			}
+			m.exemplars = nil
 			m.sum, m.n = 0, 0
 			m.mu.Unlock()
 		}

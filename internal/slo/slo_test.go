@@ -1,0 +1,229 @@
+package slo
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"grophecy/internal/metrics"
+)
+
+// clock is a settable test clock.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *clock { return &clock{t: time.Unix(1700000000, 0)} }
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTracker(t *testing.T, cfg Config) *Tracker {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := map[string]Config{
+		"no objectives": {},
+		"empty name":    {Objectives: []Objective{{Target: 0.9}}},
+		"target 0":      {Objectives: []Objective{{Name: "a", Target: 0}}},
+		"target 1":      {Objectives: []Objective{{Name: "a", Target: 1}}},
+		"tiny window":   {Objectives: []Objective{{Name: "a", Target: 0.9}}, Windows: []time.Duration{time.Millisecond}},
+	}
+	for name, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: config accepted", name)
+		}
+	}
+}
+
+func TestBurnRates(t *testing.T) {
+	ck := newClock()
+	tr := newTracker(t, Config{
+		Objectives: []Objective{{Name: "availability", Target: 0.99}},
+		Windows:    []time.Duration{time.Minute},
+		Now:        ck.now,
+	})
+	// 100 requests, 2 failures: error rate 2%, budget 1% -> burn 2.0.
+	for i := 0; i < 100; i++ {
+		tr.Record(10*time.Millisecond, i >= 2)
+		ck.advance(100 * time.Millisecond)
+	}
+	st := tr.Snapshot()
+	if len(st) != 1 || len(st[0].Windows) != 1 {
+		t.Fatalf("snapshot shape: %+v", st)
+	}
+	w := st[0].Windows[0]
+	if w.Total != 100 || w.Good != 98 {
+		t.Fatalf("good/total = %d/%d, want 98/100", w.Good, w.Total)
+	}
+	if w.ErrorRate != 0.02 {
+		t.Fatalf("error rate = %v, want 0.02", w.ErrorRate)
+	}
+	if w.BurnRate < 1.99 || w.BurnRate > 2.01 {
+		t.Fatalf("burn rate = %v, want 2.0", w.BurnRate)
+	}
+}
+
+func TestLatencyObjective(t *testing.T) {
+	ck := newClock()
+	tr := newTracker(t, Config{
+		Objectives: []Objective{{Name: "latency", Target: 0.9, Latency: 100 * time.Millisecond}},
+		Windows:    []time.Duration{time.Minute},
+		Now:        ck.now,
+	})
+	tr.Record(50*time.Millisecond, true)  // good
+	tr.Record(500*time.Millisecond, true) // too slow -> bad
+	tr.Record(50*time.Millisecond, false) // failed -> bad
+	w := tr.Snapshot()[0].Windows[0]
+	if w.Total != 3 || w.Good != 1 {
+		t.Fatalf("good/total = %d/%d, want 1/3", w.Good, w.Total)
+	}
+}
+
+func TestWindowsSlideAndExpire(t *testing.T) {
+	ck := newClock()
+	tr := newTracker(t, Config{
+		Objectives: []Objective{{Name: "availability", Target: 0.99}},
+		Windows:    []time.Duration{10 * time.Second, time.Minute},
+		Now:        ck.now,
+	})
+	tr.Record(time.Millisecond, false)
+	ck.advance(30 * time.Second)
+	tr.Record(time.Millisecond, true)
+
+	st := tr.Snapshot()
+	short, long := st[0].Windows[0], st[0].Windows[1]
+	// The failure is 30s old: outside the 10s window, inside 1m.
+	if short.Total != 1 || short.Good != 1 {
+		t.Fatalf("short window good/total = %d/%d, want 1/1", short.Good, short.Total)
+	}
+	if long.Total != 2 || long.Good != 1 {
+		t.Fatalf("long window good/total = %d/%d, want 1/2", long.Good, long.Total)
+	}
+
+	// Past the long window everything expires; no traffic means burn 0.
+	ck.advance(2 * time.Minute)
+	w := tr.Snapshot()[0].Windows[1]
+	if w.Total != 0 || w.BurnRate != 0 {
+		t.Fatalf("expired window = %+v", w)
+	}
+}
+
+func TestRingReusesOldSeconds(t *testing.T) {
+	ck := newClock()
+	tr := newTracker(t, Config{
+		Objectives: []Objective{{Name: "availability", Target: 0.99}},
+		Windows:    []time.Duration{5 * time.Second},
+		Now:        ck.now,
+	})
+	// Wrap the 6-bucket ring several times; at snapshot time the clock
+	// sits one second past the last record, so exactly 4 of the
+	// one-per-second requests are younger than the 5s window.
+	for i := 0; i < 30; i++ {
+		tr.Record(time.Millisecond, true)
+		ck.advance(time.Second)
+	}
+	w := tr.Snapshot()[0].Windows[0]
+	if w.Total != 4 {
+		t.Fatalf("total = %d, want 4 after ring wrap", w.Total)
+	}
+}
+
+func TestGaugesExported(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ck := newClock()
+	tr := newTracker(t, Config{
+		Objectives: DefaultObjectives(250 * time.Millisecond),
+		Now:        ck.now,
+		Registry:   reg,
+	})
+	tr.Record(time.Millisecond, false)
+	ck.advance(time.Second)
+	tr.Record(time.Millisecond, false) // second tick refreshes gauges
+	tr.Snapshot()
+
+	dump := reg.Dump()
+	for _, want := range []string{
+		"slo_availability_burn_rate_5m",
+		"slo_availability_burn_rate_1h",
+		"slo_latency_burn_rate_5m",
+		"slo_latency_burn_rate_1h",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %s:\n%s", want, dump)
+		}
+	}
+	// All requests failed: availability burn = 1/0.001 = ~1000
+	// (modulo float representation of the error budget).
+	var burn float64
+	for _, line := range strings.Split(dump, "\n") {
+		if v, ok := strings.CutPrefix(line, "slo_availability_burn_rate_5m "); ok {
+			if _, err := fmt.Sscanf(v, "%g", &burn); err != nil {
+				t.Fatalf("unparseable gauge value %q", v)
+			}
+		}
+	}
+	if burn < 999 || burn > 1001 {
+		t.Errorf("availability burn = %v, want ~1000:\n%s", burn, dump)
+	}
+}
+
+func TestWindowLabel(t *testing.T) {
+	cases := map[time.Duration]string{
+		5 * time.Minute:  "5m",
+		time.Hour:        "1h",
+		90 * time.Second: "1m30s",
+		30 * time.Second: "30s",
+		6 * time.Hour:    "6h",
+	}
+	for d, want := range cases {
+		if got := WindowLabel(d); got != want {
+			t.Errorf("WindowLabel(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestNilTrackerIsSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Record(time.Second, true)
+	if st := tr.Snapshot(); st != nil {
+		t.Fatalf("nil tracker snapshot = %v", st)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := newTracker(t, Config{Objectives: DefaultObjectives(time.Second)})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr.Record(time.Duration(j)*time.Millisecond, j%10 != 0)
+			}
+		}()
+	}
+	wg.Wait()
+	w := tr.Snapshot()[0].Windows[0]
+	if w.Total != 1600 {
+		t.Fatalf("total = %d, want 1600", w.Total)
+	}
+}

@@ -33,6 +33,7 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -48,6 +49,7 @@ import (
 	"grophecy/internal/fault"
 	"grophecy/internal/metrics"
 	"grophecy/internal/pcie"
+	"grophecy/internal/telemetry"
 	"grophecy/internal/xfermodel"
 )
 
@@ -216,10 +218,22 @@ func (s *Store) filename(k Key) string {
 // fault) leaves no trace of the new entry and never damages an old
 // one.
 func (s *Store) Put(e Entry) error {
+	return s.PutCtx(context.Background(), e)
+}
+
+// PutCtx is Put under a context: when the context carries a request
+// wall tracer (the daemon's write-through path), the snapshot I/O
+// shows up on the request's trace as a snap.put span.
+func (s *Store) PutCtx(ctx context.Context, e Entry) error {
+	_, span := telemetry.Start(ctx, "snap.put")
+	span.SetAttr(telemetry.String("snap_target", e.Key.Target))
+	defer span.End()
 	if err := s.put(e); err != nil {
+		span.SetAttr(telemetry.Bool("snap_ok", false))
 		mWriteErrors.Inc()
 		return err
 	}
+	span.SetAttr(telemetry.Bool("snap_ok", true))
 	mWrites.Inc()
 	return nil
 }
@@ -277,9 +291,18 @@ func syncDir(dir string) error {
 // and joining their errors — a periodic snapshot should save what it
 // can.
 func (s *Store) SaveAll(entries []Entry) error {
+	return s.SaveAllCtx(context.Background(), entries)
+}
+
+// SaveAllCtx is SaveAll under a context, wrapped in a snap.save wall
+// span when one is being recorded.
+func (s *Store) SaveAllCtx(ctx context.Context, entries []Entry) error {
+	ctx, span := telemetry.Start(ctx, "snap.save")
+	span.SetAttr(telemetry.Int("snap_entries", int64(len(entries))))
+	defer span.End()
 	var errs []error
 	for _, e := range entries {
-		if err := s.Put(e); err != nil {
+		if err := s.PutCtx(ctx, e); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -311,6 +334,22 @@ type Result struct {
 // removed. Damage never fails the load — the worst disk yields an
 // empty, usable store.
 func (s *Store) Load() (Result, error) {
+	return s.LoadCtx(context.Background())
+}
+
+// LoadCtx is Load under a context, wrapped in a snap.load wall span
+// (with the warm-start outcome as attributes) when one is recorded.
+func (s *Store) LoadCtx(ctx context.Context) (Result, error) {
+	_, span := telemetry.Start(ctx, "snap.load")
+	defer span.End()
+	res, err := s.load()
+	span.SetAttr(telemetry.Int("snap_loaded", int64(len(res.Entries))))
+	span.SetAttr(telemetry.Int("snap_stale", int64(res.Stale)))
+	span.SetAttr(telemetry.Int("snap_quarantined", int64(res.Quarantined)))
+	return res, err
+}
+
+func (s *Store) load() (Result, error) {
 	start := time.Now()
 	var res Result
 	dirents, err := os.ReadDir(s.dir)

@@ -1,0 +1,418 @@
+// Package telemetry is the daemon's *wall-clock* observability layer:
+// request-scoped trace trees stamped in real time, W3C traceparent
+// propagation, OTLP/JSON export, and the canonical wide event.
+//
+// It deliberately mirrors the shape of internal/trace — nil-safe
+// receivers, context propagation through With/Start, a span tree per
+// tracer — but the two must never merge: internal/trace stamps
+// *simulated* time and is part of the byte-deterministic modeled
+// output (a given seed reproduces the same trace byte for byte),
+// while this package reads the real clock and is expected to differ
+// run to run. Modeled results must never consume telemetry values.
+//
+// The zero value of *Tracer and *Span is a valid disabled tracer:
+// every method is a no-op on nil, so instrumented code (engine
+// stages, the calibration pool, the snapshot store) pays only a
+// context lookup when no request tracer is installed.
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is the 16-byte W3C trace identifier.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanID is the 8-byte W3C parent/span identifier.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// SpanContext is the propagated portion of a trace: the tuple a W3C
+// traceparent header carries.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	// Sampled is the sampled bit of the trace-flags field.
+	Sampled bool
+}
+
+// IsValid reports whether both IDs are non-zero, the W3C validity
+// rule.
+func (sc SpanContext) IsValid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// idState seeds the process-local ID generator. IDs only need to be
+// unique, not cryptographically unpredictable; one crypto/rand read
+// at startup plus a splitmix64 walk keeps ID generation off the
+// kernel's entropy pool on the request path.
+var idState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(seed[:]))
+	} else {
+		idState.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// nextID draws the next 64-bit ID via a splitmix64 step.
+func nextID() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewTraceID returns a fresh non-zero trace ID.
+func NewTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:8], nextID())
+		binary.BigEndian.PutUint64(id[8:], nextID())
+	}
+	return id
+}
+
+// NewSpanID returns a fresh non-zero span ID.
+func NewSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:], nextID())
+	}
+	return id
+}
+
+// Attr is one span or event attribute; values are pre-formatted
+// strings, the same convention as internal/trace.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int64) Attr {
+	return Attr{Key: key, Value: itoa(value)}
+}
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr {
+	if value {
+		return Attr{Key: key, Value: "true"}
+	}
+	return Attr{Key: key, Value: "false"}
+}
+
+// itoa is strconv.FormatInt(v, 10) without the import weight in call
+// sites that only ever format small integers.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Span is one node of a wall-clock trace tree. All methods are safe
+// on a nil receiver and for concurrent use.
+type Span struct {
+	tr       *Tracer
+	name     string
+	id       SpanID
+	parent   *Span
+	children []*Span
+	attrs    []Attr
+
+	start  time.Time
+	end    time.Time
+	closed bool
+}
+
+// Tracer owns one wall-clock trace tree. A nil *Tracer is a valid
+// disabled tracer. Unlike internal/trace, spans are not pooled: a
+// request's tree is small (tens of spans), lives exactly as long as
+// its flight-ring entry, and wall-clock traces have no determinism
+// obligations worth the aliasing risk.
+type Tracer struct {
+	mu      sync.Mutex
+	service string
+	traceID TraceID
+	remote  SpanID // inbound parent span, zero when the trace starts here
+	root    *Span
+	now     func() time.Time
+}
+
+// Options configures a tracer beyond its service name.
+type Options struct {
+	// Parent, when valid, continues an inbound trace: the tracer
+	// adopts its trace ID and parents the root span under its span ID.
+	Parent SpanContext
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// New starts a tracer with a fresh trace ID and an open root span
+// named after the service.
+func New(service string) *Tracer { return NewWith(service, Options{}) }
+
+// NewWith starts a tracer, continuing Options.Parent when it is
+// valid.
+func NewWith(service string, opts Options) *Tracer {
+	t := &Tracer{service: service, now: opts.Now}
+	if t.now == nil {
+		t.now = time.Now
+	}
+	if opts.Parent.IsValid() {
+		t.traceID = opts.Parent.TraceID
+		t.remote = opts.Parent.SpanID
+	} else {
+		t.traceID = NewTraceID()
+	}
+	t.root = &Span{tr: t, name: service, id: NewSpanID(), start: t.now()}
+	return t
+}
+
+// Service returns the tracer's service name.
+func (t *Tracer) Service() string {
+	if t == nil {
+		return ""
+	}
+	return t.service
+}
+
+// TraceID returns the trace identifier (zero on a nil tracer).
+func (t *Tracer) TraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.traceID
+}
+
+// Root returns the root span (nil on a nil tracer).
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Remote reports the inbound parent span ID and whether the trace
+// was continued from a remote caller.
+func (t *Tracer) Remote() (SpanID, bool) {
+	if t == nil {
+		return SpanID{}, false
+	}
+	return t.remote, !t.remote.IsZero()
+}
+
+// ServerContext returns the span context a response should advertise:
+// this trace, parented at the root (server) span. The sampled bit is
+// always set — the daemon records every request it serves.
+func (t *Tracer) ServerContext() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: t.traceID, SpanID: t.root.id, Sampled: true}
+}
+
+// Close ends the root span. Call once, after the traced work.
+func (t *Tracer) Close() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+	eventKey
+)
+
+// With installs the tracer in the context.
+func With(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// FromContext returns the installed tracer, or nil.
+func FromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// Current returns the innermost open span carried by the context, or
+// nil.
+func Current(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// Start opens a child span of the context's current span (or of the
+// root when none is set) and returns a derived context carrying it.
+// With no tracer installed it returns (ctx, nil) and costs two
+// context lookups.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t := FromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent := Current(ctx)
+	if parent == nil {
+		parent = t.root
+	}
+	s := t.startChild(parent, name, attrs)
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// startChild creates the span under the tracer lock.
+func (t *Tracer) startChild(parent *Span, name string, attrs []Attr) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{tr: t, name: name, id: NewSpanID(), parent: parent, attrs: attrs, start: t.now()}
+	parent.children = append(parent.children, s)
+	return s
+}
+
+// Name returns the span name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// ID returns the span identifier (zero on nil).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// SetAttr adds or replaces one attribute.
+func (s *Span) SetAttr(a Attr) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == a.Key {
+			s.attrs[i] = a
+			return
+		}
+	}
+	s.attrs = append(s.attrs, a)
+}
+
+// End closes the span at the current wall time. Ending twice is a
+// no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.end = s.tr.now()
+}
+
+// Duration returns the span's wall duration; an open span extends to
+// the current clock.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.durationLocked()
+}
+
+func (s *Span) durationLocked() time.Duration {
+	end := s.end
+	if !s.closed {
+		end = s.tr.now()
+	}
+	return end.Sub(s.start)
+}
+
+// Walk visits every span depth-first in creation order, with its
+// depth. The callback must not start or end spans on this tracer.
+func (t *Tracer) Walk(fn func(s *Span, depth int)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	walkSpan(t.root, 0, fn)
+}
+
+func walkSpan(s *Span, depth int, fn func(*Span, int)) {
+	fn(s, depth)
+	for _, c := range s.children {
+		walkSpan(c, depth+1, fn)
+	}
+}
+
+// Durations sums span durations by name across the whole tree — the
+// per-stage wall attribution the canonical wide event reports. Open
+// spans extend to the current clock.
+func (t *Tracer) Durations() map[string]time.Duration {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]time.Duration)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	walkSpan(t.root, 0, func(s *Span, _ int) {
+		out[s.name] += s.durationLocked()
+	})
+	return out
+}
+
+// SpanCount returns the number of spans in the tree (0 on nil).
+func (t *Tracer) SpanCount() int {
+	n := 0
+	t.Walk(func(*Span, int) { n++ })
+	return n
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a Now func advancing by step per call.
+func fakeClock(start time.Time, step time.Duration) func() time.Time {
+	t := start
+	return func() time.Time {
+		now := t
+		t = t.Add(step)
+		return now
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.TraceID() != (TraceID{}) {
+		t.Fatalf("nil tracer trace ID = %v", tr.TraceID())
+	}
+	if tr.Root() != nil || tr.Service() != "" {
+		t.Fatalf("nil tracer root/service not zero")
+	}
+	if _, ok := tr.Remote(); ok {
+		t.Fatalf("nil tracer claims a remote parent")
+	}
+	if sc := tr.ServerContext(); sc.IsValid() {
+		t.Fatalf("nil tracer server context valid")
+	}
+	tr.Close()
+	tr.Walk(func(*Span, int) { t.Fatalf("nil tracer walked a span") })
+	if d := tr.Durations(); d != nil {
+		t.Fatalf("nil tracer durations = %v", d)
+	}
+	if n := tr.SpanCount(); n != 0 {
+		t.Fatalf("nil tracer span count = %d", n)
+	}
+	var s *Span
+	s.End()
+	s.SetAttr(String("k", "v"))
+	if s.Name() != "" || s.Duration() != 0 || !s.ID().IsZero() {
+		t.Fatalf("nil span not inert")
+	}
+
+	// Start with no tracer installed must return (ctx, nil).
+	ctx, span := Start(context.Background(), "noop")
+	if span != nil {
+		t.Fatalf("Start without tracer returned a span")
+	}
+	if Current(ctx) != nil || FromContext(ctx) != nil {
+		t.Fatalf("untraced context carries state")
+	}
+}
+
+func TestStartNestingAndDurations(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	tr := NewWith("svc", Options{Now: fakeClock(base, time.Millisecond)})
+	ctx := With(context.Background(), tr)
+
+	ctx1, s1 := Start(ctx, "outer", String("k", "v"))
+	if s1 == nil || Current(ctx1) != s1 {
+		t.Fatalf("outer span not carried by context")
+	}
+	_, s2 := Start(ctx1, "inner")
+	s2.End()
+	s1.End()
+	// A sibling started from the root context parents at the root.
+	_, s3 := Start(ctx, "sibling")
+	s3.End()
+	tr.Close()
+
+	var names []string
+	var depths []int
+	tr.Walk(func(s *Span, d int) { names = append(names, s.Name()); depths = append(depths, d) })
+	wantNames := []string{"svc", "outer", "inner", "sibling"}
+	wantDepths := []int{0, 1, 2, 1}
+	for i := range wantNames {
+		if i >= len(names) || names[i] != wantNames[i] || depths[i] != wantDepths[i] {
+			t.Fatalf("walk order = %v %v, want %v %v", names, depths, wantNames, wantDepths)
+		}
+	}
+
+	d := tr.Durations()
+	for _, name := range wantNames {
+		if d[name] <= 0 {
+			t.Fatalf("duration of %q = %v, want > 0", name, d[name])
+		}
+	}
+	if tr.SpanCount() != 4 {
+		t.Fatalf("span count = %d, want 4", tr.SpanCount())
+	}
+}
+
+func TestRemoteParentAdoptsTraceID(t *testing.T) {
+	parent := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	tr := NewWith("svc", Options{Parent: parent})
+	if tr.TraceID() != parent.TraceID {
+		t.Fatalf("trace ID %v not adopted from parent %v", tr.TraceID(), parent.TraceID)
+	}
+	remote, ok := tr.Remote()
+	if !ok || remote != parent.SpanID {
+		t.Fatalf("remote = %v %v, want %v true", remote, ok, parent.SpanID)
+	}
+	sc := tr.ServerContext()
+	if sc.TraceID != parent.TraceID || sc.SpanID != tr.Root().ID() || !sc.Sampled {
+		t.Fatalf("server context %+v does not advertise the root span", sc)
+	}
+}
+
+func TestFreshTracerMakesUniqueIDs(t *testing.T) {
+	a, b := New("a"), New("b")
+	if a.TraceID() == b.TraceID() {
+		t.Fatalf("two tracers share trace ID %v", a.TraceID())
+	}
+	if a.TraceID().IsZero() || a.Root().ID().IsZero() {
+		t.Fatalf("fresh tracer has zero IDs")
+	}
+	if _, ok := a.Remote(); ok {
+		t.Fatalf("fresh tracer claims a remote parent")
+	}
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	tr := New("svc")
+	ctx := With(context.Background(), tr)
+	_, s := Start(ctx, "sp", String("k", "old"))
+	s.SetAttr(String("k", "new"))
+	s.SetAttr(Int("n", 7))
+	s.SetAttr(Bool("b", true))
+	s.End()
+	got := map[string]string{}
+	for _, a := range s.attrs {
+		got[a.Key] = a.Value
+	}
+	if got["k"] != "new" || got["n"] != "7" || got["b"] != "true" {
+		t.Fatalf("attrs = %v", got)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New("svc")
+	ctx := With(context.Background(), tr)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				_, s := Start(ctx, "work")
+				s.SetAttr(Int("j", int64(j)))
+				s.End()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	tr.Close()
+	if n := tr.SpanCount(); n != 1+8*100 {
+		t.Fatalf("span count = %d, want %d", n, 1+8*100)
+	}
+}

@@ -1,0 +1,114 @@
+// W3C Trace Context: parsing and rendering of the `traceparent`
+// header (https://www.w3.org/TR/trace-context/), the wire format the
+// daemon uses to join and continue distributed traces.
+package telemetry
+
+import (
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// TraceparentHeader is the canonical header name (HTTP header names
+// are case-insensitive; the spec spells it lowercase).
+const TraceparentHeader = "traceparent"
+
+// FormatTraceparent renders a version-00 traceparent value:
+// 00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>.
+func FormatTraceparent(sc SpanContext) string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header value. Per the spec it
+// accepts future versions (any two lowercase hex digits except "ff")
+// as long as the version-00 prefix fields are well-formed, requires
+// lowercase hex throughout, and rejects all-zero trace or span IDs.
+func ParseTraceparent(s string) (SpanContext, error) {
+	var sc SpanContext
+	// version(2) - traceid(32) - spanid(16) - flags(2) = 55 bytes
+	// minimum; future versions may append "-extra" fields.
+	if len(s) < 55 {
+		return sc, fmt.Errorf("telemetry: traceparent too short (%d bytes)", len(s))
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return sc, fmt.Errorf("telemetry: traceparent delimiters malformed")
+	}
+	version, traceID, spanID, flags := s[0:2], s[3:35], s[36:52], s[53:55]
+	if !isLowerHex(version) || version == "ff" {
+		return sc, fmt.Errorf("telemetry: invalid traceparent version %q", version)
+	}
+	if version == "00" {
+		if len(s) != 55 {
+			return sc, fmt.Errorf("telemetry: version 00 traceparent has trailing bytes")
+		}
+	} else if len(s) > 55 && s[55] != '-' {
+		return sc, fmt.Errorf("telemetry: traceparent trailing bytes not dash-separated")
+	}
+	if !isLowerHex(traceID) {
+		return sc, fmt.Errorf("telemetry: trace-id not lowercase hex")
+	}
+	if !isLowerHex(spanID) {
+		return sc, fmt.Errorf("telemetry: parent-id not lowercase hex")
+	}
+	if !isLowerHex(flags) {
+		return sc, fmt.Errorf("telemetry: trace-flags not lowercase hex")
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(traceID)); err != nil {
+		return sc, fmt.Errorf("telemetry: trace-id: %w", err)
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(spanID)); err != nil {
+		return sc, fmt.Errorf("telemetry: parent-id: %w", err)
+	}
+	if sc.TraceID.IsZero() {
+		return SpanContext{}, fmt.Errorf("telemetry: trace-id is all zero")
+	}
+	if sc.SpanID.IsZero() {
+		return SpanContext{}, fmt.Errorf("telemetry: parent-id is all zero")
+	}
+	var fb [1]byte
+	if _, err := hex.Decode(fb[:], []byte(flags)); err != nil {
+		return SpanContext{}, fmt.Errorf("telemetry: trace-flags: %w", err)
+	}
+	sc.Sampled = fb[0]&0x01 != 0
+	return sc, nil
+}
+
+// isLowerHex reports whether s is entirely lowercase hex digits.
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Extract pulls a valid span context from an inbound header set,
+// reporting whether one was present and well-formed. Malformed
+// headers are treated as absent, per the spec's restart rule.
+func Extract(h http.Header) (SpanContext, bool) {
+	v := strings.TrimSpace(h.Get(TraceparentHeader))
+	if v == "" {
+		return SpanContext{}, false
+	}
+	sc, err := ParseTraceparent(v)
+	if err != nil || !sc.IsValid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// Inject writes the span context as a traceparent header. Invalid
+// contexts are not written.
+func Inject(h http.Header, sc SpanContext) {
+	if !sc.IsValid() {
+		return
+	}
+	h.Set(TraceparentHeader, FormatTraceparent(sc))
+}

@@ -1,14 +1,19 @@
 // Command smoke is the end-to-end smoke test `make smoke` runs: it
-// builds the real grophecyd binary, starts it on an ephemeral port,
-// drives projections through the HTTP surface — the target registry
-// (GET /targets, ?target=), the calibration cache (repeat
-// same-target requests must hit; a 1-entry cache must evict), the
-// batch endpoint (byte-identical to /project), and admission control
-// (a held worker slot must shed concurrent requests with 429 +
-// Retry-After and flip /readyz) — checks the request metrics moved,
-// and verifies the daemon drains cleanly on SIGTERM. Unlike the
-// httptest suite this exercises the actual process lifecycle — flag
-// parsing, the listener, signal handling, exit code.
+// builds the real grophecyd binary (race detector on), starts it on
+// an ephemeral port, drives projections through the HTTP surface —
+// the target registry (GET /targets, ?target=), the calibration
+// cache (repeat same-target requests must hit; a 1-entry cache must
+// evict), the batch endpoint (byte-identical to /project), admission
+// control (a held worker slot must shed concurrent requests with 429
+// + Retry-After and flip /readyz), and the wall-clock telemetry
+// spine (an inbound traceparent must round-trip to the response
+// header, the OTLP file sink, and /runs/{id}/walltrace; /statusz
+// must render; the latency histogram must carry a trace-ID exemplar;
+// and the canonical wide event must land in the logs) — checks the
+// request metrics moved, and verifies the daemon drains cleanly on
+// SIGTERM. Unlike the httptest suite this exercises the actual
+// process lifecycle — flag parsing, the listener, signal handling,
+// exit code.
 package main
 
 import (
@@ -60,20 +65,30 @@ func run() error {
 	defer os.RemoveAll(dir)
 	bin := filepath.Join(dir, "grophecyd")
 
-	build := exec.Command("go", "build", "-o", bin, "./cmd/grophecyd")
+	build := exec.Command("go", "build", "-race", "-o", bin, "./cmd/grophecyd")
 	build.Dir = root
 	if out, err := build.CombinedOutput(); err != nil {
 		return fmt.Errorf("building grophecyd: %v\n%s", err, out)
 	}
 
 	// A deliberately tight serving configuration: one worker slot, no
-	// wait queue (any concurrent request sheds), and a single-entry
-	// calibration cache (any second target evicts the first).
+	// wait queue (any concurrent request sheds), a single-entry
+	// calibration cache (any second target evicts the first), and the
+	// OTLP file sink on so the telemetry export path runs for real.
+	otlpPath := filepath.Join(dir, "otlp.ndjson")
+	logPath := filepath.Join(dir, "daemon.log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return err
+	}
+	defer logFile.Close()
 	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-log-format", "json",
 		"-max-inflight", "1", "-max-queue", "0", "-queue-wait", "300ms",
-		"-cache-entries", "1")
+		"-cache-entries", "1", "-otlp-file", otlpPath)
 	daemon.Dir = root
-	daemon.Stderr = os.Stderr
+	// Tee the structured logs: visible in the smoke output, and
+	// greppable afterwards for the canonical wide event.
+	daemon.Stderr = io.MultiWriter(os.Stderr, logFile)
 	stdout, err := daemon.StdoutPipe()
 	if err != nil {
 		return err
@@ -212,6 +227,14 @@ func run() error {
 		}
 	}
 
+	// The wall-clock telemetry spine: traceparent round-trip, the
+	// walltrace endpoint, the statusz page, and the latency exemplar.
+	traceID, err := checkTelemetry(base, string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Println("smoke: traceparent round-tripped through walltrace, statusz, and exemplars")
+
 	// Clean shutdown: SIGTERM must drain and exit 0.
 	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
@@ -227,7 +250,144 @@ func run() error {
 		return errors.New("daemon did not exit within 15s of SIGTERM")
 	}
 	fmt.Println("smoke: daemon drained and exited 0")
+
+	// Post-mortem telemetry artifacts: the wide event must be in the
+	// logs and the trace in the OTLP export file.
+	logData, err := os.ReadFile(logPath)
+	if err != nil {
+		return err
+	}
+	if err := checkWideEvent(logData, traceID); err != nil {
+		return err
+	}
+	otlpData, err := os.ReadFile(otlpPath)
+	if err != nil {
+		return fmt.Errorf("reading OTLP sink file: %w", err)
+	}
+	if len(bytes.TrimSpace(otlpData)) == 0 {
+		return errors.New("OTLP sink file is empty after serving requests")
+	}
+	if !bytes.Contains(otlpData, []byte(traceID)) {
+		return fmt.Errorf("OTLP sink file does not contain trace %s", traceID)
+	}
+	fmt.Println("smoke: wide event logged and OTLP file export carries the trace")
 	return nil
+}
+
+// inboundTraceparent is the caller-minted W3C trace context the
+// telemetry checks propagate through the daemon.
+const inboundTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+// checkTelemetry sends one traced projection and follows its trace ID
+// across every surface that must carry it: the response traceparent,
+// /runs/{id}/walltrace (with queue.wait and all five engine stages),
+// /statusz, and a latency-histogram exemplar. It returns the trace ID
+// for the post-shutdown log and OTLP checks.
+func checkTelemetry(base, src string) (string, error) {
+	wantTrace := inboundTraceparent[3:35]
+
+	req, err := http.NewRequest(http.MethodPost, base+"/project", strings.NewReader(src))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("traceparent", inboundTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("traced POST /project: status %d\n%.300s", resp.StatusCode, body)
+	}
+	echo := resp.Header.Get("Traceparent")
+	if !strings.Contains(echo, wantTrace) {
+		return "", fmt.Errorf("response traceparent %q does not continue trace %s", echo, wantTrace)
+	}
+	if strings.Contains(echo, inboundTraceparent[36:52]) {
+		return "", fmt.Errorf("response traceparent %q reused the caller's span ID", echo)
+	}
+	runID := resp.Header.Get("X-Run-Id")
+	if runID == "" {
+		return "", errors.New("traced POST /project: no X-Run-Id response header")
+	}
+
+	wt, err := http.Get(base + "/runs/" + runID + "/walltrace")
+	if err != nil {
+		return "", err
+	}
+	wtBody, err := io.ReadAll(wt.Body)
+	wt.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if wt.StatusCode != http.StatusOK || len(bytes.TrimSpace(wtBody)) == 0 {
+		return "", fmt.Errorf("GET /runs/%s/walltrace: status %d, %d bytes", runID, wt.StatusCode, len(wtBody))
+	}
+	if !bytes.Contains(wtBody, []byte(wantTrace)) {
+		return "", fmt.Errorf("walltrace does not carry inbound trace %s", wantTrace)
+	}
+	for _, span := range []string{"queue.wait",
+		"stage.datausage", "stage.kernels", "stage.transfers", "stage.cpu", "stage.assemble"} {
+		if !bytes.Contains(wtBody, []byte(span)) {
+			return "", fmt.Errorf("walltrace is missing the %q span\n%.400s", span, wtBody)
+		}
+	}
+
+	st, err := http.Get(base + "/statusz")
+	if err != nil {
+		return "", err
+	}
+	stBody, err := io.ReadAll(st.Body)
+	st.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if st.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /statusz: status %d", st.StatusCode)
+	}
+	for _, want := range []string{"SLO burn rates", "admission", "calibration cache", runID} {
+		if !strings.Contains(string(stBody), want) {
+			return "", fmt.Errorf("/statusz does not mention %q\n%.600s", want, stBody)
+		}
+	}
+
+	dump, err := metricsDump(base)
+	if err != nil {
+		return "", err
+	}
+	if !strings.Contains(dump, `# {trace_id="`+wantTrace+`"}`) {
+		return "", fmt.Errorf("no grophecyd_request_seconds exemplar for trace %s", wantTrace)
+	}
+	return wantTrace, nil
+}
+
+// checkWideEvent scans the daemon's JSON logs for the canonical
+// per-request wide event of the traced projection.
+func checkWideEvent(logData []byte, traceID string) error {
+	for _, line := range bytes.Split(logData, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // race-build banners etc.
+		}
+		if rec["msg"] != "request" || rec["trace_id"] != traceID {
+			continue
+		}
+		for _, key := range []string{"tenant", "status", "duration_ms", "run", "queue_depth", "ms.queue.wait"} {
+			if _, ok := rec[key]; !ok {
+				return fmt.Errorf("wide event for trace %s is missing %q: %s", traceID, key, line)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("no canonical wide event (msg=request, trace_id=%s) in the daemon logs", traceID)
 }
 
 // project POSTs a skeleton and returns the projected full speedup

@@ -219,6 +219,17 @@ func (t *Tracer) Release() {
 	}
 }
 
+// Released reports whether Release has recycled this tracer's spans.
+// A nil tracer is never released (it never held any).
+func (t *Tracer) Released() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root == nil
+}
+
 // releaseSpan returns a span subtree to the pool.
 func releaseSpan(s *Span) {
 	for i, c := range s.children {
