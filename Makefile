@@ -37,8 +37,8 @@ bench:
 
 # The same benchmark run, parsed into a machine-readable snapshot at
 # the repo root for cross-commit comparison. Bump BENCH when a change
-# is expected to move the numbers: `make bench-json BENCH=BENCH_8.json`.
-BENCH ?= BENCH_8.json
+# is expected to move the numbers: `make bench-json BENCH=BENCH_9.json`.
+BENCH ?= BENCH_9.json
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchmem ./... | $(GO) run ./cmd/benchjson > $(BENCH)
 	@echo "wrote $(BENCH)"
@@ -53,8 +53,8 @@ bench-json:
 # lets the diff gate on the min-of-5 noise floor instead of one noisy
 # run. TelemetryOverhead is in the run set for its metric bound but
 # not in the ns gate list: its ns/op blends bare and traced work.
-BENCH_BASELINE ?= BENCH_8.json
-GATE_BENCH = ^Benchmark(EndToEndProjection|EndToEndProjectionTelemetry|TelemetryOverhead|Enumerate|Union|Intersect|TransferPinned|TransferPageable|Fig2TransferSweep)$$
+BENCH_BASELINE ?= BENCH_9.json
+GATE_BENCH = ^Benchmark(EndToEndProjection|EndToEndProjectionTelemetry|TelemetryOverhead|Enumerate|Union|Intersect|TransferPinned|TransferPageable|Fig2TransferSweep|BackendDispatch)$$
 bench-gate:
 	@mkdir -p out
 	$(GO) test -run='^$$' -bench='$(GATE_BENCH)' -benchmem -count=5 ./... | $(GO) run ./cmd/benchjson > out/bench-gate.json

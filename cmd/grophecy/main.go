@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 
+	"grophecy/internal/backend"
 	"grophecy/internal/bench"
 	"grophecy/internal/core"
 	"grophecy/internal/experiments"
@@ -39,6 +40,7 @@ import (
 	"grophecy/internal/timeline"
 	"grophecy/internal/trace"
 	"grophecy/internal/units"
+	"grophecy/internal/xfermodel"
 )
 
 func main() {
@@ -51,6 +53,8 @@ func main() {
 		tgtName  = flag.String("target", "", "hardware target registry name (see -list; default: "+target.DefaultName+")")
 		gpuName  = flag.String("gpu", "", "GPU preset name on the paper's CPU and bus (mutually exclusive with -target)")
 		matrix   = flag.Bool("matrix", false, "project the workload on every registered target and print a comparison table")
+		bkName   = flag.String("backend", "", "prediction backend (see GET /backends or -list; default: "+backend.DefaultName+")")
+		bkMatrix = flag.Bool("backends", false, "with -matrix: project every built-in workload through every backend on the resolved target and print the disagreement table")
 		list     = flag.Bool("list", false, "list available workloads, GPU presets, and hardware targets")
 		export   = flag.String("export", "", "write the selected workload as a skeleton file to this path and exit")
 		showTime = flag.Bool("timeline", false, "render the measured execution timeline as a Gantt chart")
@@ -88,6 +92,40 @@ func main() {
 		printList()
 		return
 	}
+
+	backendName := backend.DefaultName
+	if *bkName != "" {
+		b, err := backend.Get(*bkName)
+		if err != nil {
+			fatal(err)
+		}
+		backendName = b.Name()
+	}
+	if backendName != backend.DefaultName && !plan.Empty() {
+		fatal(fmt.Errorf("-backend %s and -faults are mutually exclusive (only %q calibrates resiliently)",
+			backendName, backend.DefaultName))
+	}
+
+	if *bkMatrix {
+		if !*matrix {
+			fatal(fmt.Errorf("-backends requires -matrix"))
+		}
+		if !plan.Empty() {
+			fatal(fmt.Errorf("-matrix and -faults are mutually exclusive (the comparison sweeps clean pipelines)"))
+		}
+		tgt, err := resolveTarget(*tgtName, *gpuName)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := runBackendMatrix(ctx, tgt, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		flushObservability(tracer, *traceOut, *showSpan, *showMet)
+		return
+	}
+
 	if *app == "" && *skeleton == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -102,7 +140,7 @@ func main() {
 		if err != nil && errors.Is(err, sklang.ErrNotWorkload) {
 			// A multi-phase program file: evaluate it with
 			// residency-aware planning and exit.
-			runProgramFile(ctx, *skeleton, *seed, plan)
+			runProgramFile(ctx, *skeleton, *seed, backendName, plan)
 			flushObservability(tracer, *traceOut, *showSpan, *showMet)
 			return
 		}
@@ -148,13 +186,16 @@ func main() {
 	}
 
 	machine := tgt.Machine(*seed)
-	projector, err := buildProjector(ctx, machine, plan)
+	projector, err := buildProjector(ctx, machine, tgt.Memory, backendName, plan)
 	if err != nil {
 		fatal(err)
 	}
 
 	if !*asJSON {
 		fmt.Printf("GROPHECY++ projection on %s + %s\n\n", machine.CPUArch.Name, machine.GPUArch.Name)
+		if projector.Backend() != backend.DefaultName {
+			fmt.Printf("prediction backend: %s\n", projector.Backend())
+		}
 		model := projector.BusModel()
 		fmt.Printf("PCIe model (calibrated from %d transfers, %.1fs of bus time):\n",
 			model.CalibrationTransfers, model.CalibrationCost)
@@ -255,17 +296,18 @@ func printDiagnostics(machine *core.Machine, r core.Report) {
 	}
 }
 
-// buildProjector returns the raw projector for an empty fault plan —
-// bit-identical to the paper's pipeline — or a resilient projector
-// measuring through the armed fault layer otherwise.
-func buildProjector(ctx context.Context, machine *core.Machine, plan fault.Plan) (*core.Projector, error) {
+// buildProjector returns the clean projector for an empty fault plan
+// — calibrated through the named backend, bit-identical to the
+// paper's pipeline on the analytic default — or a resilient
+// (analytic-only) projector measuring through the armed fault layer
+// otherwise.
+func buildProjector(ctx context.Context, machine *core.Machine, kind pcie.MemoryKind, backendName string, plan fault.Plan) (*core.Projector, error) {
 	if plan.Empty() {
-		// The raw calibration takes no context, so trace it from here:
-		// a zero-duration structural span whose attributes carry the
-		// calibration's simulated cost.
+		cfg := xfermodel.DefaultCalibration()
+		cfg.Kind = kind
 		_, span := trace.Start(ctx, "xfermodel.calibrate",
-			trace.String("scheme", "raw two-point"))
-		p, err := core.NewProjector(machine)
+			trace.String("backend", backendName))
+		p, _, err := core.NewBackendProjector(ctx, machine, backendName, cfg)
 		if err == nil {
 			bm := p.BusModel()
 			span.SetAttr(trace.Int("transfers", int64(bm.CalibrationTransfers)))
@@ -275,7 +317,7 @@ func buildProjector(ctx context.Context, machine *core.Machine, plan fault.Plan)
 		return p, err
 	}
 	machine.ArmFaults(plan)
-	return core.NewResilientProjector(ctx, machine, pcie.Pinned, measure.DefaultConfig())
+	return core.NewResilientProjector(ctx, machine, kind, measure.DefaultConfig())
 }
 
 // printResilience reports what the fault layer injected and what the
@@ -298,13 +340,13 @@ func printResilience(machine *core.Machine, resilient bool, degradations []strin
 }
 
 // runProgramFile evaluates a multi-phase skeleton file.
-func runProgramFile(ctx context.Context, path string, seed uint64, plan fault.Plan) {
+func runProgramFile(ctx context.Context, path string, seed uint64, backendName string, plan fault.Plan) {
 	pw, err := sklang.ParseProgramFile(path)
 	if err != nil {
 		fatal(err)
 	}
 	machine := core.NewMachine(seed)
-	projector, err := buildProjector(ctx, machine, plan)
+	projector, err := buildProjector(ctx, machine, pcie.Pinned, backendName, plan)
 	if err != nil {
 		fatal(err)
 	}
@@ -345,6 +387,14 @@ func printList() {
 	fmt.Println("\ngpu presets:")
 	for _, a := range gpu.Presets() {
 		fmt.Printf("  %q\n", a.Name)
+	}
+	fmt.Println("\nprediction backends:")
+	for _, b := range backend.Default.List() {
+		name := b.Name()
+		if name == backend.DefaultName {
+			name += " (default)"
+		}
+		fmt.Printf("  -backend %-20s %s\n", name, b.Description())
 	}
 	fmt.Println("\nhardware targets:")
 	for _, t := range target.Default.List() {
@@ -396,7 +446,7 @@ func runMatrix(ctx context.Context, w core.Workload, seed uint64) (string, error
 	targets := target.Default.List()
 	rows, err := sweep.RunCtx(ctx, len(targets), 0, func(i int) (report.MatrixRow, error) {
 		tgt := targets[i]
-		p, err := core.NewProjector(tgt.Machine(seed))
+		p, err := core.NewProjectorWith(tgt.Machine(seed), tgt.Memory)
 		if err != nil {
 			return report.MatrixRow{}, fmt.Errorf("target %s: %w", tgt.Name, err)
 		}
@@ -410,6 +460,45 @@ func runMatrix(ctx context.Context, w core.Workload, seed uint64) (string, error
 		return "", err
 	}
 	return report.Matrix(w.Name, rows), nil
+}
+
+// runBackendMatrix projects every built-in workload through every
+// registered backend on one resolved target — each backend calibrates
+// once on its own machine, in parallel — and renders the disagreement
+// table.
+func runBackendMatrix(ctx context.Context, tgt target.Target, seed uint64) (string, error) {
+	names := backend.Default.Names()
+	wls := bench.MustAll()
+	cols, err := sweep.RunCtx(ctx, len(names), 0, func(i int) ([]core.Report, error) {
+		cfg := xfermodel.DefaultCalibration()
+		cfg.Kind = tgt.Memory
+		p, _, err := core.NewBackendProjector(ctx, tgt.Machine(seed), names[i], cfg)
+		if err != nil {
+			return nil, fmt.Errorf("backend %s: %w", names[i], err)
+		}
+		reps := make([]core.Report, 0, len(wls))
+		for _, w := range wls {
+			rep, err := p.EvaluateCtx(ctx, w)
+			if err != nil {
+				return nil, fmt.Errorf("backend %s, workload %s %s: %w", names[i], w.Name, w.DataSize, err)
+			}
+			reps = append(reps, rep)
+		}
+		return reps, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	rows := make([]report.BackendRow, len(wls))
+	for wi, w := range wls {
+		rows[wi] = report.BackendRow{Workload: w.Name, DataSize: w.DataSize}
+		for bi, name := range names {
+			rows[wi].Cells = append(rows[wi].Cells, report.BackendCell{
+				Backend: name, Report: cols[bi][wi],
+			})
+		}
+	}
+	return report.BackendMatrix(tgt.Name, tgt.String(), names, rows), nil
 }
 
 func fatal(err error) {

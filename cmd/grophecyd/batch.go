@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"time"
 
+	"grophecy/internal/backend"
 	"grophecy/internal/bench"
 	"grophecy/internal/core"
 	"grophecy/internal/errdefs"
@@ -48,13 +49,14 @@ var mBatchJobs = metrics.Default.MustCounter("grophecyd_batch_jobs_total",
 // batchJob is one element of the POST /batch request array. Exactly
 // one of Skeleton (inline .sk source) and Workload (a named paper
 // benchmark: CFD, HotSpot, SRAD, Stassuij) must be set; Size selects
-// the named benchmark's data set. Target and Seed default to the
-// daemon's; Iters overrides the iteration count.
+// the named benchmark's data set. Target, Backend, and Seed default
+// to the daemon's; Iters overrides the iteration count.
 type batchJob struct {
 	Skeleton string  `json:"skeleton,omitempty"`
 	Workload string  `json:"workload,omitempty"`
 	Size     string  `json:"size,omitempty"`
 	Target   string  `json:"target,omitempty"`
+	Backend  string  `json:"backend,omitempty"`
 	Seed     *uint64 `json:"seed,omitempty"`
 	Iters    int     `json:"iters,omitempty"`
 }
@@ -62,28 +64,30 @@ type batchJob struct {
 // resolvedJob is a batchJob after validation: everything a projection
 // needs, or the error that stops it.
 type resolvedJob struct {
-	wl   core.Workload
-	tgt  target.Target
-	seed uint64
-	src  string // inline skeleton source, empty for named workloads
-	err  error
+	wl      core.Workload
+	tgt     target.Target
+	backend string
+	seed    uint64
+	src     string // inline skeleton source, empty for named workloads
+	err     error
 }
 
 // jobOutcome is what one executed job produces.
 type jobOutcome struct {
-	runID  string
-	report []byte // raw report.JSON bytes; nil on failure
-	wl     string
-	tgt    string
-	seed   uint64
-	err    error
+	runID   string
+	report  []byte // raw report.JSON bytes; nil on failure
+	wl      string
+	tgt     string
+	backend string
+	seed    uint64
+	err     error
 }
 
 // resolve validates one job against the daemon's registry and
 // defaults. Resolution failures are per-job outcomes, not request
 // failures.
 func (s *server) resolve(j batchJob) resolvedJob {
-	r := resolvedJob{tgt: s.tgt, seed: s.cfg.Seed}
+	r := resolvedJob{tgt: s.tgt, backend: backend.DefaultName, seed: s.cfg.Seed}
 	if j.Target != "" {
 		tgt, err := target.Lookup(j.Target)
 		if err != nil {
@@ -91,6 +95,14 @@ func (s *server) resolve(j batchJob) resolvedJob {
 			return r
 		}
 		r.tgt = tgt
+	}
+	if j.Backend != "" {
+		b, err := backend.Get(j.Backend)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		r.backend = b.Name()
 	}
 	if j.Seed != nil {
 		r.seed = *j.Seed
@@ -223,7 +235,7 @@ func (s *server) handleBatch(w http.ResponseWriter, req *http.Request) {
 // record, and projection through the shared pool — exactly the
 // /project request lifecycle.
 func (s *server) runJob(ctx context.Context, r resolvedJob) jobOutcome {
-	out := jobOutcome{tgt: r.tgt.Name, seed: r.seed}
+	out := jobOutcome{tgt: r.tgt.Name, backend: r.backend, seed: r.seed}
 	if r.err != nil {
 		out.err = r.err
 		return out
@@ -249,7 +261,7 @@ func (s *server) runJob(ctx context.Context, r resolvedJob) jobOutcome {
 		// walltrace endpoint replays the whole request trace.
 		WallTrace: telemetry.FromContext(ctx),
 	}
-	rep, err := s.project(ctx, r.tgt, r.seed, r.wl)
+	rep, err := s.project(ctx, r.tgt, r.backend, r.seed, r.wl)
 	tracer.Close()
 	entry.Trace = tracer
 	entry.Duration = time.Since(start)
@@ -274,6 +286,7 @@ type batchRow struct {
 	RunID    string `json:"runId,omitempty"`
 	Workload string `json:"workload,omitempty"`
 	Target   string `json:"target"`
+	Backend  string `json:"backend,omitempty"`
 	Seed     uint64 `json:"seed"`
 	Status   int    `json:"status"`
 	Error    string `json:"error,omitempty"`
@@ -297,6 +310,7 @@ func writeBatchResponse(w io.Writer, outcomes []jobOutcome) error {
 			RunID:    out.runID,
 			Workload: out.wl,
 			Target:   out.tgt,
+			Backend:  out.backend,
 			Seed:     out.seed,
 			Status:   http.StatusOK,
 		}

@@ -373,11 +373,24 @@ func TestTargetsEndpoint(t *testing.T) {
 	var out struct {
 		Default string `json:"default"`
 		Targets []struct {
-			Name    string `json:"name"`
-			GPU     string `json:"gpu"`
-			CPU     string `json:"cpu"`
-			Bus     string `json:"bus"`
-			Default bool   `json:"default"`
+			Name string `json:"name"`
+			GPU  string `json:"gpu"`
+			CPU  string `json:"cpu"`
+			Bus  struct {
+				Name       string `json:"name"`
+				Gen        int    `json:"gen"`
+				Lanes      int    `json:"lanes"`
+				Memory     string `json:"memory"`
+				Calibrated bool   `json:"calibrated"`
+				Directions []struct {
+					Direction    string   `json:"direction"`
+					SetupS       float64  `json:"setupSeconds"`
+					BandwidthBps float64  `json:"bandwidthBytesPerSec"`
+					Alpha        *float64 `json:"alpha"`
+					Beta         *float64 `json:"beta"`
+				} `json:"directions"`
+			} `json:"bus"`
+			Default bool `json:"default"`
 		} `json:"targets"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
@@ -390,13 +403,33 @@ func TestTargetsEndpoint(t *testing.T) {
 	if len(out.Targets) != len(want) {
 		t.Fatalf("%d targets listed, registry has %d", len(out.Targets), len(want))
 	}
-	flagged := 0
+	flagged, calibrated := 0, 0
 	for i, row := range out.Targets {
 		if row.Name != want[i] {
 			t.Errorf("row %d is %q, want %q (name order)", i, row.Name, want[i])
 		}
-		if row.GPU == "" || row.CPU == "" || row.Bus == "" {
+		if row.GPU == "" || row.CPU == "" || row.Bus.Name == "" {
 			t.Errorf("row %q missing component names: %+v", row.Name, row)
+		}
+		if row.Bus.Memory != "pinned" && row.Bus.Memory != "pageable" {
+			t.Errorf("row %q memory kind %q", row.Name, row.Bus.Memory)
+		}
+		if len(row.Bus.Directions) != 2 {
+			t.Errorf("row %q has %d bus directions, want 2", row.Name, len(row.Bus.Directions))
+		}
+		for _, d := range row.Bus.Directions {
+			if d.SetupS <= 0 || d.BandwidthBps <= 0 {
+				t.Errorf("row %q direction %q has non-positive link parameters", row.Name, d.Direction)
+			}
+			if row.Bus.Calibrated && (d.Alpha == nil || d.Beta == nil) {
+				t.Errorf("row %q is calibrated but direction %q lacks alpha/beta", row.Name, d.Direction)
+			}
+			if !row.Bus.Calibrated && (d.Alpha != nil || d.Beta != nil) {
+				t.Errorf("row %q is uncalibrated but direction %q carries alpha/beta", row.Name, d.Direction)
+			}
+		}
+		if row.Bus.Calibrated {
+			calibrated++
 		}
 		if row.Default {
 			flagged++
@@ -404,6 +437,10 @@ func TestTargetsEndpoint(t *testing.T) {
 	}
 	if flagged != 1 {
 		t.Errorf("%d rows flagged default, want exactly 1", flagged)
+	}
+	// The startup probe calibrated exactly the daemon's default target.
+	if calibrated != 1 {
+		t.Errorf("%d rows report a calibrated bus, want exactly 1 (the startup probe's)", calibrated)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"grophecy/internal/backend"
 	"grophecy/internal/core"
 	"grophecy/internal/engine"
 	"grophecy/internal/errdefs"
@@ -286,6 +287,7 @@ func newServer(cfg daemonConfig) (*server, error) {
 	s.mux.HandleFunc("POST /project", s.admitted(s.handleProject))
 	s.mux.HandleFunc("POST /batch", s.admitted(obs.LimitBody(maxBatchBytes, s.handleBatch)))
 	s.mux.HandleFunc("GET /targets", s.handleTargets)
+	s.mux.HandleFunc("GET /backends", s.handleBackends)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	return s, nil
 }
@@ -305,8 +307,9 @@ func (s *server) closeSinks() {
 // import each other, so the daemon owns the translation.
 func storeEntry(e engine.Entry) store.Entry {
 	return store.Entry{
-		Key:      store.Key{Target: e.Key.Target, Kind: e.Key.Kind, Seed: e.Key.Seed},
+		Key:      store.Key{Target: e.Key.Target, Backend: e.Key.Backend, Kind: e.Key.Kind, Seed: e.Key.Seed},
 		Model:    e.Model,
+		Fit:      e.Fit,
 		BusState: e.BusState,
 	}
 }
@@ -315,8 +318,9 @@ func engineEntries(es []store.Entry) []engine.Entry {
 	out := make([]engine.Entry, len(es))
 	for i, e := range es {
 		out[i] = engine.Entry{
-			Key:      engine.Key{Target: e.Key.Target, Kind: e.Key.Kind, Seed: e.Key.Seed},
+			Key:      engine.Key{Target: e.Key.Target, Backend: e.Key.Backend, Kind: e.Key.Kind, Seed: e.Key.Seed},
 			Model:    e.Model,
+			Fit:      e.Fit,
 			BusState: e.BusState,
 		}
 	}
@@ -340,16 +344,24 @@ func (s *server) saveSnapshot() error {
 
 // newProjector returns a ready projector for one request: from the
 // calibration cache for the clean pipeline — concurrent requests to
-// the same (target, seed) share one calibration — or a per-request
-// resilient calibration through the armed fault layer otherwise
-// (fault streams are stateful, so resilient runs are never shared).
-func (s *server) newProjector(ctx context.Context, tgt target.Target, seed uint64) (*core.Projector, error) {
+// the same (target, backend, seed) share one calibration — or a
+// per-request resilient calibration through the armed fault layer
+// otherwise (fault streams are stateful, so resilient runs are never
+// shared). The fault path is analytic-only: resilient calibration is
+// defined in terms of the paper's two-point model, so non-default
+// backends are rejected rather than silently downgraded.
+func (s *server) newProjector(ctx context.Context, tgt target.Target, backendName string, seed uint64) (*core.Projector, error) {
 	if s.plan.Empty() {
-		return s.pool.Projector(ctx, tgt, seed, pcie.Pinned)
+		return s.pool.Projector(ctx, tgt, backendName, seed, tgt.Memory)
+	}
+	if backendName != "" && backendName != backend.DefaultName {
+		return nil, errdefs.Invalidf(
+			"grophecyd: backend %q is unavailable under fault injection (only %q calibrates resiliently)",
+			backendName, backend.DefaultName)
 	}
 	m := tgt.Machine(seed)
 	m.ArmFaults(s.plan)
-	return core.NewResilientProjector(ctx, m, pcie.Pinned, measure.DefaultConfig())
+	return core.NewResilientProjector(ctx, m, tgt.Memory, measure.DefaultConfig())
 }
 
 // calibrateProbeAttempts bounds the startup probe's own retry loop;
@@ -372,7 +384,7 @@ func (s *server) calibrate(ctx context.Context) error {
 		err error
 	)
 	for attempt := 1; ; attempt++ {
-		p, err = s.newProjector(ctx, s.tgt, s.cfg.Seed)
+		p, err = s.newProjector(ctx, s.tgt, backend.DefaultName, s.cfg.Seed)
 		if err == nil || ctx.Err() != nil || attempt >= calibrateProbeAttempts {
 			break
 		}
@@ -434,18 +446,75 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	})
 }
 
+// busDirJSON is one direction of a target's bus profile: the
+// configured link parameters, plus the calibrated two-point model
+// when this daemon has already calibrated the target (at its own
+// seed and memory kind) — absent otherwise, never recomputed just to
+// serve a listing.
+type busDirJSON struct {
+	Direction    string   `json:"direction"`
+	SetupS       float64  `json:"setupSeconds"`
+	BandwidthBps float64  `json:"bandwidthBytesPerSec"`
+	Alpha        *float64 `json:"alpha,omitempty"`
+	Beta         *float64 `json:"beta,omitempty"`
+}
+
+// busJSON is the full bus profile of one GET /targets row.
+type busJSON struct {
+	Name       string       `json:"name"`
+	Gen        int          `json:"gen,omitempty"`
+	Lanes      int          `json:"lanes,omitempty"`
+	Memory     string       `json:"memory"`
+	Calibrated bool         `json:"calibrated"`
+	Directions []busDirJSON `json:"directions"`
+}
+
 // targetJSON is one row of the GET /targets response.
 type targetJSON struct {
-	Name        string `json:"name"`
-	Description string `json:"description"`
-	GPU         string `json:"gpu"`
-	CPU         string `json:"cpu"`
-	Bus         string `json:"bus"`
-	Default     bool   `json:"default,omitempty"`
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	GPU         string  `json:"gpu"`
+	CPU         string  `json:"cpu"`
+	Bus         busJSON `json:"bus"`
+	Default     bool    `json:"default,omitempty"`
+}
+
+// busProfile assembles one target's bus row: static link parameters
+// from the pcie.Config, calibrated α/β from the pool when the
+// analytic calibration for (target, daemon seed, target memory) is
+// already cached.
+func (s *server) busProfile(t target.Target) busJSON {
+	b := busJSON{
+		Name:   t.BusName,
+		Gen:    t.BusGen,
+		Lanes:  t.BusLanes,
+		Memory: t.Memory.String(),
+	}
+	entry, ok := s.pool.Cached(engine.Key{
+		Target:  t.Name,
+		Backend: backend.DefaultName,
+		Kind:    t.Memory,
+		Seed:    s.cfg.Seed,
+	})
+	b.Calibrated = ok
+	for d := pcie.Direction(0); d < pcie.NumDirections; d++ {
+		dir := busDirJSON{
+			Direction:    d.String(),
+			SetupS:       t.Bus.Pinned[d].SetupLatency,
+			BandwidthBps: t.Bus.Pinned[d].Bandwidth,
+		}
+		if ok {
+			alpha, beta := entry.Model.Dir[d].Alpha, entry.Model.Dir[d].Beta
+			dir.Alpha, dir.Beta = &alpha, &beta
+		}
+		b.Directions = append(b.Directions, dir)
+	}
+	return b
 }
 
 // handleTargets serves GET /targets: the registered hardware targets,
-// in name order, with the daemon's configured default flagged.
+// in name order, each with its full bus profile, with the daemon's
+// configured default flagged.
 func (s *server) handleTargets(w http.ResponseWriter, req *http.Request) {
 	list := target.Default.List()
 	out := struct {
@@ -458,8 +527,34 @@ func (s *server) handleTargets(w http.ResponseWriter, req *http.Request) {
 			Description: t.Description,
 			GPU:         t.GPU.Name,
 			CPU:         t.CPU.Name,
-			Bus:         t.BusName,
+			Bus:         s.busProfile(t),
 			Default:     t.Name == s.tgt.Name,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// handleBackends serves GET /backends: the registered prediction
+// backends with the registry default flagged.
+func (s *server) handleBackends(w http.ResponseWriter, req *http.Request) {
+	type backendJSON struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+		Default     bool   `json:"default,omitempty"`
+	}
+	list := backend.Default.List()
+	out := struct {
+		Default  string        `json:"default"`
+		Backends []backendJSON `json:"backends"`
+	}{Default: backend.DefaultName, Backends: make([]backendJSON, 0, len(list))}
+	for _, b := range list {
+		out.Backends = append(out.Backends, backendJSON{
+			Name:        b.Name(),
+			Description: b.Description(),
+			Default:     b.Name() == backend.DefaultName,
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -536,6 +631,16 @@ func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
+	backendName := backend.DefaultName
+	if qb := req.URL.Query().Get("backend"); qb != "" {
+		b, err := backend.Get(qb)
+		if err != nil {
+			// backend.Get's message lists the registered names.
+			fail(http.StatusBadRequest, err)
+			return
+		}
+		backendName = b.Name()
+	}
 
 	ctx = obs.WithWorkload(ctx, wl.Name)
 	tracer := trace.New("grophecyd")
@@ -547,6 +652,7 @@ func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 	event.Set("run", runID)
 	event.Set("workload", wl.Name)
 	event.Set("target", tgt.Name)
+	event.Set("backend", backendName)
 	event.Set("seed", seed)
 
 	entry := flight.Entry{
@@ -558,7 +664,7 @@ func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 		Start:     start,
 		WallTrace: telemetry.FromContext(ctx),
 	}
-	rep, err := s.project(ctx, tgt, seed, wl)
+	rep, err := s.project(ctx, tgt, backendName, seed, wl)
 	tracer.Close()
 	entry.Trace = tracer
 	entry.Duration = time.Since(start)
@@ -579,7 +685,7 @@ func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
 	lg.Info("projection request served",
-		"workload", wl.Name, "seed", seed, "target", tgt.Name,
+		"workload", wl.Name, "seed", seed, "target", tgt.Name, "backend", backendName,
 		"speedup_full", fmt.Sprintf("%.3g", rep.SpeedupFull()),
 		"cache_hits", s.pool.Hits(), "cache_misses", s.pool.Misses(),
 		"degradations", len(rep.Degradations),
@@ -588,8 +694,8 @@ func (s *server) handleProject(w http.ResponseWriter, req *http.Request) {
 
 // project runs one full evaluation on a machine private to this
 // request, calibrated through the cache when the pipeline is clean.
-func (s *server) project(ctx context.Context, tgt target.Target, seed uint64, wl core.Workload) (core.Report, error) {
-	p, err := s.newProjector(ctx, tgt, seed)
+func (s *server) project(ctx context.Context, tgt target.Target, backendName string, seed uint64, wl core.Workload) (core.Report, error) {
+	p, err := s.newProjector(ctx, tgt, backendName, seed)
 	if err != nil {
 		return core.Report{}, err
 	}

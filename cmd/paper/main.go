@@ -18,11 +18,14 @@ import (
 	"fmt"
 	"os"
 
+	"grophecy/internal/backend"
+	"grophecy/internal/core"
 	"grophecy/internal/experiments"
 	"grophecy/internal/metrics"
 	"grophecy/internal/obs"
 	"grophecy/internal/target"
 	"grophecy/internal/trace"
+	"grophecy/internal/xfermodel"
 )
 
 func main() {
@@ -40,6 +43,7 @@ func main() {
 		all      = flag.Bool("all", false, "render every table and figure")
 		seed     = flag.Uint64("seed", experiments.DefaultSeed, "simulated machine seed")
 		tgtName  = flag.String("target", "", "hardware target registry name (default: the paper's node, "+target.DefaultName+")")
+		bkName   = flag.String("backend", "", "prediction backend name (default: "+backend.DefaultName+")")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path (experiment-level spans)")
 		showMet  = flag.Bool("metrics", false, "dump pipeline metrics (Prometheus text format) after the output")
 		logFmt   = flag.String("log-format", "text", obs.LogFormatUsage)
@@ -71,12 +75,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ctx, err := experiments.NewContextOn(tgt.Machine(*seed))
+	backendName := backend.DefaultName
+	if *bkName != "" {
+		b, err := backend.Get(*bkName)
+		if err != nil {
+			fatal(err)
+		}
+		backendName = b.Name()
+	}
+	calCfg := xfermodel.DefaultCalibration()
+	calCfg.Kind = tgt.Memory
+	proj, _, err := core.NewBackendProjector(tctx, tgt.Machine(*seed), backendName, calCfg)
 	if err != nil {
 		fatal(err)
 	}
+	ctx := experiments.NewContextWithProjector(proj)
 	if tgt.Name != target.DefaultName {
 		fmt.Printf("(evaluation on non-paper hardware: %s)\n\n", tgt)
+	}
+	if backendName != backend.DefaultName {
+		fmt.Printf("(evaluation through the %s prediction backend)\n\n", backendName)
 	}
 
 	if *csvDir != "" {

@@ -1,0 +1,112 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"grophecy/internal/errdefs"
+)
+
+// DefaultName is the backend every surface uses when none is named:
+// the paper's analytic pipeline.
+const DefaultName = "analytic"
+
+// Registry is a named, validated set of backends. The zero value is
+// ready to use; registration is append-only (backends cannot be
+// replaced or removed, so a resolved backend stays valid for the
+// process lifetime — the calibration pool and snapshot store depend
+// on that).
+type Registry struct {
+	mu       sync.RWMutex
+	backends map[string]Backend
+}
+
+// validName reports whether name is a legal registry key: lowercase
+// letters, digits, and interior dashes.
+func validName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "-") || strings.HasSuffix(name, "-") {
+		return false
+	}
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// Register adds a backend. It panics on an invalid or duplicate name
+// — registration happens at init time and a bad name is a programming
+// error, not an input error.
+func (r *Registry) Register(b Backend) {
+	name := b.Name()
+	if !validName(name) {
+		panic(fmt.Sprintf("backend: invalid backend name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.backends == nil {
+		r.backends = make(map[string]Backend)
+	}
+	if _, dup := r.backends[name]; dup {
+		panic(fmt.Sprintf("backend: duplicate registration of %q", name))
+	}
+	r.backends[name] = b
+}
+
+// Lookup resolves a backend by name. The empty name resolves to
+// DefaultName; an unknown name is errdefs.ErrInvalidInput listing the
+// registered names, so CLI and HTTP surfaces can forward the message
+// verbatim.
+func (r *Registry) Lookup(name string) (Backend, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	r.mu.RLock()
+	b, ok := r.backends[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, errdefs.Invalidf("backend: unknown backend %q (have: %s)",
+			name, strings.Join(r.Names(), ", "))
+	}
+	return b, nil
+}
+
+// Names returns the registered backend names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.backends))
+	for name := range r.backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// List returns the registered backends sorted by name.
+func (r *Registry) List() []Backend {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Backend, 0, len(r.backends))
+	for _, b := range r.backends {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Default is the process-wide registry, seeded with the three
+// built-in backends.
+var Default = func() *Registry {
+	r := &Registry{}
+	r.Register(analyticBackend{})
+	r.Register(fittedBackend{})
+	r.Register(piecewiseBackend{})
+	return r
+}()
+
+// Get resolves name against the Default registry ("" → DefaultName).
+func Get(name string) (Backend, error) { return Default.Lookup(name) }

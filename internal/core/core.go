@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 
+	"grophecy/internal/backend"
 	"grophecy/internal/cpumodel"
 	"grophecy/internal/datausage"
 	"grophecy/internal/errdefs"
@@ -64,6 +65,11 @@ type Machine struct {
 	CPU     *cpumodel.Sim
 	Bus     *pcie.Bus
 
+	// Seed is the machine seed the noise streams were derived from.
+	// Backends that run scratch simulations (the fitted backend's
+	// microbenchmark suite) derive their private streams from it.
+	Seed uint64
+
 	// Faults, when non-nil, wraps the three measurement surfaces with
 	// a deterministic fault-injection layer. Arm it with ArmFaults;
 	// projectors then measure through the wrapped surfaces.
@@ -99,6 +105,7 @@ func NewMachineWith(g gpu.Arch, c cpumodel.Arch, bus pcie.Config, seed uint64) *
 		GPU:     gpusim.New(g, gpuCfg),
 		CPU:     cpumodel.New(c, cpuCfg),
 		Bus:     pcie.NewBus(bus),
+		Seed:    seed,
 	}
 }
 
@@ -253,15 +260,23 @@ func (r Report) LimitSpeedups() (measured, predicted float64) {
 // Projector is the configured GROPHECY++ pipeline for one machine.
 // Create it with NewProjector, which runs the automatic PCIe
 // calibration the paper describes ("automatically invoked by
-// GROPHECY++ when run on a new system", §III-C), or with
-// NewResilientProjector to calibrate and measure through the
-// resilient measurement layer (internal/measure) — with fault
-// injection when the machine has armed faults.
+// GROPHECY++ when run on a new system", §III-C), with
+// NewBackendProjector to calibrate a named prediction backend
+// (internal/backend), or with NewResilientProjector to calibrate and
+// measure through the resilient measurement layer (internal/measure)
+// — with fault injection when the machine has armed faults.
 type Projector struct {
-	m     *Machine
-	model xfermodel.BusModel
-	kind  pcie.MemoryKind
-	runs  int
+	m    *Machine
+	kind pcie.MemoryKind
+	runs int
+
+	// backendName is the prediction backend this projector dispatches
+	// through ("analytic" unless a caller picked another); inst holds
+	// its calibrated kernel and transfer predictors, and model is the
+	// backend's global α/β summary for reports and banners.
+	backendName string
+	inst        backend.Instance
+	model       xfermodel.BusModel
 
 	// meter, when non-nil, switches every measurement to the
 	// resilient protocol: retries, deadlines, robust estimators,
@@ -279,24 +294,78 @@ func NewProjector(m *Machine) (*Projector, error) {
 }
 
 // NewProjectorWith calibrates for, and measures with, the given host
-// memory kind.
+// memory kind, using the default (analytic) backend.
 func NewProjectorWith(m *Machine, kind pcie.MemoryKind) (*Projector, error) {
 	cfg := xfermodel.DefaultCalibration()
 	cfg.Kind = kind
-	model, err := xfermodel.CalibrateTwoPoint(m.Bus, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: PCIe calibration failed: %w", err)
+	p, _, err := NewBackendProjector(context.Background(), m, backend.DefaultName, cfg)
+	return p, err
+}
+
+// NewBackendProjector resolves name against the backend registry
+// ("" means the analytic default), calibrates it on the machine under
+// cfg, and returns the projector plus the backend's portable fit —
+// which, together with the bus noise state, is what the calibration
+// pool snapshots for warm starts (NewRestoredProjector).
+func NewBackendProjector(ctx context.Context, m *Machine, name string, cfg xfermodel.CalibrationConfig) (*Projector, backend.Fit, error) {
+	if m == nil {
+		return nil, backend.Fit{}, errdefs.Invalidf("core: NewBackendProjector with nil machine")
 	}
-	return &Projector{m: m, model: model, kind: kind, runs: MeasureRuns}, nil
+	b, err := backend.Get(name)
+	if err != nil {
+		return nil, backend.Fit{}, err
+	}
+	comp := backend.Components{Bus: m.Bus, Arch: m.GPUArch, Seed: m.Seed}
+	inst, fit, err := b.Calibrate(ctx, comp, cfg)
+	if err != nil {
+		return nil, backend.Fit{}, fmt.Errorf("core: PCIe calibration failed: %w", err)
+	}
+	p := &Projector{
+		m:           m,
+		kind:        cfg.Kind,
+		runs:        MeasureRuns,
+		backendName: b.Name(),
+		inst:        inst,
+		model:       inst.Linear,
+	}
+	return p, fit, nil
+}
+
+// NewRestoredProjector rebuilds a projector from a persisted backend
+// fit without performing any calibration transfers. The caller is
+// responsible for the machine's bus noise stream being positioned
+// where a fresh calibration would have left it
+// (pcie.Bus.SetNoiseState); the calibration cache in internal/engine
+// owns that bookkeeping.
+func NewRestoredProjector(m *Machine, fit backend.Fit) (*Projector, error) {
+	if m == nil {
+		return nil, errdefs.Invalidf("core: NewRestoredProjector with nil machine")
+	}
+	b, err := backend.Get(fit.Backend)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := b.Restore(fit)
+	if err != nil {
+		return nil, err
+	}
+	return &Projector{
+		m:           m,
+		kind:        fit.Kind,
+		runs:        MeasureRuns,
+		backendName: b.Name(),
+		inst:        inst,
+		model:       inst.Linear,
+	}, nil
 }
 
 // NewCalibratedProjector wires a projector around an already
-// calibrated transfer model, skipping the calibration transfers
-// entirely. The caller is responsible for the machine's bus noise
-// stream being positioned where a fresh calibration would have left
-// it (pcie.Bus.SetNoiseState); the calibration cache in
-// internal/engine owns that bookkeeping. Reports are then
-// bit-identical to NewProjectorWith followed by the same evaluation.
+// calibrated transfer model (analytic backend), skipping the
+// calibration transfers entirely. The caller is responsible for the
+// machine's bus noise stream being positioned where a fresh
+// calibration would have left it (pcie.Bus.SetNoiseState). Reports
+// are then bit-identical to NewProjectorWith followed by the same
+// evaluation.
 func NewCalibratedProjector(m *Machine, model xfermodel.BusModel, kind pcie.MemoryKind) (*Projector, error) {
 	if m == nil {
 		return nil, errdefs.Invalidf("core: NewCalibratedProjector with nil machine")
@@ -304,14 +373,23 @@ func NewCalibratedProjector(m *Machine, model xfermodel.BusModel, kind pcie.Memo
 	if !kind.Valid() {
 		return nil, errdefs.Invalidf("core: invalid memory kind %d", kind)
 	}
-	return &Projector{m: m, model: model, kind: kind, runs: MeasureRuns}, nil
+	return &Projector{
+		m:           m,
+		kind:        kind,
+		runs:        MeasureRuns,
+		backendName: backend.DefaultName,
+		inst:        backend.AnalyticInstance(model),
+		model:       model,
+	}, nil
 }
 
 // NewResilientProjector calibrates through the resilient measurement
 // layer and returns a projector whose every measurement retries
 // transients, enforces deadlines, and estimates robustly. If the
 // machine has armed faults, calibration and measurement both go
-// through the fault-injecting surfaces.
+// through the fault-injecting surfaces. The resilient pipeline always
+// predicts with the analytic backend — the degradation ladder's
+// fallbacks are defined in terms of the analytical model.
 func NewResilientProjector(ctx context.Context, m *Machine, kind pcie.MemoryKind, mcfg measure.Config) (*Projector, error) {
 	meter, err := measure.New(mcfg)
 	if err != nil {
@@ -320,17 +398,24 @@ func NewResilientProjector(ctx context.Context, m *Machine, kind pcie.MemoryKind
 	cfg := xfermodel.DefaultCalibration()
 	cfg.Kind = kind
 	cfg.Runs = mcfg.Runs
-	p := &Projector{m: m, kind: kind, runs: mcfg.Runs, meter: meter}
+	p := &Projector{m: m, kind: kind, runs: mcfg.Runs, meter: meter, backendName: backend.DefaultName}
 	model, health, err := xfermodel.CalibrateResilient(ctx, meter, p.busSource(), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: resilient PCIe calibration failed: %w", err)
 	}
 	p.model, p.health = model, health
+	p.inst = backend.AnalyticInstance(model)
 	return p, nil
 }
 
-// BusModel returns the calibrated transfer model.
+// BusModel returns the calibrated global α/β transfer summary. For
+// backends that predict with a richer structure (piecewise segments),
+// this is the equivalent two-point summary they report alongside it.
 func (p *Projector) BusModel() xfermodel.BusModel { return p.model }
+
+// Backend returns the name of the prediction backend this projector
+// dispatches through.
+func (p *Projector) Backend() string { return p.backendName }
 
 // Machine returns the underlying machine.
 func (p *Projector) Machine() *Machine { return p.m }
@@ -404,10 +489,16 @@ func (p *Projector) EvaluateCtx(ctx context.Context, w Workload) (Report, error)
 	return DefaultEngine().Evaluate(ctx, p, w)
 }
 
-// projectKernel runs the transformation exploration and analytical
-// projection for one kernel.
+// projectKernel runs the transformation exploration and kernel-time
+// projection for one kernel through the configured backend.
 func (p *Projector) projectKernel(ctx context.Context, k *skeleton.Kernel) (transform.Variant, perfmodel.Projection, error) {
-	return transform.BestCtx(ctx, k, p.m.GPUArch)
+	return p.inst.Kernel.ProjectKernel(ctx, k, p.m.GPUArch)
+}
+
+// predictTransfer prices one transfer through the configured
+// backend's transfer predictor.
+func (p *Projector) predictTransfer(dir pcie.Direction, size int64) (float64, error) {
+	return p.inst.Transfer.PredictTransfer(dir, p.kind, size)
 }
 
 // measureKernel measures one kernel's per-invocation time. The raw

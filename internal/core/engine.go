@@ -260,7 +260,7 @@ func (transferStage) Run(ctx context.Context, st *EvalState) error {
 			tctx, tspan := trace.Start(tctx, "transfer "+tr.String(),
 				trace.Int("bytes", tr.Bytes()),
 				trace.String("dir", tr.Dir.String()))
-			pred, err := p.model.Predict(dir, tr.Bytes())
+			pred, err := p.predictTransfer(dir, tr.Bytes())
 			if err != nil {
 				tspan.End()
 				return err

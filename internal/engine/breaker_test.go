@@ -3,10 +3,13 @@ package engine
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
+	"grophecy/internal/backend"
 	"grophecy/internal/errdefs"
 	"grophecy/internal/fault"
 	"grophecy/internal/pcie"
@@ -36,7 +39,7 @@ func TestBreakerOpensAndFailsFast(t *testing.T) {
 	ctx := context.Background()
 
 	for i := 0; i < 2; i++ {
-		if _, err := pool.Projector(ctx, bad, seed, pcie.Pinned); !errors.Is(err, errdefs.ErrPanic) {
+		if _, err := pool.Projector(ctx, bad, backend.DefaultName, seed, pcie.Pinned); !errors.Is(err, errdefs.ErrPanic) {
 			t.Fatalf("failure %d: %v, want ErrPanic", i, err)
 		}
 	}
@@ -46,7 +49,7 @@ func TestBreakerOpensAndFailsFast(t *testing.T) {
 
 	// Open: fail fast, no new calibration.
 	before := pool.Misses()
-	if _, err := pool.Projector(ctx, bad, seed, pcie.Pinned); !errdefs.IsCircuitOpen(err) {
+	if _, err := pool.Projector(ctx, bad, backend.DefaultName, seed, pcie.Pinned); !errdefs.IsCircuitOpen(err) {
 		t.Fatalf("open breaker: %v, want ErrCircuitOpen", err)
 	}
 	if pool.Misses() != before {
@@ -55,17 +58,17 @@ func TestBreakerOpensAndFailsFast(t *testing.T) {
 
 	// Still inside the window: still open.
 	clock.advance(29 * time.Second)
-	if _, err := pool.Projector(ctx, bad, seed, pcie.Pinned); !errdefs.IsCircuitOpen(err) {
+	if _, err := pool.Projector(ctx, bad, backend.DefaultName, seed, pcie.Pinned); !errdefs.IsCircuitOpen(err) {
 		t.Fatalf("inside window: %v, want ErrCircuitOpen", err)
 	}
 
 	// Window passed: the next caller is the half-open probe — it runs
 	// a real calibration, which still panics, re-opening the breaker.
 	clock.advance(2 * time.Second)
-	if _, err := pool.Projector(ctx, bad, seed, pcie.Pinned); !errors.Is(err, errdefs.ErrPanic) {
+	if _, err := pool.Projector(ctx, bad, backend.DefaultName, seed, pcie.Pinned); !errors.Is(err, errdefs.ErrPanic) {
 		t.Fatalf("half-open probe: %v, want ErrPanic", err)
 	}
-	if _, err := pool.Projector(ctx, bad, seed, pcie.Pinned); !errdefs.IsCircuitOpen(err) {
+	if _, err := pool.Projector(ctx, bad, backend.DefaultName, seed, pcie.Pinned); !errdefs.IsCircuitOpen(err) {
 		t.Fatalf("after failed probe: %v, want ErrCircuitOpen (re-opened)", err)
 	}
 }
@@ -92,11 +95,11 @@ func TestBreakerClosesOnSuccessfulProbe(t *testing.T) {
 	ctx := context.Background()
 
 	for i := 0; i < 2; i++ {
-		if _, err := pool.Projector(ctx, tgt, seed, pcie.Pinned); !errdefs.IsTransient(err) {
+		if _, err := pool.Projector(ctx, tgt, backend.DefaultName, seed, pcie.Pinned); !errdefs.IsTransient(err) {
 			t.Fatalf("failure %d: %v, want transient", i, err)
 		}
 	}
-	if _, err := pool.Projector(ctx, tgt, seed, pcie.Pinned); !errdefs.IsCircuitOpen(err) {
+	if _, err := pool.Projector(ctx, tgt, backend.DefaultName, seed, pcie.Pinned); !errdefs.IsCircuitOpen(err) {
 		t.Fatalf("tripped breaker: %v, want ErrCircuitOpen", err)
 	}
 
@@ -104,14 +107,14 @@ func TestBreakerClosesOnSuccessfulProbe(t *testing.T) {
 	// the breaker closes, and the calibration is cached as usual.
 	chaos.CalErrProb = 0
 	clock.advance(11 * time.Second)
-	if _, err := pool.Projector(ctx, tgt, seed, pcie.Pinned); err != nil {
+	if _, err := pool.Projector(ctx, tgt, backend.DefaultName, seed, pcie.Pinned); err != nil {
 		t.Fatalf("successful probe: %v", err)
 	}
 	if n := len(pool.OpenBreakers()); n != 0 {
 		t.Errorf("OpenBreakers = %d after successful probe, want 0", n)
 	}
 	hits := pool.Hits()
-	if _, err := pool.Projector(ctx, tgt, seed, pcie.Pinned); err != nil {
+	if _, err := pool.Projector(ctx, tgt, backend.DefaultName, seed, pcie.Pinned); err != nil {
 		t.Fatalf("post-probe hit: %v", err)
 	}
 	if pool.Hits() != hits+1 {
@@ -135,7 +138,7 @@ func TestTransientRetryRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pool.Projector(context.Background(), tgt, seed, pcie.Pinned); err != nil {
+	if _, err := pool.Projector(context.Background(), tgt, backend.DefaultName, seed, pcie.Pinned); err != nil {
 		t.Fatalf("retried calibration still failed: %v", err)
 	}
 	if pool.Misses() != 1 {
@@ -159,7 +162,7 @@ func TestTransientRetryExhausts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pool.Projector(context.Background(), tgt, seed, pcie.Pinned); !errdefs.IsTransient(err) {
+	if _, err := pool.Projector(context.Background(), tgt, backend.DefaultName, seed, pcie.Pinned); !errdefs.IsTransient(err) {
 		t.Fatalf("exhausted retries: %v, want transient", err)
 	}
 	if pool.Len() != 0 {
@@ -185,7 +188,7 @@ func TestWatchdogTimesOutStuckCalibration(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	_, err = pool.Projector(context.Background(), tgt, seed, pcie.Pinned)
+	_, err = pool.Projector(context.Background(), tgt, backend.DefaultName, seed, pcie.Pinned)
 	if !errors.Is(err, errdefs.ErrMeasureTimeout) {
 		t.Fatalf("stuck calibration: %v, want ErrMeasureTimeout", err)
 	}
@@ -243,14 +246,25 @@ func TestWarmSkipsInvalidAndRespectsBound(t *testing.T) {
 		bm.CalibrationTransfers = 40
 		bm.Dir[pcie.HostToDevice] = xfermodel.Model{Alpha: 1e-5, Beta: 5e-10}
 		bm.Dir[pcie.DeviceToHost] = xfermodel.Model{Alpha: 1e-5, Beta: 5e-10}
-		return Entry{Key: Key{Target: name, Kind: pcie.Pinned, Seed: s}, Model: bm, BusState: s}
+		payload, err := json.Marshal(bm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Entry{
+			Key:      Key{Target: name, Backend: backend.DefaultName, Kind: pcie.Pinned, Seed: s},
+			Model:    bm,
+			Fit:      backend.Fit{Backend: backend.DefaultName, Kind: pcie.Pinned, Payload: payload},
+			BusState: s,
+		}
 	}
 	bad := valid("bad", 1)
 	bad.Model.Dir[pcie.HostToDevice].Alpha = -1
 	noName := valid("", 1)
+	wrongBackend := valid("mismatch", 1)
+	wrongBackend.Key.Backend = "fitted"
 
 	pool := NewPoolWith(Config{MaxEntries: 2})
-	n := pool.Warm([]Entry{bad, noName, valid("a", 1), valid("a", 1), valid("b", 1), valid("c", 1)})
+	n := pool.Warm([]Entry{bad, noName, wrongBackend, valid("a", 1), valid("a", 1), valid("b", 1), valid("c", 1)})
 	if n != 2 {
 		t.Errorf("Warm = %d, want 2 (invalid skipped, bound respected)", n)
 	}
@@ -268,13 +282,13 @@ func TestOnCalibratedWriteThrough(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pool.Projector(context.Background(), tgt, seed, pcie.Pinned); err != nil {
+	if _, err := pool.Projector(context.Background(), tgt, backend.DefaultName, seed, pcie.Pinned); err != nil {
 		t.Fatal(err)
 	}
 	select {
 	case e := <-got:
 		exported := pool.Export()
-		if len(exported) != 1 || e != exported[0] {
+		if len(exported) != 1 || !reflect.DeepEqual(e, exported[0]) {
 			t.Errorf("hook entry %+v != exported %+v", e, exported)
 		}
 	case <-time.After(5 * time.Second):

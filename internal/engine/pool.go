@@ -60,6 +60,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"grophecy/internal/backend"
 	"grophecy/internal/core"
 	"grophecy/internal/errdefs"
 	"grophecy/internal/fault"
@@ -92,6 +93,10 @@ var (
 type Key struct {
 	// Target is the registry name of the hardware target.
 	Target string
+	// Backend is the registry name of the prediction backend
+	// (internal/backend). Different backends calibrate differently, so
+	// they never share a flight.
+	Backend string
 	// Kind is the host memory kind the model was calibrated for.
 	Kind pcie.MemoryKind
 	// Seed is the machine seed; the bus noise stream derives from it,
@@ -104,15 +109,21 @@ type Key struct {
 // the bus. Export produces them, Warm consumes them, and
 // internal/store persists them.
 type Entry struct {
-	Key      Key
-	Model    xfermodel.BusModel
+	Key Key
+	// Model is the backend's global α/β summary, for display surfaces.
+	Model xfermodel.BusModel
+	// Fit is the backend's full calibration artifact; build restores
+	// the projector from it.
+	Fit      backend.Fit
 	BusState uint64
 }
 
-// calibration is what one flight produces: the fitted model plus the
-// bus noise state right after the calibration transfers.
+// calibration is what one flight produces: the backend's fit and α/β
+// summary plus the bus noise state right after the calibration
+// transfers.
 type calibration struct {
 	model    xfermodel.BusModel
+	fit      backend.Fit
 	busState uint64
 }
 
@@ -165,6 +176,13 @@ type Config struct {
 	// BreakerOpenFor is how long an open breaker rejects before a
 	// half-open probe (DefaultBreakerOpenFor if <= 0).
 	BreakerOpenFor time.Duration
+	// Calibration, when non-zero (Runs > 0), is the calibration
+	// template every flight starts from; the key's memory kind
+	// overrides its Kind per flight. The zero value means
+	// xfermodel.DefaultCalibration(). Backends that take a custom
+	// sample grid (piecewise, fitted) read it from this template's
+	// Sizes.
+	Calibration xfermodel.CalibrationConfig
 	// Chaos, when non-nil, injects calibration latency, transient
 	// errors, and panics into the service path (never into simulated
 	// observations). Nil in production.
@@ -186,6 +204,7 @@ type Pool struct {
 	backoff      time.Duration
 	brThreshold  int
 	brOpenFor    time.Duration
+	calCfg       xfermodel.CalibrationConfig
 	chaos        *fault.Chaos
 	onCalibrated func(context.Context, Entry)
 
@@ -234,6 +253,9 @@ func NewPoolWith(cfg Config) *Pool {
 	if cfg.BreakerOpenFor <= 0 {
 		cfg.BreakerOpenFor = DefaultBreakerOpenFor
 	}
+	if cfg.Calibration.Runs <= 0 {
+		cfg.Calibration = xfermodel.DefaultCalibration()
+	}
 	return &Pool{
 		max:          cfg.MaxEntries,
 		calTimeout:   cfg.CalTimeout,
@@ -241,6 +263,7 @@ func NewPoolWith(cfg Config) *Pool {
 		backoff:      cfg.Backoff,
 		brThreshold:  cfg.BreakerThreshold,
 		brOpenFor:    cfg.BreakerOpenFor,
+		calCfg:       cfg.Calibration,
 		chaos:        cfg.Chaos,
 		onCalibrated: cfg.OnCalibrated,
 		flights:      make(map[Key]*flight),
@@ -291,7 +314,7 @@ func (p *Pool) Export() []Entry {
 		if !f.done || f.err != nil {
 			continue
 		}
-		out = append(out, Entry{Key: k, Model: f.cal.model, BusState: f.cal.busState})
+		out = append(out, Entry{Key: k, Model: f.cal.model, Fit: f.cal.fit, BusState: f.cal.busState})
 	}
 	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
 	return out
@@ -311,6 +334,19 @@ func (p *Pool) Warm(entries []Entry) int {
 		if e.Key.Target == "" || !e.Key.Kind.Valid() || !e.Model.Valid() {
 			continue
 		}
+		// The fit must belong to a registered backend matching the key,
+		// and must actually restore — a snapshot from a build with
+		// different backends must not poison the cache.
+		if e.Fit.Backend != e.Key.Backend {
+			continue
+		}
+		b, err := backend.Get(e.Key.Backend)
+		if err != nil {
+			continue
+		}
+		if _, err := b.Restore(e.Fit); err != nil {
+			continue
+		}
 		if _, ok := p.flights[e.Key]; ok {
 			continue
 		}
@@ -319,7 +355,7 @@ func (p *Pool) Warm(entries []Entry) int {
 		}
 		f := &flight{
 			ready: make(chan struct{}),
-			cal:   calibration{model: e.Model, busState: e.BusState},
+			cal:   calibration{model: e.Model, fit: e.Fit, busState: e.BusState},
 			done:  true,
 		}
 		close(f.ready)
@@ -333,10 +369,26 @@ func (p *Pool) Warm(entries []Entry) int {
 	return warmed
 }
 
+// Cached returns the completed calibration for key, if the pool holds
+// one. It never waits on an in-flight calibration — display surfaces
+// (GET /targets) use it to show α/β without triggering work.
+func (p *Pool) Cached(key Key) (Entry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.flights[key]
+	if !ok || !f.done || f.err != nil {
+		return Entry{}, false
+	}
+	return Entry{Key: key, Model: f.cal.model, Fit: f.cal.fit, BusState: f.cal.busState}, true
+}
+
 // keyLess orders keys for deterministic exports and listings.
 func keyLess(a, b Key) bool {
 	if a.Target != b.Target {
 		return a.Target < b.Target
+	}
+	if a.Backend != b.Backend {
+		return a.Backend < b.Backend
 	}
 	if a.Kind != b.Kind {
 		return a.Kind < b.Kind
@@ -356,18 +408,25 @@ func retriable(err error) bool {
 }
 
 // Projector returns a ready projector for the target at the given
-// seed and memory kind, on a fresh machine private to the caller.
-// The first call for a key calibrates; concurrent calls for the same
-// key share that one calibration; later calls reuse it without
-// touching the bus. Either way the returned projector produces
-// reports bit-identical to core.NewProjectorWith on a fresh machine.
+// backend, seed, and memory kind, on a fresh machine private to the
+// caller. The first call for a key calibrates; concurrent calls for
+// the same key share that one calibration; later calls reuse it
+// without touching the bus. Either way the returned projector
+// produces reports bit-identical to core.NewBackendProjector on a
+// fresh machine. backendName "" means the analytic default; an
+// unknown backend fails fast with errdefs.ErrInvalidInput before any
+// flight or breaker state is touched.
 //
 // ctx bounds both the wait on an in-flight calibration and the
 // calibration this call runs itself; a cancelled owner closes the
 // flight with ctx.Err() so waiters re-enter and retry. A key whose
 // breaker is open fails fast with errdefs.ErrCircuitOpen.
-func (p *Pool) Projector(ctx context.Context, tgt target.Target, seed uint64, kind pcie.MemoryKind) (*core.Projector, error) {
-	key := Key{Target: tgt.Name, Kind: kind, Seed: seed}
+func (p *Pool) Projector(ctx context.Context, tgt target.Target, backendName string, seed uint64, kind pcie.MemoryKind) (*core.Projector, error) {
+	b, err := backend.Get(backendName)
+	if err != nil {
+		return nil, err
+	}
+	key := Key{Target: tgt.Name, Backend: b.Name(), Kind: kind, Seed: seed}
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -392,6 +451,7 @@ func (p *Pool) Projector(ctx context.Context, tgt target.Target, seed uint64, ki
 			}
 			_, span := telemetry.Start(ctx, spanName,
 				telemetry.String("cal_key", key.Target),
+				telemetry.String("cal_backend", key.Backend),
 				telemetry.String("cal_kind", key.Kind.String()))
 			select {
 			case <-f.ready:
@@ -430,8 +490,8 @@ func (p *Pool) Projector(ctx context.Context, tgt target.Target, seed uint64, ki
 				telemetry.String("cal_key", key.Target),
 				telemetry.String("breaker", breakerOpen.String()))
 			span.End()
-			return nil, fmt.Errorf("%w: calibration for %s/%v/seed=%d suspended after repeated failures, next probe within %s",
-				errdefs.ErrCircuitOpen, key.Target, key.Kind, key.Seed, p.brOpenFor)
+			return nil, fmt.Errorf("%w: calibration for %s/%s/%v/seed=%d suspended after repeated failures, next probe within %s",
+				errdefs.ErrCircuitOpen, key.Target, key.Backend, key.Kind, key.Seed, p.brOpenFor)
 		}
 
 		// This goroutine owns the calibration flight (or, half-open,
@@ -449,6 +509,7 @@ func (p *Pool) Projector(ctx context.Context, tgt target.Target, seed uint64, ki
 		mMisses.Inc()
 		cctx, span := telemetry.Start(ctx, "cal.compute",
 			telemetry.String("cal_key", key.Target),
+			telemetry.String("cal_backend", key.Backend),
 			telemetry.String("cal_kind", key.Kind.String()),
 			telemetry.String("breaker", brState.String()))
 		p.runFlight(cctx, key, f, tgt, seed, kind)
@@ -497,7 +558,7 @@ func (p *Pool) runFlight(ctx context.Context, key Key, f *flight, tgt target.Tar
 		p.mu.Unlock()
 		close(f.ready)
 		if f.err == nil && p.onCalibrated != nil {
-			p.onCalibrated(ctx, Entry{Key: key, Model: f.cal.model, BusState: f.cal.busState})
+			p.onCalibrated(ctx, Entry{Key: key, Model: f.cal.model, Fit: f.cal.fit, BusState: f.cal.busState})
 		}
 	}()
 	if p.calibrateHook != nil {
@@ -543,7 +604,7 @@ func (p *Pool) calibrateOnce(ctx context.Context, key Key, tgt target.Target, se
 	if err := p.chaos.CalibrationError(); err != nil {
 		return calibration{}, err
 	}
-	cal, err := calibrate(wctx, tgt, seed, kind)
+	cal, err := p.calibrate(wctx, key, tgt, seed, kind)
 	if err != nil {
 		return calibration{}, p.watchdogErr(ctx, wctx, key, err)
 	}
@@ -592,31 +653,34 @@ func (p *Pool) evictLocked() {
 	}
 }
 
-// calibrate runs the real two-point calibration on a throwaway
-// machine and captures the model plus the bus state it left behind.
-// The caller's context is checked before the expensive work and again
-// after it, so a cancelled request neither starts a calibration it no
-// longer wants nor caches a result it observed only partially.
-func calibrate(ctx context.Context, tgt target.Target, seed uint64, kind pcie.MemoryKind) (calibration, error) {
+// calibrate runs the key's backend calibration on a throwaway machine
+// and captures the fit, the α/β summary, and the bus state it left
+// behind. The caller's context is checked before the expensive work
+// and again after it, so a cancelled request neither starts a
+// calibration it no longer wants nor caches a result it observed only
+// partially.
+func (p *Pool) calibrate(ctx context.Context, key Key, tgt target.Target, seed uint64, kind pcie.MemoryKind) (calibration, error) {
 	if err := ctx.Err(); err != nil {
 		return calibration{}, err
 	}
 	m := tgt.Machine(seed)
-	proj, err := core.NewProjectorWith(m, kind)
+	cfg := p.calCfg
+	cfg.Kind = kind
+	proj, fit, err := core.NewBackendProjector(ctx, m, key.Backend, cfg)
 	if err != nil {
 		return calibration{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		return calibration{}, err
 	}
-	return calibration{model: proj.BusModel(), busState: m.Bus.NoiseState()}, nil
+	return calibration{model: proj.BusModel(), fit: fit, busState: m.Bus.NoiseState()}, nil
 }
 
 // build assembles a caller-private machine positioned exactly where a
-// fresh calibration would have left it, and wires the cached model
-// around it.
+// fresh calibration would have left it, and restores the cached
+// backend fit around it.
 func (p *Pool) build(tgt target.Target, seed uint64, kind pcie.MemoryKind, cal calibration) (*core.Projector, error) {
 	m := tgt.Machine(seed)
 	m.Bus.SetNoiseState(cal.busState)
-	return core.NewCalibratedProjector(m, cal.model, kind)
+	return core.NewRestoredProjector(m, cal.fit)
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"grophecy/internal/backend"
 	"grophecy/internal/bench"
 	"grophecy/internal/core"
 	"grophecy/internal/cpumodel"
@@ -54,7 +55,7 @@ func freshJSON(t *testing.T, tgt target.Target, w core.Workload) []byte {
 
 func pooledJSON(t *testing.T, pool *Pool, tgt target.Target, w core.Workload) []byte {
 	t.Helper()
-	p, err := pool.Projector(context.Background(), tgt, seed, pcie.Pinned)
+	p, err := pool.Projector(context.Background(), tgt, backend.DefaultName, seed, pcie.Pinned)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestPoolSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, err := pool.Projector(context.Background(), tgt, seed, pcie.Pinned)
+			p, err := pool.Projector(context.Background(), tgt, backend.DefaultName, seed, pcie.Pinned)
 			if err != nil {
 				t.Error(err)
 				return
@@ -166,10 +167,14 @@ func TestPoolKeysAreDistinct(t *testing.T) {
 	pool := NewPool(0)
 	ctx := context.Background()
 	calls := []func() (*core.Projector, error){
-		func() (*core.Projector, error) { return pool.Projector(ctx, tgt, 1, pcie.Pinned) },
-		func() (*core.Projector, error) { return pool.Projector(ctx, tgt, 2, pcie.Pinned) },
-		func() (*core.Projector, error) { return pool.Projector(ctx, tgt, 1, pcie.Pageable) },
-		func() (*core.Projector, error) { return pool.Projector(ctx, other, 1, pcie.Pinned) },
+		func() (*core.Projector, error) { return pool.Projector(ctx, tgt, backend.DefaultName, 1, pcie.Pinned) },
+		func() (*core.Projector, error) { return pool.Projector(ctx, tgt, backend.DefaultName, 2, pcie.Pinned) },
+		func() (*core.Projector, error) {
+			return pool.Projector(ctx, tgt, backend.DefaultName, 1, pcie.Pageable)
+		},
+		func() (*core.Projector, error) {
+			return pool.Projector(ctx, other, backend.DefaultName, 1, pcie.Pinned)
+		},
 	}
 	for i, call := range calls {
 		if _, err := call(); err != nil {
@@ -193,7 +198,7 @@ func TestPoolBounded(t *testing.T) {
 	pool := NewPool(2)
 	ctx := context.Background()
 	for s := uint64(1); s <= 5; s++ {
-		if _, err := pool.Projector(ctx, tgt, s, pcie.Pinned); err != nil {
+		if _, err := pool.Projector(ctx, tgt, backend.DefaultName, s, pcie.Pinned); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -236,7 +241,7 @@ func TestPoolCalibrationPanicClosesFlight(t *testing.T) {
 	errs := make(chan error, clients)
 	for i := 0; i < clients; i++ {
 		go func() {
-			_, err := pool.Projector(context.Background(), bad, seed, pcie.Pinned)
+			_, err := pool.Projector(context.Background(), bad, backend.DefaultName, seed, pcie.Pinned)
 			errs <- err
 		}()
 	}
@@ -257,7 +262,7 @@ func TestPoolCalibrationPanicClosesFlight(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := pool.Projector(context.Background(), bad, seed, pcie.Pinned)
+		_, err := pool.Projector(context.Background(), bad, backend.DefaultName, seed, pcie.Pinned)
 		done <- err
 	}()
 	select {
@@ -281,13 +286,13 @@ func TestPoolCancelledContext(t *testing.T) {
 	pool := NewPool(0)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := pool.Projector(ctx, tgt, seed, pcie.Pinned); !errors.Is(err, context.Canceled) {
+	if _, err := pool.Projector(ctx, tgt, backend.DefaultName, seed, pcie.Pinned); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled miss returned %v, want context.Canceled", err)
 	}
 	if pool.Len() != 0 {
 		t.Fatalf("cancelled calibration was cached (%d entries)", pool.Len())
 	}
-	if _, err := pool.Projector(context.Background(), tgt, seed, pcie.Pinned); err != nil {
+	if _, err := pool.Projector(context.Background(), tgt, backend.DefaultName, seed, pcie.Pinned); err != nil {
 		t.Fatalf("key unusable after a cancelled owner: %v", err)
 	}
 }
@@ -320,14 +325,14 @@ func TestPoolWaitersRetryAfterOwnerCancelled(t *testing.T) {
 	ownerCtx, cancel := context.WithCancel(context.Background())
 	ownerErr := make(chan error, 1)
 	go func() {
-		_, err := pool.Projector(ownerCtx, tgt, seed, pcie.Pinned)
+		_, err := pool.Projector(ownerCtx, tgt, backend.DefaultName, seed, pcie.Pinned)
 		ownerErr <- err
 	}()
 	<-entered
 
 	waiterRes := make(chan error, 1)
 	go func() {
-		_, err := pool.Projector(context.Background(), tgt, seed, pcie.Pinned)
+		_, err := pool.Projector(context.Background(), tgt, backend.DefaultName, seed, pcie.Pinned)
 		waiterRes <- err
 	}()
 
@@ -359,7 +364,7 @@ func TestPoolNeverEvictsInflight(t *testing.T) {
 	ctx := context.Background()
 
 	// Seed a completed entry, then hold a second key in flight.
-	if _, err := pool.Projector(ctx, tgt, 1, pcie.Pinned); err != nil {
+	if _, err := pool.Projector(ctx, tgt, backend.DefaultName, 1, pcie.Pinned); err != nil {
 		t.Fatal(err)
 	}
 	entered := make(chan struct{})
@@ -372,7 +377,7 @@ func TestPoolNeverEvictsInflight(t *testing.T) {
 	}
 	inflightErr := make(chan error, 1)
 	go func() {
-		_, err := pool.Projector(ctx, tgt, 2, pcie.Pinned)
+		_, err := pool.Projector(ctx, tgt, backend.DefaultName, 2, pcie.Pinned)
 		inflightErr <- err
 	}()
 	<-entered
@@ -385,7 +390,7 @@ func TestPoolNeverEvictsInflight(t *testing.T) {
 	// A third key arrives while seed 2 is still calibrating: the only
 	// entry is in flight, so nothing is evictable and the pool
 	// transiently exceeds its bound instead.
-	if _, err := pool.Projector(ctx, tgt, 3, pcie.Pinned); err != nil {
+	if _, err := pool.Projector(ctx, tgt, backend.DefaultName, 3, pcie.Pinned); err != nil {
 		t.Fatal(err)
 	}
 	if got := pool.Evictions(); got != 1 {
@@ -401,7 +406,7 @@ func TestPoolNeverEvictsInflight(t *testing.T) {
 	}
 	// The spared flight completed and is served from cache.
 	hitsBefore := pool.Hits()
-	if _, err := pool.Projector(ctx, tgt, 2, pcie.Pinned); err != nil {
+	if _, err := pool.Projector(ctx, tgt, backend.DefaultName, 2, pcie.Pinned); err != nil {
 		t.Fatal(err)
 	}
 	if pool.Hits() != hitsBefore+1 {
@@ -421,12 +426,12 @@ func TestPoolEvictionIsLRUAndDeterministic(t *testing.T) {
 		pool := NewPool(2)
 		// A then B fill the pool; touching A makes B the LRU entry.
 		for _, s := range []uint64{1, 2, 1} {
-			if _, err := pool.Projector(ctx, tgt, s, pcie.Pinned); err != nil {
+			if _, err := pool.Projector(ctx, tgt, backend.DefaultName, s, pcie.Pinned); err != nil {
 				t.Fatal(err)
 			}
 		}
 		// C evicts exactly B.
-		if _, err := pool.Projector(ctx, tgt, 3, pcie.Pinned); err != nil {
+		if _, err := pool.Projector(ctx, tgt, backend.DefaultName, 3, pcie.Pinned); err != nil {
 			t.Fatal(err)
 		}
 		if got := pool.Evictions(); got != 1 {
@@ -434,13 +439,13 @@ func TestPoolEvictionIsLRUAndDeterministic(t *testing.T) {
 		}
 		// A must still be cached (hit); B must be gone (miss).
 		hits, misses := pool.Hits(), pool.Misses()
-		if _, err := pool.Projector(ctx, tgt, 1, pcie.Pinned); err != nil {
+		if _, err := pool.Projector(ctx, tgt, backend.DefaultName, 1, pcie.Pinned); err != nil {
 			t.Fatal(err)
 		}
 		if pool.Hits() != hits+1 {
 			t.Fatalf("round %d: recently-used entry A was evicted", round)
 		}
-		if _, err := pool.Projector(ctx, tgt, 2, pcie.Pinned); err != nil {
+		if _, err := pool.Projector(ctx, tgt, backend.DefaultName, 2, pcie.Pinned); err != nil {
 			t.Fatal(err)
 		}
 		if pool.Misses() != misses+1 {
@@ -465,6 +470,73 @@ func TestRetriable(t *testing.T) {
 	} {
 		if got := retriable(tc.err); got != tc.want {
 			t.Errorf("retriable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestPoolBackendKeysNeverShareFlights: the backend name is a cache
+// dimension. Concurrent requests for the same target, seed, and
+// memory kind through different backends must each calibrate their
+// own model — sharing a flight would hand an analytic projector to a
+// caller who asked for fitted — while requests agreeing on the full
+// key still singleflight. Run under -race: the clients hammer the
+// pool concurrently.
+func TestPoolBackendKeysNeverShareFlights(t *testing.T) {
+	tgt, err := target.Lookup(target.DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := backend.Default.Names()
+	pool := NewPool(0)
+
+	var mu sync.Mutex
+	calibrated := make(map[string]int)
+	pool.calibrateHook = func(k Key) {
+		mu.Lock()
+		calibrated[k.Backend]++
+		mu.Unlock()
+	}
+
+	const perBackend = 4
+	var wg sync.WaitGroup
+	for _, bk := range backends {
+		for i := 0; i < perBackend; i++ {
+			wg.Add(1)
+			go func(bk string) {
+				defer wg.Done()
+				p, err := pool.Projector(context.Background(), tgt, bk, seed, pcie.Pinned)
+				if err != nil {
+					t.Errorf("%s: %v", bk, err)
+					return
+				}
+				if p.Backend() != bk {
+					t.Errorf("asked for backend %q, projector reports %q", bk, p.Backend())
+				}
+			}(bk)
+		}
+	}
+	wg.Wait()
+
+	if pool.Misses() != int64(len(backends)) {
+		t.Errorf("misses = %d, want %d (one flight per backend)", pool.Misses(), len(backends))
+	}
+	if want := int64(len(backends) * (perBackend - 1)); pool.Hits() != want {
+		t.Errorf("hits = %d, want %d", pool.Hits(), want)
+	}
+	if pool.Len() != len(backends) {
+		t.Errorf("cached entries = %d, want %d", pool.Len(), len(backends))
+	}
+	for _, bk := range backends {
+		if calibrated[bk] != 1 {
+			t.Errorf("backend %q calibrated %d times, want exactly 1", bk, calibrated[bk])
+		}
+		e, ok := pool.Cached(Key{Target: tgt.Name, Backend: bk, Kind: pcie.Pinned, Seed: seed})
+		if !ok {
+			t.Errorf("backend %q missing from the cache", bk)
+			continue
+		}
+		if e.Fit.Backend != bk {
+			t.Errorf("cached entry for %q carries a fit from %q", bk, e.Fit.Backend)
 		}
 	}
 }

@@ -51,7 +51,15 @@ func NewContextOn(m *core.Machine) (*Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Context{M: m, P: p, reports: make(map[string]core.Report)}, nil
+	return NewContextWithProjector(p), nil
+}
+
+// NewContextWithProjector wraps an already-calibrated projector, so
+// callers can evaluate the paper's experiments through a non-default
+// prediction backend (`paper -backend` builds the projector with
+// core.NewBackendProjector and passes it here).
+func NewContextWithProjector(p *core.Projector) *Context {
+	return &Context{M: p.Machine(), P: p, reports: make(map[string]core.Report)}
 }
 
 // Reports evaluates (and caches) every benchmark workload at its

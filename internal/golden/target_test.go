@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"grophecy/internal/backend"
 	"grophecy/internal/core"
 	"grophecy/internal/engine"
 	"grophecy/internal/experiments"
@@ -73,7 +74,7 @@ func TestGoldenTargetDeterminism(t *testing.T) {
 			}
 			pool := engine.NewPool(0)
 			for i, want := 0, []byte(cli); i < 2; i++ {
-				p, err := pool.Projector(context.Background(), tgt, experiments.DefaultSeed, pcie.Pinned)
+				p, err := pool.Projector(context.Background(), tgt, backend.DefaultName, experiments.DefaultSeed, pcie.Pinned)
 				if err != nil {
 					t.Fatal(err)
 				}

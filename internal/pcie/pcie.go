@@ -247,21 +247,92 @@ func Gen3Config() Config {
 	return c
 }
 
+// Gen4Config returns a PCIe v4 x16 link (~22 GB/s effective of the
+// ~32 GB/s theoretical): the generational doubling continues and the
+// setup path keeps shrinking as drivers move work off the critical
+// path.
+func Gen4Config() Config {
+	c := DefaultConfig()
+	c.Pinned[HostToDevice] = DirParams{SetupLatency: 5.0e-6, Bandwidth: units.GBps(22.0)}
+	c.Pinned[DeviceToHost] = DirParams{SetupLatency: 5.8e-6, Bandwidth: units.GBps(21.0)}
+	c.PageableSetup = [NumDirections]float64{HostToDevice: 7.0e-6, DeviceToHost: 8.5e-6}
+	c.StagingBandwidth = units.GBps(14.0)
+	c.Seed = 0x9db6
+	return c
+}
+
+// Gen5Config returns a PCIe v5 x16 link (~44 GB/s effective of the
+// ~63 GB/s theoretical). At this rate the host-side staging memcpy,
+// not the link, dominates pageable transfers.
+func Gen5Config() Config {
+	c := DefaultConfig()
+	c.Pinned[HostToDevice] = DirParams{SetupLatency: 4.0e-6, Bandwidth: units.GBps(44.0)}
+	c.Pinned[DeviceToHost] = DirParams{SetupLatency: 4.6e-6, Bandwidth: units.GBps(42.0)}
+	c.PageableSetup = [NumDirections]float64{HostToDevice: 6.0e-6, DeviceToHost: 7.0e-6}
+	c.StagingBandwidth = units.GBps(20.0)
+	c.Seed = 0x9db7
+	return c
+}
+
+// NVLinkConfig returns an NVLink-like point-to-point link: bandwidth
+// comparable to PCIe v5 but with a far lower transfer setup cost
+// (the doorbell path skips the PCIe transaction layer), which is
+// what moves the α term rather than the β term of the transfer
+// model.
+func NVLinkConfig() Config {
+	c := DefaultConfig()
+	c.Pinned[HostToDevice] = DirParams{SetupLatency: 1.6e-6, Bandwidth: units.GBps(46.0)}
+	c.Pinned[DeviceToHost] = DirParams{SetupLatency: 1.8e-6, Bandwidth: units.GBps(45.0)}
+	c.PageableSetup = [NumDirections]float64{HostToDevice: 3.0e-6, DeviceToHost: 3.5e-6}
+	c.StagingBandwidth = units.GBps(24.0)
+	c.Seed = 0x9db8
+	return c
+}
+
+// Profile is one named bus preset with its link metadata: the PCIe
+// generation and lane count (both zero for non-PCIe links), which the
+// daemon's GET /targets surface reports so clients can pick hardware
+// without parsing bus names.
+type Profile struct {
+	Name  string
+	Gen   int // PCIe generation; 0 for non-PCIe links
+	Lanes int // lane count; 0 for non-PCIe links
+	Cfg   Config
+}
+
+// Profiles returns every built-in bus preset, oldest first: the
+// paper's three PCIe generations plus the modern v4/v5 links and an
+// NVLink-like profile.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "PCIe v1 x16", Gen: 1, Lanes: 16, Cfg: DefaultConfig()},
+		{Name: "PCIe v2 x16", Gen: 2, Lanes: 16, Cfg: Gen2Config()},
+		{Name: "PCIe v3 x16", Gen: 3, Lanes: 16, Cfg: Gen3Config()},
+		{Name: "PCIe v4 x16", Gen: 4, Lanes: 16, Cfg: Gen4Config()},
+		{Name: "PCIe v5 x16", Gen: 5, Lanes: 16, Cfg: Gen5Config()},
+		{Name: "NVLink", Gen: 0, Lanes: 0, Cfg: NVLinkConfig()},
+	}
+}
+
 // Generations returns the three bus configurations with their labels,
 // matching the paper's §II-B enumeration of PCIe effective bandwidths
 // ("approximately 3, 6, or 12 GB/s for PCIe versions 1, 2, and 3").
+// The full preset list, including the modern links, is Profiles.
 func Generations() []struct {
 	Name string
 	Cfg  Config
 } {
-	return []struct {
+	out := make([]struct {
 		Name string
 		Cfg  Config
-	}{
-		{"PCIe v1 x16", DefaultConfig()},
-		{"PCIe v2 x16", Gen2Config()},
-		{"PCIe v3 x16", Gen3Config()},
+	}, 3)
+	for i, p := range Profiles()[:3] {
+		out[i] = struct {
+			Name string
+			Cfg  Config
+		}{p.Name, p.Cfg}
 	}
+	return out
 }
 
 // Validate reports whether the configuration is physically sensible.

@@ -64,3 +64,86 @@ func Matrix(workload string, rows []MatrixRow) string {
 	b.WriteString("\nfull = kernel + transfer modeling; kernel-only reproduces plain\nGROPHECY; xfer = transfer share of predicted GPU time.\n")
 	return b.String()
 }
+
+// BackendCell is one backend's projection of one workload in a
+// cross-backend comparison.
+type BackendCell struct {
+	// Backend is the registry name ("analytic", "fitted").
+	Backend string
+	// Report is the full projection through that backend.
+	Report core.Report
+}
+
+// BackendRow is one workload's predictions across every backend.
+type BackendRow struct {
+	Workload string
+	DataSize string
+	Cells    []BackendCell
+}
+
+// Disagreement returns the relative spread of the row's predicted
+// total GPU times: 100*(max-min)/min, in percent. Zero when the
+// backends agree exactly or the row is empty.
+func (r BackendRow) Disagreement() float64 {
+	var min, max float64
+	for i, c := range r.Cells {
+		t := c.Report.PredTotalGPU()
+		if i == 0 || t < min {
+			min = t
+		}
+		if i == 0 || t > max {
+			max = t
+		}
+	}
+	if min <= 0 {
+		return 0
+	}
+	return 100 * (max - min) / min
+}
+
+// BackendMatrix renders a cross-backend comparison on one hardware
+// target: per workload, each backend's predicted total GPU time and
+// full speedup, plus the disagreement column — how far apart the
+// backends' predictions are, as a percentage of the lowest. Large
+// disagreement flags workloads whose verdict depends on which model
+// you trust; small disagreement means the cheap analytic model was
+// already enough.
+func BackendMatrix(targetName, hardware string, backends []string, rows []BackendRow) string {
+	var b strings.Builder
+	if len(rows) == 0 {
+		return "no workloads\n"
+	}
+	fmt.Fprintf(&b, "cross-backend projection on %s (%s)\n\n", targetName, hardware)
+
+	nameW := len("workload")
+	for _, row := range rows {
+		if n := len(row.Workload + " " + row.DataSize); n > nameW {
+			nameW = n
+		}
+	}
+	colW := len("0.00x/000.0s")
+	fmt.Fprintf(&b, "%-*s", nameW, "workload")
+	for _, name := range backends {
+		w := colW
+		if len(name) > w {
+			w = len(name)
+		}
+		fmt.Fprintf(&b, "  %*s", w, name)
+	}
+	fmt.Fprintf(&b, "  %s\n", "disagreement")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-*s", nameW, row.Workload+" "+row.DataSize)
+		for i, c := range row.Cells {
+			w := colW
+			if len(backends[i]) > w {
+				w = len(backends[i])
+			}
+			cell := fmt.Sprintf("%.2fx/%s",
+				c.Report.SpeedupFull(), units.FormatSeconds(c.Report.PredTotalGPU()))
+			fmt.Fprintf(&b, "  %*s", w, cell)
+		}
+		fmt.Fprintf(&b, "  %11.1f%%\n", row.Disagreement())
+	}
+	b.WriteString("\ncells: projected full speedup / predicted total GPU time per\nbackend; disagreement = 100*(max-min)/min over the predicted GPU\ntimes of one row.\n")
+	return b.String()
+}

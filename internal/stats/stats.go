@@ -206,6 +206,75 @@ func (f LinearFit) Predict(x float64) float64 {
 	return f.Intercept + f.Slope*x
 }
 
+// FitMulti solves the ordinary least squares problem y ≈ X·coef for
+// an arbitrary feature count: X is one row of feature values per
+// observation, and the returned coefficient vector minimizes the sum
+// of squared residuals. The solve goes through the normal equations
+// (XᵀX)·coef = Xᵀy with Gaussian elimination and partial pivoting —
+// the feature counts here are tiny (hardware-fitted prediction
+// backends use three), so numerical heroics are unnecessary, but a
+// rank-deficient system is still reported as an error rather than
+// silently returning garbage.
+func FitMulti(rows [][]float64, ys []float64) ([]float64, error) {
+	if len(rows) != len(ys) {
+		return nil, ErrMismatchedLengths
+	}
+	if len(rows) == 0 {
+		return nil, ErrEmpty
+	}
+	k := len(rows[0])
+	if k == 0 {
+		return nil, errors.New("stats: FitMulti with zero features")
+	}
+	if len(rows) < k {
+		return nil, errors.New("stats: FitMulti underdetermined, fewer observations than features")
+	}
+	// Accumulate the normal equations as an augmented [k x k+1] matrix.
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k+1)
+	}
+	for n, row := range rows {
+		if len(row) != k {
+			return nil, ErrMismatchedLengths
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][k] += row[i] * ys[n]
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if math.Abs(a[col][col]) < 1e-30 {
+			return nil, errors.New("stats: degenerate fit, features are linearly dependent")
+		}
+		for r := col + 1; r < k; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	coef := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		sum := a[i][k]
+		for j := i + 1; j < k; j++ {
+			sum -= a[i][j] * coef[j]
+		}
+		coef[i] = sum / a[i][i]
+	}
+	return coef, nil
+}
+
 // Summary aggregates a set of repeated measurements of one quantity.
 type Summary struct {
 	N      int

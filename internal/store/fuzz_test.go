@@ -1,6 +1,7 @@
 package store
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, err := Decode(data, testHash)
 		if err != nil {
-			if e != (Entry{}) {
+			if !reflect.DeepEqual(e, Entry{}) {
 				t.Errorf("Decode returned a non-zero entry alongside error %v", err)
 			}
 			return
@@ -44,7 +45,7 @@ func FuzzSnapshotDecode(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decoding a re-encoded entry failed: %v", err)
 		}
-		if again != e {
+		if !reflect.DeepEqual(again, e) {
 			t.Errorf("round trip diverged: %+v vs %+v", again, e)
 		}
 		if errdefs.IsCorruptSnapshot(err) {

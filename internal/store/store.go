@@ -12,7 +12,8 @@
 // process.
 //
 // Keying and invalidation. An entry's identity is the calibration key
-// (target name, host memory kind, machine seed) *plus* a content hash
+// (target name, backend name, host memory kind, machine seed) *plus*
+// a content hash
 // of the whole hardware-target registry *plus* the snapshot schema
 // version — the same key + input hash + schema version discipline as
 // a content-addressed build cache. The registry hash means editing any
@@ -45,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"grophecy/internal/backend"
 	"grophecy/internal/errdefs"
 	"grophecy/internal/fault"
 	"grophecy/internal/metrics"
@@ -69,7 +71,9 @@ var (
 
 // SchemaVersion is the snapshot format version. Bump it whenever the
 // encoded document shape changes; old files become stale, not corrupt.
-const SchemaVersion = 1
+// v2 added the backend dimension to the key and the backend fit to the
+// entry.
+const SchemaVersion = 2
 
 // magic is the first line of every snapshot file.
 const magic = "grophecy-snap v1"
@@ -83,17 +87,20 @@ const (
 // Key identifies one persisted calibration, mirroring the engine
 // pool's cache key.
 type Key struct {
-	Target string          `json:"target"`
-	Kind   pcie.MemoryKind `json:"kind"`
-	Seed   uint64          `json:"seed"`
+	Target  string          `json:"target"`
+	Backend string          `json:"backend"`
+	Kind    pcie.MemoryKind `json:"kind"`
+	Seed    uint64          `json:"seed"`
 }
 
-// Entry is one persisted calibration: the fitted bus model plus the
-// bus-noise state right after the calibration transfers, which is
-// what lets a warmed pool serve bit-identical reports.
+// Entry is one persisted calibration: the backend's fit and α/β
+// summary plus the bus-noise state right after the calibration
+// transfers, which is what lets a warmed pool serve bit-identical
+// reports.
 type Entry struct {
 	Key      Key                `json:"key"`
 	Model    xfermodel.BusModel `json:"model"`
+	Fit      backend.Fit        `json:"fit"`
 	BusState uint64             `json:"busState"`
 }
 
@@ -167,12 +174,20 @@ func Decode(data []byte, registryHash string) (Entry, error) {
 			errStale, doc.RegistryHash, registryHash)
 	}
 	e := doc.Entry
-	if e.Key.Target == "" || !e.Key.Kind.Valid() {
+	if e.Key.Target == "" || e.Key.Backend == "" || !e.Key.Kind.Valid() {
 		return Entry{}, errdefs.Corruptf("invalid key %+v", e.Key)
 	}
 	if !e.Model.Valid() {
-		return Entry{}, errdefs.Corruptf("implausible model for %s/%v/seed=%d",
-			e.Key.Target, e.Key.Kind, e.Key.Seed)
+		return Entry{}, errdefs.Corruptf("implausible model for %s/%s/%v/seed=%d",
+			e.Key.Target, e.Key.Backend, e.Key.Kind, e.Key.Seed)
+	}
+	if err := e.Fit.Validate(); err != nil {
+		return Entry{}, errdefs.Corruptf("invalid fit for %s/%s/%v/seed=%d: %v",
+			e.Key.Target, e.Key.Backend, e.Key.Kind, e.Key.Seed, err)
+	}
+	if e.Fit.Backend != e.Key.Backend || e.Fit.Kind != e.Key.Kind {
+		return Entry{}, errdefs.Corruptf("fit/key mismatch for %s/%s/%v/seed=%d",
+			e.Key.Target, e.Key.Backend, e.Key.Kind, e.Key.Seed)
 	}
 	return e, nil
 }
@@ -208,8 +223,8 @@ func (s *Store) Dir() string { return s.dir }
 // SHA-256 over the key, the registry hash, and the schema version, so
 // two registries (or schema versions) never collide on a file.
 func (s *Store) filename(k Key) string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%d|%s|%d",
-		k.Target, k.Kind, k.Seed, s.hash, SchemaVersion)))
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%d|%d|%s|%d",
+		k.Target, k.Backend, k.Kind, k.Seed, s.hash, SchemaVersion)))
 	return hex.EncodeToString(h[:16]) + Ext
 }
 
@@ -398,6 +413,9 @@ func (s *Store) load() (Result, error) {
 		a, b := res.Entries[i].Key, res.Entries[j].Key
 		if a.Target != b.Target {
 			return a.Target < b.Target
+		}
+		if a.Backend != b.Backend {
+			return a.Backend < b.Backend
 		}
 		if a.Kind != b.Kind {
 			return a.Kind < b.Kind

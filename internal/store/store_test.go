@@ -2,12 +2,15 @@ package store
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"grophecy/internal/backend"
 	"grophecy/internal/errdefs"
 	"grophecy/internal/fault"
 	"grophecy/internal/pcie"
@@ -23,9 +26,14 @@ func entry(target string, seed uint64) Entry {
 	bm.CalibrationTransfers = 40
 	bm.Dir[pcie.HostToDevice] = xfermodel.Model{Alpha: 1.5e-5, Beta: 6.5e-10}
 	bm.Dir[pcie.DeviceToHost] = xfermodel.Model{Alpha: 1.7e-5, Beta: 7.0e-10}
+	payload, err := json.Marshal(bm)
+	if err != nil {
+		panic(err)
+	}
 	return Entry{
-		Key:      Key{Target: target, Kind: pcie.Pinned, Seed: seed},
+		Key:      Key{Target: target, Backend: backend.DefaultName, Kind: pcie.Pinned, Seed: seed},
 		Model:    bm,
+		Fit:      backend.Fit{Backend: backend.DefaultName, Kind: pcie.Pinned, Payload: payload},
 		BusState: 0xdeadbeefcafe ^ seed,
 	}
 }
@@ -40,7 +48,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != e {
+	if !reflect.DeepEqual(got, e) {
 		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, e)
 	}
 }
@@ -118,7 +126,7 @@ func TestPutLoadRoundTrip(t *testing.T) {
 		t.Fatalf("loaded %d entries, want %d", len(res.Entries), len(want))
 	}
 	for i := range want {
-		if res.Entries[i] != want[i] {
+		if !reflect.DeepEqual(res.Entries[i], want[i]) {
 			t.Errorf("entry %d = %+v, want %+v", i, res.Entries[i], want[i])
 		}
 	}
@@ -310,7 +318,7 @@ func TestFilenameIsContentAddressed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := Key{Target: "a-target", Kind: pcie.Pinned, Seed: 1}
+	k := Key{Target: "a-target", Backend: backend.DefaultName, Kind: pcie.Pinned, Seed: 1}
 	if a.filename(k) != a.filename(k) {
 		t.Error("filename unstable for one key")
 	}

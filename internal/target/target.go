@@ -50,6 +50,14 @@ type Target struct {
 	// BusName labels the bus configuration ("PCIe v1 x16"); pcie.Config
 	// itself is anonymous.
 	BusName string
+	// BusGen and BusLanes identify the link ("gen 3 x16"); 0/0 for
+	// non-PCIe links like NVLink.
+	BusGen   int
+	BusLanes int
+	// Memory is the host memory kind this target calibrates and
+	// measures with. The zero value is pcie.Pinned — the paper's
+	// assumption, and what every historical target name means.
+	Memory pcie.MemoryKind
 }
 
 // nameOK reports whether s is a legal registry name.
@@ -84,6 +92,9 @@ func (t Target) Validate() error {
 	if err := t.Bus.Validate(); err != nil {
 		return fmt.Errorf("target %s: %w", t.Name, err)
 	}
+	if !t.Memory.Valid() {
+		return errdefs.Invalidf("target %s: invalid memory kind %d", t.Name, t.Memory)
+	}
 	return nil
 }
 
@@ -98,7 +109,11 @@ func (t Target) Machine(seed uint64) *core.Machine {
 // String renders the component summary ("NVIDIA Quadro FX 5600 +
 // Intel Xeon E5405 (8 threads) + PCIe v1 x16").
 func (t Target) String() string {
-	return t.GPU.Name + " + " + t.CPU.Name + " + " + t.BusName
+	s := t.GPU.Name + " + " + t.CPU.Name + " + " + t.BusName
+	if t.Memory == pcie.Pageable {
+		s += " (pageable)"
+	}
+	return s
 }
 
 // Registry is a concurrency-safe name → Target map.
@@ -175,7 +190,8 @@ func (r *Registry) Fingerprint() string {
 	h := sha256.New()
 	for _, n := range names {
 		t := r.m[n]
-		fmt.Fprintf(h, "%s|%+v|%+v|%+v|%s\n", t.Name, t.GPU, t.CPU, t.Bus, t.BusName)
+		fmt.Fprintf(h, "%s|%+v|%+v|%+v|%s|gen%d|x%d|mem%d\n",
+			t.Name, t.GPU, t.CPU, t.Bus, t.BusName, t.BusGen, t.BusLanes, t.Memory)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -220,7 +236,8 @@ func ForGPU(gpuName string) (Target, error) {
 	for _, t := range Default.List() {
 		if t.GPU.Name == gpuName &&
 			t.CPU.Name == cpumodel.XeonE5405().Name &&
-			t.BusName == pcie.Generations()[0].Name {
+			t.BusName == pcie.Generations()[0].Name &&
+			t.Memory == pcie.Pinned {
 			return t, nil
 		}
 	}
@@ -255,22 +272,38 @@ func gpuSlug(a gpu.Arch) string {
 	}
 }
 
-// seed builds the default matrix: every GPU preset × every PCIe
-// generation on the paper's CPU, named "<gpu>-pcie<N>", plus one
+// busSlug maps a bus profile to its name fragment ("pcie3",
+// "nvlink").
+func busSlug(p pcie.Profile) string {
+	if p.Gen == 0 {
+		return "nvlink"
+	}
+	return fmt.Sprintf("pcie%d", p.Gen)
+}
+
+// seed builds the default matrix: every GPU preset × the era-matched
+// PCIe generations on the paper's CPU, named "<gpu>-pcie<N>"; one
 // newer-CPU variant per GPU on its era-matching bus, named
-// "<gpu>-pcie<N>-x5650".
+// "<gpu>-pcie<N>-x5650"; the fastest GPU preset on the modern bus
+// profiles (PCIe v4/v5 and an NVLink-class link) with the newer CPU;
+// and a "-pageable" host-memory variant of every row, so the pageable
+// ablation is a first-class target rather than a code path.
 func seed() *Registry {
 	r := NewRegistry()
-	gens := pcie.Generations()
+	profiles := pcie.Profiles()
+	gens := profiles[:3]
+	var pinned []Target
 	for _, g := range gpu.Presets() {
 		for i, gen := range gens {
-			r.MustRegister(Target{
+			pinned = append(pinned, Target{
 				Name:        fmt.Sprintf("%s-pcie%d", gpuSlug(g), i+1),
 				Description: g.Name + " + " + cpumodel.XeonE5405().Name + " + " + gen.Name,
 				GPU:         g,
 				CPU:         cpumodel.XeonE5405(),
 				Bus:         gen.Cfg,
 				BusName:     gen.Name,
+				BusGen:      gen.Gen,
+				BusLanes:    gen.Lanes,
 			})
 		}
 	}
@@ -279,14 +312,41 @@ func seed() *Registry {
 	// GT200 on v2, Fermi boards on v2/v3 systems).
 	for i, g := range gpu.Presets() {
 		gen := gens[i]
-		r.MustRegister(Target{
+		pinned = append(pinned, Target{
 			Name:        fmt.Sprintf("%s-pcie%d-x5650", gpuSlug(g), i+1),
 			Description: g.Name + " + " + cpumodel.XeonX5650().Name + " + " + gen.Name,
 			GPU:         g,
 			CPU:         cpumodel.XeonX5650(),
 			Bus:         gen.Cfg,
 			BusName:     gen.Name,
+			BusGen:      gen.Gen,
+			BusLanes:    gen.Lanes,
 		})
+	}
+	// The bus axis, extended past the paper's era: the fastest built-in
+	// GPU on the modern link profiles, answering "how far does the
+	// transfer share shrink on a current node" without touching the
+	// kernel side of the comparison.
+	modernGPU := gpu.Presets()[len(gpu.Presets())-1]
+	for _, p := range profiles[3:] {
+		pinned = append(pinned, Target{
+			Name:        gpuSlug(modernGPU) + "-" + busSlug(p),
+			Description: modernGPU.Name + " + " + cpumodel.XeonX5650().Name + " + " + p.Name,
+			GPU:         modernGPU,
+			CPU:         cpumodel.XeonX5650(),
+			Bus:         p.Cfg,
+			BusName:     p.Name,
+			BusGen:      p.Gen,
+			BusLanes:    p.Lanes,
+		})
+	}
+	for _, t := range pinned {
+		r.MustRegister(t)
+		pg := t
+		pg.Name = t.Name + "-pageable"
+		pg.Description = t.Description + ", pageable host memory"
+		pg.Memory = pcie.Pageable
+		r.MustRegister(pg)
 	}
 	return r
 }

@@ -73,10 +73,16 @@ func run() error {
 
 	// A deliberately tight serving configuration: one worker slot, no
 	// wait queue (any concurrent request sheds), a single-entry
-	// calibration cache (any second target evicts the first), and the
-	// OTLP file sink on so the telemetry export path runs for real.
+	// calibration cache (any second target evicts the first), the
+	// OTLP file sink on so the telemetry export path runs for real,
+	// and the snapshot store on so the warm-restart phase at the end
+	// has persisted fits to recover.
 	otlpPath := filepath.Join(dir, "otlp.ndjson")
 	logPath := filepath.Join(dir, "daemon.log")
+	snapDir := filepath.Join(dir, "snapshots")
+	if err := os.Mkdir(snapDir, 0o755); err != nil {
+		return err
+	}
 	logFile, err := os.Create(logPath)
 	if err != nil {
 		return err
@@ -84,7 +90,7 @@ func run() error {
 	defer logFile.Close()
 	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-log-format", "json",
 		"-max-inflight", "1", "-max-queue", "0", "-queue-wait", "300ms",
-		"-cache-entries", "1", "-otlp-file", otlpPath)
+		"-cache-entries", "1", "-otlp-file", otlpPath, "-snapshot-dir", snapDir)
 	daemon.Dir = root
 	// Tee the structured logs: visible in the smoke output, and
 	// greppable afterwards for the canonical wide event.
@@ -164,6 +170,17 @@ func run() error {
 	if _, _, err := project(base+"/project?target="+other, string(src)); err != nil {
 		return err
 	}
+
+	// The prediction-backend surface: GET /backends lists the
+	// registry, and ?backend=fitted projects through the
+	// hardware-fitted model. The fitted calibration is write-through
+	// persisted like any other, which the restart phase below relies
+	// on.
+	fittedRef, err := checkBackends(base, string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Println("smoke: /backends listed the registry, ?backend=fitted projected deterministically")
 
 	// POST /batch: a mixed batch whose skeleton job must return the
 	// exact bytes a single POST /project returns.
@@ -271,7 +288,121 @@ func run() error {
 		return fmt.Errorf("OTLP sink file does not contain trace %s", traceID)
 	}
 	fmt.Println("smoke: wide event logged and OTLP file export carries the trace")
+
+	// Warm restart: a second daemon on the same snapshot directory
+	// must restore the persisted fits — including the fitted
+	// backend's regression coefficients — and serve the exact bytes
+	// the first daemon produced, without a single new calibration.
+	second := exec.Command(bin, "-addr", "127.0.0.1:0", "-snapshot-dir", snapDir)
+	second.Dir = root
+	second.Stderr = os.Stderr
+	secondOut, err := second.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := second.Start(); err != nil {
+		return err
+	}
+	defer second.Process.Kill()
+	base2, err := listenURL(secondOut)
+	if err != nil {
+		return err
+	}
+	if err := waitReady(base2, 15*time.Second); err != nil {
+		return fmt.Errorf("warm-restarted daemon never became ready: %w", err)
+	}
+	warmFitted, err := projectRaw(base2+"/project?backend=fitted", string(src))
+	if err != nil {
+		return fmt.Errorf("warm-restarted ?backend=fitted: %w", err)
+	}
+	if !bytes.Equal(warmFitted, fittedRef) {
+		return errors.New("warm-restarted fitted report differs from the pre-restart bytes")
+	}
+	dump, err = metricsDump(base2)
+	if err != nil {
+		return err
+	}
+	warmMisses, err := metricValue(dump, "engine_cache_misses_total")
+	if err != nil {
+		return err
+	}
+	if warmMisses != 0 {
+		return fmt.Errorf("warm-restarted daemon ran %g calibrations serving fitted, want 0 (fit not restored)", warmMisses)
+	}
+	fmt.Println("smoke: restart warm-started the persisted fitted fit, byte-identical, zero recalibrations")
 	return nil
+}
+
+// checkBackends exercises the backend registry surface: GET /backends
+// must list the full registry with the default flagged, an unknown
+// ?backend= must 400, and ?backend=fitted must project — twice,
+// byte-identically, the second served from the calibration cache. It
+// returns the fitted report bytes for the warm-restart comparison.
+func checkBackends(base, src string) ([]byte, error) {
+	resp, err := http.Get(base + "/backends")
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /backends: status %d\n%.300s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Default  string `json:"default"`
+		Backends []struct {
+			Name        string `json:"name"`
+			Description string `json:"description"`
+			Default     bool   `json:"default"`
+		} `json:"backends"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("GET /backends is not JSON: %v", err)
+	}
+	if doc.Default != "analytic" {
+		return nil, fmt.Errorf("GET /backends default = %q, want analytic", doc.Default)
+	}
+	names := make(map[string]bool, len(doc.Backends))
+	for _, b := range doc.Backends {
+		names[b.Name] = true
+		if b.Description == "" {
+			return nil, fmt.Errorf("backend %q listed without a description", b.Name)
+		}
+		if b.Default != (b.Name == doc.Default) {
+			return nil, fmt.Errorf("backend %q default flag is inconsistent", b.Name)
+		}
+	}
+	for _, want := range []string{"analytic", "fitted", "piecewise"} {
+		if !names[want] {
+			return nil, fmt.Errorf("GET /backends does not list %q (got %v)", want, names)
+		}
+	}
+
+	bad, err := http.Post(base+"/project?backend=nope", "text/plain", strings.NewReader(src))
+	if err != nil {
+		return nil, err
+	}
+	io.Copy(io.Discard, bad.Body)
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		return nil, fmt.Errorf("?backend=nope: status %d, want 400", bad.StatusCode)
+	}
+
+	fitted, err := projectRaw(base+"/project?backend=fitted", src)
+	if err != nil {
+		return nil, fmt.Errorf("?backend=fitted: %w", err)
+	}
+	again, err := projectRaw(base+"/project?backend=fitted", src)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(fitted, again) {
+		return nil, errors.New("repeat ?backend=fitted projection is not byte-identical")
+	}
+	return fitted, nil
 }
 
 // inboundTraceparent is the caller-minted W3C trace context the
