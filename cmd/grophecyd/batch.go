@@ -1,13 +1,27 @@
 // POST /batch: multi-target, multi-workload projection in one
 // request. The body is a JSON array of jobs; each job is either an
 // inline skeleton source or a named paper benchmark, optionally
-// pinned to a registered hardware target and seed. Jobs fan out over
-// internal/sweep through the shared calibration pool — concurrent
-// jobs on the same (target, seed) share one calibration — and every
-// job's report is byte-identical to the equivalent single POST
-// /project call at the same query parameters. Failures are per-job:
-// one malformed skeleton or unknown target never takes down its
-// neighbours.
+// pinned to a registered hardware target, backend, and seed.
+//
+// Jobs may declare dependency edges: an `id` names a job, `dependsOn`
+// lists the ids it needs, and the handler schedules the resulting DAG
+// (internal/batch/dag) — ready jobs dispatch onto the sweep worker
+// pool as their parents succeed, every job's calibration goes through
+// the shared singleflight pool so one (target, backend, seed) key
+// calibrates once across the whole graph, and the descendants of a
+// failed job are skipped without running (status 424, typed
+// errdefs.ErrSkipped). A child may inherit from its parents' outcomes
+// via `fromParent` selectors ("bestTarget", "bestBackend"): project a
+// matrix, then sweep the winner, as one request.
+//
+// Delivery is either the buffered JSON document (the default — an
+// edge-free job array returns bytes identical to the pre-DAG handler)
+// or, under `Accept: application/x-ndjson`, a stream of one row per
+// line in the graph's deterministic emission order, each row flushed
+// as soon as it completes, followed by one summary line.
+//
+// Failures are per-job: one malformed skeleton or unknown target
+// never takes down its neighbours — only its descendants.
 package main
 
 import (
@@ -17,10 +31,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strings"
 	"time"
 
 	"grophecy/internal/backend"
+	"grophecy/internal/batch/dag"
 	"grophecy/internal/bench"
 	"grophecy/internal/core"
 	"grophecy/internal/errdefs"
@@ -29,7 +46,6 @@ import (
 	"grophecy/internal/obs"
 	"grophecy/internal/report"
 	"grophecy/internal/sklang"
-	"grophecy/internal/sweep"
 	"grophecy/internal/target"
 	"grophecy/internal/telemetry"
 	"grophecy/internal/trace"
@@ -43,51 +59,96 @@ const (
 	maxBatchJobs  = 256
 )
 
-var mBatchJobs = metrics.Default.MustCounter("grophecyd_batch_jobs_total",
-	"batch jobs executed (any outcome)")
+// ndjsonContentType selects (and labels) the streamed delivery mode.
+const ndjsonContentType = "application/x-ndjson"
+
+// Batch instruments. Jobs count per outcome class — failures are jobs
+// that produced their own error, skips the jobs that never ran
+// because a dependency failed — and the depth gauge tracks the shape
+// of the most recently scheduled DAG (1 = edge-free fan-out).
+var (
+	mBatchJobs = metrics.Default.MustCounter("grophecyd_batch_jobs_total",
+		"batch jobs executed (any outcome)")
+	mBatchJobFailures = metrics.Default.MustCounter("grophecyd_batch_job_failures_total",
+		"batch jobs that failed with their own error (dependency skips not included)")
+	mBatchJobsSkipped = metrics.Default.MustCounter("grophecyd_batch_jobs_skipped_total",
+		"batch jobs skipped because a job they depend on failed")
+	mBatchDagDepth = metrics.Default.MustGauge("grophecyd_batch_dag_depth",
+		"dependency depth (longest chain, in jobs) of the most recent batch DAG")
+)
+
+// fromParent selectors a dependent job may use to inherit from its
+// parents' outcomes. "Best" means the parent whose report projected
+// the highest full speedup; ties go to the earlier row.
+const (
+	fromParentBestTarget  = "bestTarget"
+	fromParentBestBackend = "bestBackend"
+)
 
 // batchJob is one element of the POST /batch request array. Exactly
 // one of Skeleton (inline .sk source) and Workload (a named paper
 // benchmark: CFD, HotSpot, SRAD, Stassuij) must be set; Size selects
 // the named benchmark's data set. Target, Backend, and Seed default
-// to the daemon's; Iters overrides the iteration count.
+// to the daemon's; Iters overrides the iteration count. ID names the
+// job for DependsOn references from other jobs in the same batch, and
+// FromParent replaces Target or Backend with the winning parent's at
+// dispatch time.
 type batchJob struct {
-	Skeleton string  `json:"skeleton,omitempty"`
-	Workload string  `json:"workload,omitempty"`
-	Size     string  `json:"size,omitempty"`
-	Target   string  `json:"target,omitempty"`
-	Backend  string  `json:"backend,omitempty"`
-	Seed     *uint64 `json:"seed,omitempty"`
-	Iters    int     `json:"iters,omitempty"`
+	ID         string   `json:"id,omitempty"`
+	DependsOn  []string `json:"dependsOn,omitempty"`
+	FromParent string   `json:"fromParent,omitempty"`
+	Skeleton   string   `json:"skeleton,omitempty"`
+	Workload   string   `json:"workload,omitempty"`
+	Size       string   `json:"size,omitempty"`
+	Target     string   `json:"target,omitempty"`
+	Backend    string   `json:"backend,omitempty"`
+	Seed       *uint64  `json:"seed,omitempty"`
+	Iters      int      `json:"iters,omitempty"`
 }
 
 // resolvedJob is a batchJob after validation: everything a projection
-// needs, or the error that stops it.
+// needs, or the error that stops it. For fromParent jobs the target
+// or backend here is the static default, replaced at dispatch time
+// once the parents' outcomes exist.
 type resolvedJob struct {
-	wl      core.Workload
-	tgt     target.Target
-	backend string
-	seed    uint64
-	src     string // inline skeleton source, empty for named workloads
-	err     error
+	id         string
+	dependsOn  []string
+	fromParent string
+	wl         core.Workload
+	tgt        target.Target
+	backend    string
+	seed       uint64
+	src        string // inline skeleton source, empty for named workloads
+	err        error
 }
 
-// jobOutcome is what one executed job produces.
+// jobOutcome is what one scheduled job produces — including jobs that
+// were skipped without running.
 type jobOutcome struct {
-	runID   string
-	report  []byte // raw report.JSON bytes; nil on failure
-	wl      string
-	tgt     string
-	backend string
-	seed    uint64
-	err     error
+	id        string
+	dependsOn []string
+	runID     string
+	report    []byte // raw report.JSON bytes; nil on failure
+	wl        string
+	tgt       string
+	backend   string
+	seed      uint64
+	speedup   float64 // projected full speedup; feeds fromParent selection
+	err       error
 }
 
 // resolve validates one job against the daemon's registry and
 // defaults. Resolution failures are per-job outcomes, not request
 // failures.
 func (s *server) resolve(j batchJob) resolvedJob {
-	r := resolvedJob{tgt: s.tgt, backend: backend.DefaultName, seed: s.cfg.Seed}
+	r := resolvedJob{
+		id:         j.ID,
+		dependsOn:  j.DependsOn,
+		fromParent: j.FromParent,
+		tgt:        s.tgt,
+		backend:    backend.DefaultName,
+		seed:       s.cfg.Seed,
+	}
 	if j.Target != "" {
 		tgt, err := target.Lookup(j.Target)
 		if err != nil {
@@ -154,10 +215,87 @@ func namedWorkload(name, size string) (core.Workload, error) {
 	}
 }
 
+// validateSelectors checks the graph-shaped half of every job. Like
+// cycles and unknown ids these are request-level 400s, not per-job
+// failures: a selector mistake means the whole graph's meaning is in
+// question.
+func validateSelectors(jobs []batchJob, g *dag.Graph) error {
+	for i, j := range jobs {
+		if j.FromParent == "" {
+			continue
+		}
+		switch j.FromParent {
+		case fromParentBestTarget, fromParentBestBackend:
+		default:
+			return errdefs.Invalidf("batch dag: job %s: unknown fromParent selector %q (want %s or %s)",
+				g.Describe(i), j.FromParent, fromParentBestTarget, fromParentBestBackend)
+		}
+		if len(j.DependsOn) == 0 {
+			return errdefs.Invalidf("batch dag: job %s sets fromParent %q without dependsOn",
+				g.Describe(i), j.FromParent)
+		}
+		if j.FromParent == fromParentBestTarget && j.Target != "" {
+			return errdefs.Invalidf("batch dag: job %s: target and fromParent %q are mutually exclusive",
+				g.Describe(i), j.FromParent)
+		}
+		if j.FromParent == fromParentBestBackend && j.Backend != "" {
+			return errdefs.Invalidf("batch dag: job %s: backend and fromParent %q are mutually exclusive",
+				g.Describe(i), j.FromParent)
+		}
+	}
+	return nil
+}
+
+// bestParent picks the parent whose report projected the highest
+// finite full speedup; ties (and all-non-finite degenerate cases) go
+// to the earliest declared parent. Callers only reach this once every
+// parent has succeeded.
+func bestParent(parents []int, outcomes []jobOutcome) int {
+	best := parents[0]
+	for _, p := range parents[1:] {
+		v, b := outcomes[p].speedup, outcomes[best].speedup
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			continue
+		}
+		if math.IsInf(b, 0) || math.IsNaN(b) || v > b {
+			best = p
+		}
+	}
+	return best
+}
+
+// applyFromParent rewrites a dependent job's target or backend from
+// the winning parent's *outcome* — not its static resolution, so
+// selector chains (a child of a fromParent child) follow what
+// actually ran.
+func applyFromParent(r *resolvedJob, g *dag.Graph, i int, outcomes []jobOutcome) error {
+	best := bestParent(g.Parents(i), outcomes)
+	switch r.fromParent {
+	case fromParentBestTarget:
+		tgt, err := target.Lookup(outcomes[best].tgt)
+		if err != nil {
+			return fmt.Errorf("batch dag: job %s: resolving winning parent target: %w", g.Describe(i), err)
+		}
+		r.tgt = tgt
+	case fromParentBestBackend:
+		r.backend = outcomes[best].backend
+	}
+	return nil
+}
+
+// wantsNDJSON reports whether the client asked for the streamed
+// delivery mode.
+func wantsNDJSON(req *http.Request) bool {
+	return strings.Contains(req.Header.Get("Accept"), ndjsonContentType)
+}
+
 // handleBatch serves POST /batch. The whole batch occupies one
-// admission slot; jobs fan out on a sweep worker pool inside it.
-// The response is 200 with per-job rows as long as the batch itself
-// was well-formed; job failures carry their own error and status.
+// admission slot; its jobs are scheduled as a DAG on the sweep worker
+// pool inside it. The response is 200 with per-job rows as long as
+// the batch itself was well-formed — body shape, job cap, and graph
+// shape (duplicate ids, unknown references, cycles, bad selectors)
+// are the request-level 400s; job failures carry their own error and
+// status on their row.
 func (s *server) handleBatch(w http.ResponseWriter, req *http.Request) {
 	start := time.Now()
 	ctx := obs.WithLogger(req.Context(), s.cfg.Logger)
@@ -190,52 +328,156 @@ func (s *server) handleBatch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	nodes := make([]dag.Node, len(jobs))
+	for i, j := range jobs {
+		nodes[i] = dag.Node{ID: j.ID, DependsOn: j.DependsOn}
+	}
+	g, err := dag.Build(nodes)
+	if err != nil {
+		fail(http.StatusBadRequest, err)
+		return
+	}
+	if err := validateSelectors(jobs, g); err != nil {
+		fail(http.StatusBadRequest, err)
+		return
+	}
+
 	resolved := make([]resolvedJob, len(jobs))
 	for i, j := range jobs {
 		resolved[i] = s.resolve(j)
 	}
 
-	outcomes, errs, err := sweep.RunAllCtx(ctx, len(jobs), s.cfg.BatchWorkers,
-		func(i int) (jobOutcome, error) {
-			return s.runJob(ctx, resolved[i]), nil
-		})
-	if err != nil {
-		fail(http.StatusInternalServerError, err)
-		return
-	}
-	for i := range outcomes {
-		// A sweep-level error (worker panic, never scheduled) becomes
-		// that job's outcome.
-		if errs[i] != nil && outcomes[i].err == nil {
-			outcomes[i].err = errs[i]
-		}
+	// Per-request cache accounting: the pool's counters are
+	// daemon-global cumulative, so capture a before/after window.
+	// Concurrent requests' traffic can land inside the window, but the
+	// deltas are this request's in the common case — unlike the raw
+	// cumulative values, which are never per-request.
+	hits0, misses0 := s.pool.Hits(), s.pool.Misses()
+	mBatchDagDepth.Set(float64(g.Depth()))
+
+	stream := wantsNDJSON(req)
+	flusher, canFlush := w.(http.Flusher)
+	if stream {
+		w.Header().Set("Content-Type", ndjsonContentType)
 	}
 
-	succeeded := 0
+	outcomes := make([]jobOutcome, len(jobs))
+	var writeErr error // first streamed-write failure; jobs still run
+	g.Run(ctx, s.cfg.BatchWorkers, dag.Hooks{
+		Run: func(i int) error {
+			r := resolved[i]
+			if r.err == nil && r.fromParent != "" {
+				if err := applyFromParent(&r, g, i, outcomes); err != nil {
+					r.err = err
+				}
+			}
+			outcomes[i] = s.runJob(ctx, r)
+			return outcomes[i].err
+		},
+		Done: func(i int, err error) {
+			// A pool-level error (worker panic, cancelled before its
+			// turn) reaches the row even though runJob never filled it.
+			if err != nil && outcomes[i].err == nil {
+				outcomes[i] = staticOutcome(resolved[i])
+				outcomes[i].err = err
+			}
+		},
+		Skip: func(i, parent int) {
+			outcomes[i] = staticOutcome(resolved[i])
+			outcomes[i].err = errdefs.Skippedf("dependency %s did not succeed", g.Describe(parent))
+		},
+		Emit: func(i int) {
+			if !stream || writeErr != nil {
+				return
+			}
+			row, err := rowJSON(i, outcomes[i], true)
+			if err == nil {
+				row = append(row, '\n')
+				_, err = w.Write(row)
+			}
+			if err != nil {
+				writeErr = err
+				return
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+		},
+	})
+
+	succeeded, failed, skipped := 0, 0, 0
 	for i := range outcomes {
 		mBatchJobs.Inc()
-		if outcomes[i].err == nil {
+		switch {
+		case outcomes[i].err == nil:
 			succeeded++
+		case errdefs.IsSkipped(outcomes[i].err):
+			skipped++
+			failed++
+			mBatchJobsSkipped.Inc()
+		default:
+			failed++
+			mBatchJobFailures.Inc()
 		}
 	}
 	event := telemetry.EventFrom(ctx)
 	event.Set("jobs", len(jobs))
 	event.Set("succeeded", succeeded)
-	event.Set("failed", len(jobs)-succeeded)
+	event.Set("failed", failed)
+	event.Set("skipped", skipped)
+	event.Set("dag_depth", g.Depth())
 	lg.Info("batch request served",
-		"jobs", len(jobs), "succeeded", succeeded, "failed", len(jobs)-succeeded,
-		"cache_hits", s.pool.Hits(), "cache_misses", s.pool.Misses(),
+		"jobs", len(jobs), "succeeded", succeeded, "failed", failed, "skipped", skipped,
+		"dag_depth", g.Depth(), "streamed", stream,
+		"cache_hits", s.pool.Hits()-hits0, "cache_misses", s.pool.Misses()-misses0,
 		"duration_ms", float64(time.Since(start).Microseconds())/1e3)
 
+	if stream {
+		if writeErr == nil {
+			_, writeErr = fmt.Fprintf(w, `{"succeeded":%d,"failed":%d,"skipped":%d}`+"\n",
+				succeeded, failed, skipped)
+		}
+		if writeErr != nil {
+			mRequestErrors.Inc()
+			lg.Error("batch stream write failed", "err", writeErr.Error())
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	writeBatchResponse(w, outcomes)
+	if err := writeBatchResponse(w, outcomes, g.HasEdges()); err != nil {
+		// The response never (fully) reached the client: marshal or
+		// client-write failure. Nothing can be resent — the status line
+		// is gone — but the failure must not vanish.
+		mRequestErrors.Inc()
+		lg.Error("batch response write failed", "err", err.Error())
+	}
+}
+
+// staticOutcome fills a row for a job that never ran — skipped, or
+// killed at the pool level — from its static resolution, so the row
+// still identifies what would have run.
+func staticOutcome(r resolvedJob) jobOutcome {
+	return jobOutcome{
+		id:        r.id,
+		dependsOn: r.dependsOn,
+		wl:        r.wl.Name,
+		tgt:       r.tgt.Name,
+		backend:   r.backend,
+		seed:      r.seed,
+	}
 }
 
 // runJob executes one resolved job: its own run ID, tracer, flight
 // record, and projection through the shared pool — exactly the
 // /project request lifecycle.
 func (s *server) runJob(ctx context.Context, r resolvedJob) jobOutcome {
-	out := jobOutcome{tgt: r.tgt.Name, backend: r.backend, seed: r.seed}
+	out := jobOutcome{
+		id:        r.id,
+		dependsOn: r.dependsOn,
+		tgt:       r.tgt.Name,
+		backend:   r.backend,
+		seed:      r.seed,
+	}
 	if r.err != nil {
 		out.err = r.err
 		return out
@@ -251,12 +493,14 @@ func (s *server) runJob(ctx context.Context, r resolvedJob) jobOutcome {
 	ctx = trace.With(ctx, tracer)
 
 	entry := flight.Entry{
-		ID:       runID,
-		Workload: r.wl.Name,
-		DataSize: r.wl.DataSize,
-		Source:   r.src,
-		Seed:     r.seed,
-		Start:    start,
+		ID:        runID,
+		Workload:  r.wl.Name,
+		DataSize:  r.wl.DataSize,
+		Source:    r.src,
+		Seed:      r.seed,
+		JobID:     r.id,
+		DependsOn: r.dependsOn,
+		Start:     start,
 		// Batch jobs share the request's wall tracer: every row's
 		// walltrace endpoint replays the whole request trace.
 		WallTrace: telemetry.FromContext(ctx),
@@ -274,66 +518,104 @@ func (s *server) runJob(ctx context.Context, r resolvedJob) jobOutcome {
 	entry.Report = rep
 	s.recorder.Add(entry)
 
+	out.speedup = rep.SpeedupFull()
 	out.report, out.err = report.JSON(rep)
 	return out
 }
 
 // batchRow is the metadata half of one response row; the report bytes
 // are spliced in verbatim so each job's report stays byte-identical
-// to the single-call response.
+// to the single-call response. ID and DependsOn are omitted when
+// empty, which keeps edge-free rows byte-identical to the pre-DAG
+// handler's.
 type batchRow struct {
-	Index    int    `json:"index"`
-	RunID    string `json:"runId,omitempty"`
-	Workload string `json:"workload,omitempty"`
-	Target   string `json:"target"`
-	Backend  string `json:"backend,omitempty"`
-	Seed     uint64 `json:"seed"`
-	Status   int    `json:"status"`
-	Error    string `json:"error,omitempty"`
+	Index     int      `json:"index"`
+	ID        string   `json:"id,omitempty"`
+	DependsOn []string `json:"dependsOn,omitempty"`
+	RunID     string   `json:"runId,omitempty"`
+	Workload  string   `json:"workload,omitempty"`
+	Target    string   `json:"target"`
+	Backend   string   `json:"backend,omitempty"`
+	Seed      uint64   `json:"seed"`
+	Status    int      `json:"status"`
+	Error     string   `json:"error,omitempty"`
 }
 
-// writeBatchResponse hand-assembles the response document. The
-// encoding/json package re-compacts RawMessage values on Marshal,
-// which would break the byte-for-byte report contract — so the rows
-// are marshalled without their reports and the raw report.JSON bytes
-// are spliced in before each closing brace.
-func writeBatchResponse(w io.Writer, outcomes []jobOutcome) error {
+// rowJSON renders one response row. The encoding/json package
+// re-compacts RawMessage values on Marshal, which would break the
+// byte-for-byte report contract — so the row is marshalled without
+// its report and the raw report.JSON bytes are spliced in before the
+// closing brace. Streamed (NDJSON) rows must be one physical line, so
+// they compact the report instead — same JSON value, no literal
+// newlines; the byte-identity contract applies to the buffered
+// document.
+func rowJSON(i int, out jobOutcome, compact bool) ([]byte, error) {
+	row := batchRow{
+		Index:     i,
+		ID:        out.id,
+		DependsOn: out.dependsOn,
+		RunID:     out.runID,
+		Workload:  out.wl,
+		Target:    out.tgt,
+		Backend:   out.backend,
+		Seed:      out.seed,
+		Status:    http.StatusOK,
+	}
+	if out.err != nil {
+		row.Status = httpStatus(out.err)
+		row.Error = out.err.Error()
+	}
+	meta, err := json.Marshal(row)
+	if err != nil {
+		return nil, err
+	}
+	if out.report == nil {
+		return meta, nil
+	}
+	rep := out.report
+	if compact {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, rep); err != nil {
+			return nil, err
+		}
+		rep = buf.Bytes()
+	}
+	spliced := make([]byte, 0, len(meta)+len(rep)+len(`,"report":}`))
+	spliced = append(spliced, meta[:len(meta)-1]...) // strip the closing brace
+	spliced = append(spliced, `,"report":`...)
+	spliced = append(spliced, rep...)
+	spliced = append(spliced, '}')
+	return spliced, nil
+}
+
+// writeBatchResponse hand-assembles the buffered response document.
+// The skipped count is appended only for DAG batches, keeping the
+// edge-free document byte-identical to the pre-DAG handler's.
+func writeBatchResponse(w io.Writer, outcomes []jobOutcome, withSkips bool) error {
 	var b bytes.Buffer
 	b.WriteString(`{"jobs":[`)
-	succeeded := 0
+	succeeded, skipped := 0, 0
 	for i, out := range outcomes {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		row := batchRow{
-			Index:    i,
-			RunID:    out.runID,
-			Workload: out.wl,
-			Target:   out.tgt,
-			Backend:  out.backend,
-			Seed:     out.seed,
-			Status:   http.StatusOK,
-		}
-		if out.err != nil {
-			row.Status = httpStatus(out.err)
-			row.Error = out.err.Error()
-		} else {
-			succeeded++
-		}
-		meta, err := json.Marshal(row)
+		row, err := rowJSON(i, out, false)
 		if err != nil {
 			return err
 		}
-		if out.report == nil {
-			b.Write(meta)
-			continue
+		b.Write(row)
+		switch {
+		case out.err == nil:
+			succeeded++
+		case errdefs.IsSkipped(out.err):
+			skipped++
 		}
-		b.Write(meta[:len(meta)-1]) // strip the closing brace
-		b.WriteString(`,"report":`)
-		b.Write(out.report)
-		b.WriteByte('}')
 	}
-	fmt.Fprintf(&b, `],"succeeded":%d,"failed":%d}`, succeeded, len(outcomes)-succeeded)
+	fmt.Fprintf(&b, `],"succeeded":%d,"failed":%d`, succeeded, len(outcomes)-succeeded)
+	if withSkips {
+		fmt.Fprintf(&b, `,"skipped":%d`, skipped)
+	}
+	b.WriteByte('}')
 	b.WriteByte('\n')
 	_, err := w.Write(b.Bytes())
 	return err

@@ -46,6 +46,15 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so streamed responses (NDJSON
+// batch rows) reach the client per-row instead of buffering until the
+// handler returns.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // tenantKey derives the wide event's tenant label. Raw API keys must
 // never reach logs, so the key is fingerprinted; unauthenticated
 // requests are pooled under "anon".

@@ -426,6 +426,10 @@ func httpStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errdefs.ErrMeasureTimeout):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, errdefs.ErrSkipped):
+		// A batch job that never ran because its dependency failed:
+		// 424 Failed Dependency, per row.
+		return http.StatusFailedDependency
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		// The per-request timeout (or the client) cut the projection
 		// short; surface it as a gateway timeout, not a daemon bug.

@@ -1,0 +1,139 @@
+package dag
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"grophecy/internal/errdefs"
+)
+
+// node is test shorthand for a Node literal.
+func node(id string, deps ...string) Node {
+	return Node{ID: id, DependsOn: deps}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes []Node
+		want  string // substring of the error; "" = must succeed
+	}{
+		{"empty", nil, ""},
+		{"edge-free unnamed", []Node{{}, {}, {}}, ""},
+		{"chain", []Node{node("a"), node("b", "a"), node("c", "b")}, ""},
+		{"diamond", []Node{node("a"), node("b", "a"), node("c", "a"), node("d", "b", "c")}, ""},
+		{"duplicate dep deduped", []Node{node("a"), node("b", "a", "a")}, ""},
+		{"duplicate id", []Node{node("a"), node("a")}, `jobs 0 and 1 share id "a"`},
+		{"unknown id", []Node{node("a", "ghost")}, `depends on unknown id "ghost"`},
+		{"unknown id unnamed job", []Node{{DependsOn: []string{"x"}}}, `job #0 depends on unknown`},
+		{"self loop", []Node{node("a", "a")}, `job "a" depends on itself`},
+		{"two cycle", []Node{node("a", "b"), node("b", "a")}, `dependency cycle through jobs "a", "b"`},
+		{"long cycle", []Node{node("a", "c"), node("b", "a"), node("c", "b")}, "dependency cycle"},
+		{"cycle below a valid root", []Node{node("r"), node("a", "r", "b"), node("b", "a")}, "dependency cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := Build(tc.nodes)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				if g.Len() != len(tc.nodes) {
+					t.Fatalf("Len = %d, want %d", g.Len(), len(tc.nodes))
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Build succeeded, want error containing %q", tc.want)
+			}
+			if !errors.Is(err, errdefs.ErrInvalidInput) {
+				t.Errorf("error %v does not wrap ErrInvalidInput", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestOrderDeterministicAndTopological(t *testing.T) {
+	// d's parents come later in the request than its own index would
+	// suggest; the order must still place parents first and break ties
+	// by the smallest request index.
+	nodes := []Node{
+		node("sink", "l", "r"), // index 0, must come last
+		node("root"),           // index 1
+		node("l", "root"),      // index 2
+		node("r", "root"),      // index 3
+	}
+	g, err := Build(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 0}
+	got := g.Order()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Order = %v, want %v", got, want)
+		}
+	}
+	// Rebuilding must reproduce the identical order.
+	g2, _ := Build(nodes)
+	for i, v := range g2.Order() {
+		if got[i] != v {
+			t.Fatalf("rebuild order %v != %v", g2.Order(), got)
+		}
+	}
+	if g.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", g.Depth())
+	}
+	if !g.HasEdges() {
+		t.Error("HasEdges = false for a graph with edges")
+	}
+}
+
+func TestEdgeFreeOrderIsRequestOrder(t *testing.T) {
+	g, err := Build([]Node{{}, {ID: "b"}, {}, {ID: "d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range g.Order() {
+		if v != i {
+			t.Fatalf("edge-free Order = %v, want identity", g.Order())
+		}
+	}
+	if g.HasEdges() {
+		t.Error("HasEdges = true for an edge-free batch")
+	}
+	if g.Depth() != 1 {
+		t.Errorf("Depth = %d, want 1", g.Depth())
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g, err := Build([]Node{node("a"), {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Describe(0); got != `"a"` {
+		t.Errorf("Describe(0) = %s", got)
+	}
+	if got := g.Describe(1); got != "#1" {
+		t.Errorf("Describe(1) = %s", got)
+	}
+	if g.ID(0) != "a" || g.ID(1) != "" {
+		t.Errorf("ID() mismatch: %q %q", g.ID(0), g.ID(1))
+	}
+}
+
+func TestParentsDeclarationOrder(t *testing.T) {
+	g, err := Build([]Node{node("z"), node("a"), node("c", "z", "a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Parents(2)
+	if len(p) != 2 || p[0] != 0 || p[1] != 1 {
+		t.Fatalf("Parents(2) = %v, want [0 1]", p)
+	}
+}

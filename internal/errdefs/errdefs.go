@@ -29,6 +29,10 @@
 //   - ErrCircuitOpen: the per-key calibration circuit breaker is open
 //     after repeated failures; callers should back off and retry after
 //     the breaker's half-open window instead of queueing.
+//   - ErrSkipped: a batch job never ran because a job it depends on
+//     failed (or was itself skipped). The batch layer surfaces it
+//     per-row as 424 Failed Dependency; it is not retryable — the
+//     dependency must be fixed first.
 //
 // Panic policy: panics remain reserved for true programmer errors —
 // invalid hard-coded configurations (pcie.NewBus, gpusim.New), broken
@@ -68,6 +72,9 @@ var (
 	// ErrCircuitOpen marks a request rejected because the per-key
 	// calibration circuit breaker is open.
 	ErrCircuitOpen = errors.New("circuit open")
+
+	// ErrSkipped marks a batch job skipped because a dependency failed.
+	ErrSkipped = errors.New("job skipped")
 )
 
 // Invalidf returns an input-validation error wrapping ErrInvalidInput.
@@ -99,6 +106,15 @@ func IsCorruptSnapshot(err error) bool { return errors.Is(err, ErrCorruptSnapsho
 
 // IsCircuitOpen reports whether err marks a breaker rejection.
 func IsCircuitOpen(err error) bool { return errors.Is(err, ErrCircuitOpen) }
+
+// Skippedf returns a dependency-skip error wrapping ErrSkipped.
+func Skippedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSkipped, fmt.Sprintf(format, args...))
+}
+
+// IsSkipped reports whether err marks a job skipped because of a
+// failed dependency.
+func IsSkipped(err error) bool { return errors.Is(err, ErrSkipped) }
 
 // Retryable classifies an error for retry loops: only transient
 // failures are worth retrying immediately. Everything else in the

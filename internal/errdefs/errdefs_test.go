@@ -89,6 +89,8 @@ func TestRetryableClassification(t *testing.T) {
 		{ErrCorruptSnapshot, false},
 		{ErrCircuitOpen, false},
 		{fmt.Errorf("wrapped: %w", ErrCircuitOpen), false},
+		{ErrSkipped, false},
+		{Skippedf("dependency %q did not succeed", "a"), false},
 		{errors.New("unclassified"), false},
 		{nil, false},
 	} {
@@ -98,9 +100,19 @@ func TestRetryableClassification(t *testing.T) {
 	}
 }
 
+func TestSkipped(t *testing.T) {
+	err := fmt.Errorf("row 3: %w", Skippedf("dependency %q did not succeed", "a"))
+	if !IsSkipped(err) {
+		t.Errorf("IsSkipped(%v) = false", err)
+	}
+	if IsSkipped(ErrInvalidInput) || IsSkipped(nil) {
+		t.Error("IsSkipped matched a non-skip error")
+	}
+}
+
 func TestSentinelsAreDistinct(t *testing.T) {
 	sentinels := []error{ErrInvalidInput, ErrTransient, ErrMeasureTimeout, ErrCalibrationFailed, ErrPanic,
-		ErrCorruptSnapshot, ErrCircuitOpen}
+		ErrCorruptSnapshot, ErrCircuitOpen, ErrSkipped}
 	for i, a := range sentinels {
 		for j, b := range sentinels {
 			if i != j && errors.Is(a, b) {

@@ -30,6 +30,12 @@ type Entry struct {
 	Source string
 	// Seed is the simulated machine seed the run used.
 	Seed uint64
+	// JobID and DependsOn record the run's position in its batch DAG
+	// when it was one job of a dependency-aware POST /batch: the job's
+	// declared id and the ids of the jobs it depended on. Both empty
+	// outside DAG batches.
+	JobID     string
+	DependsOn []string
 	// Report is the projection result; zero-valued when Err is set.
 	Report core.Report
 	// Err is the run's error, empty on success.

@@ -23,7 +23,11 @@ type Summary struct {
 	DataSize   string  `json:"dataSize"`
 	Iterations int     `json:"iterations"`
 	Seed       uint64  `json:"seed"`
-	Speedup    float64 `json:"speedupFull,omitempty"`
+	// JobID and DependsOn surface the run's batch-DAG edges (absent
+	// for single runs and edge-free batches).
+	JobID     string   `json:"jobId,omitempty"`
+	DependsOn []string `json:"dependsOn,omitempty"`
+	Speedup   float64  `json:"speedupFull,omitempty"`
 	Err        string  `json:"error,omitempty"`
 	Start      string  `json:"start"`
 	DurationMS float64 `json:"durationMs"`
@@ -41,6 +45,8 @@ func summarize(e Entry) Summary {
 		Workload:   e.Workload,
 		DataSize:   e.DataSize,
 		Seed:       e.Seed,
+		JobID:      e.JobID,
+		DependsOn:  e.DependsOn,
 		Err:        e.Err,
 		Start:      e.Start.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
 		DurationMS: float64(e.Duration.Microseconds()) / 1e3,

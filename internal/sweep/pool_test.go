@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"grophecy/internal/errdefs"
+)
+
+func TestPoolDeliversEveryResult(t *testing.T) {
+	const n = 32
+	p := NewPool[int](context.Background(), 4, n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.Submit(i, func() (int, error) { return i * i, nil })
+	}
+	p.Close()
+	seen := make(map[int]int)
+	for r := range p.Results() {
+		if r.Err != nil {
+			t.Errorf("input %d: %v", r.Index, r.Err)
+		}
+		seen[r.Index] = r.Value
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d results, want %d", len(seen), n)
+	}
+	for i := 0; i < n; i++ {
+		if seen[i] != i*i {
+			t.Errorf("seen[%d] = %d, want %d", i, seen[i], i*i)
+		}
+	}
+}
+
+func TestPoolRecoversPanics(t *testing.T) {
+	p := NewPool[string](context.Background(), 2, 2)
+	p.Submit(0, func() (string, error) { panic("kaboom") })
+	p.Submit(1, func() (string, error) { return "fine", nil })
+	p.Close()
+	var panicked, ok bool
+	for r := range p.Results() {
+		switch r.Index {
+		case 0:
+			panicked = errors.Is(r.Err, errdefs.ErrPanic)
+		case 1:
+			ok = r.Err == nil && r.Value == "fine"
+		}
+	}
+	if !panicked {
+		t.Error("panicking task did not yield ErrPanic")
+	}
+	if !ok {
+		t.Error("healthy task was poisoned by its neighbour's panic")
+	}
+}
+
+func TestPoolCancelledTasksComplete(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	const n = 8
+	p := NewPool[int](ctx, 2, n)
+	for i := 0; i < n; i++ {
+		p.Submit(i, func() (int, error) {
+			t.Error("task ran under a cancelled context")
+			return 0, nil
+		})
+	}
+	p.Close()
+	count := 0
+	for r := range p.Results() {
+		count++
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("input %d: err = %v, want context.Canceled", r.Index, r.Err)
+		}
+	}
+	if count != n {
+		t.Fatalf("got %d results, want %d — cancelled submissions must not vanish", count, n)
+	}
+}
+
+func TestPoolDynamicSubmission(t *testing.T) {
+	// The DAG scheduler's shape: react to each completion by submitting
+	// the next link of a chain while the pool is live.
+	const depth = 10
+	p := NewPool[int](context.Background(), 2, depth)
+	p.Submit(0, func() (int, error) { return 0, nil })
+	got := 0
+	for r := range p.Results() {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		got++
+		if next := r.Index + 1; next < depth {
+			p.Submit(next, func() (int, error) { return next, nil })
+		} else {
+			p.Close()
+		}
+	}
+	if got != depth {
+		t.Fatalf("chained %d completions, want %d", got, depth)
+	}
+}
+
+func TestPoolErrorsPassThrough(t *testing.T) {
+	p := NewPool[struct{}](context.Background(), 1, 1)
+	boom := fmt.Errorf("boom")
+	p.Submit(7, func() (struct{}, error) { return struct{}{}, boom })
+	p.Close()
+	r := <-p.Results()
+	if r.Index != 7 || !errors.Is(r.Err, boom) {
+		t.Fatalf("result = %+v, want index 7 with boom", r)
+	}
+}

@@ -3,7 +3,8 @@
 // an ephemeral port, drives projections through the HTTP surface —
 // the target registry (GET /targets, ?target=), the calibration
 // cache (repeat same-target requests must hit; a 1-entry cache must
-// evict), the batch endpoint (byte-identical to /project), admission
+// evict), the batch endpoint (byte-identical to /project; a
+// dependency chain must stream NDJSON rows parents-first), admission
 // control (a held worker slot must shed concurrent requests with 429
 // + Retry-After and flip /readyz), and the wall-clock telemetry
 // spine (an inbound traceparent must round-trip to the response
@@ -192,6 +193,13 @@ func run() error {
 		return err
 	}
 	fmt.Println("smoke: /batch reports byte-identical to /project")
+
+	// The dependency-aware batch path: a three-job chain streamed as
+	// NDJSON must deliver parents before children with a summary line.
+	if err := checkDAGBatch(base, string(src)); err != nil {
+		return err
+	}
+	fmt.Println("smoke: /batch DAG streamed rows in dependency order")
 
 	// Admission control: while a large batch holds the single worker
 	// slot, concurrent /project requests must shed with 429 +
@@ -606,6 +614,85 @@ func checkBatch(base, src string, want []byte) error {
 	}
 	if !bytes.Equal(doc.Jobs[0].Report, want) {
 		return errors.New("batch skeleton report is not byte-identical to POST /project")
+	}
+	// The legacy edge-free array must not grow DAG-era keys — clients
+	// parsing the old shape see the old shape, byte for byte.
+	for _, key := range []string{`"skipped"`, `"dependsOn"`, `"id"`, `"fromParent"`} {
+		if bytes.Contains(body, []byte(key)) {
+			return fmt.Errorf("edge-free batch response leaks DAG key %s", key)
+		}
+	}
+	return nil
+}
+
+// checkDAGBatch POSTs a three-job dependency chain with
+// Accept: application/x-ndjson and verifies the streamed delivery:
+// one row per line, parents before children, every row 200, and a
+// trailing summary line.
+func checkDAGBatch(base, src string) error {
+	jobs, err := json.Marshal([]map[string]any{
+		{"id": "c", "dependsOn": []string{"b"}, "workload": "CFD", "size": "97K"},
+		{"id": "a", "skeleton": src},
+		{"id": "b", "dependsOn": []string{"a"}, "workload": "HotSpot", "size": "64 x 64"},
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/batch", bytes.NewReader(jobs))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("DAG batch: status %d\n%.300s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		return fmt.Errorf("DAG batch: Content-Type %q, want application/x-ndjson", ct)
+	}
+	lines := bytes.Split(bytes.TrimRight(body, "\n"), []byte("\n"))
+	if len(lines) != 4 {
+		return fmt.Errorf("DAG batch: %d NDJSON lines, want 3 rows + summary\n%.300s", len(lines), body)
+	}
+	var order []string
+	for _, line := range lines[:3] {
+		var row struct {
+			ID     string `json:"id"`
+			Status int    `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &row); err != nil {
+			return fmt.Errorf("DAG batch row is not one JSON line: %v\n%.300s", err, line)
+		}
+		if row.Status != http.StatusOK {
+			return fmt.Errorf("DAG batch row %q: status %d (%s)", row.ID, row.Status, row.Error)
+		}
+		order = append(order, row.ID)
+	}
+	// The chain c<-b<-a must stream parent before child regardless of
+	// request order.
+	if strings.Join(order, ",") != "a,b,c" {
+		return fmt.Errorf("DAG batch rows streamed as %v, want parents before children [a b c]", order)
+	}
+	var summary struct {
+		Succeeded int  `json:"succeeded"`
+		Failed    int  `json:"failed"`
+		Skipped   *int `json:"skipped"`
+	}
+	if err := json.Unmarshal(lines[3], &summary); err != nil {
+		return fmt.Errorf("DAG batch summary line: %v\n%.300s", err, lines[3])
+	}
+	if summary.Succeeded != 3 || summary.Failed != 0 || summary.Skipped == nil || *summary.Skipped != 0 {
+		return fmt.Errorf("DAG batch summary %s, want 3 succeeded / 0 failed / 0 skipped", lines[3])
 	}
 	return nil
 }
